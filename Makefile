@@ -1,0 +1,38 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test race stress bench experiments fuzz fmt
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+fmt:
+	gofmt -l .
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# The large-graph oracle cross-checks (skipped by `go test -short`).
+stress:
+	go test -run TestStress -count=1 .
+
+# testing.B benches: one per paper table/figure plus micro-benches.
+bench:
+	go test -bench=. -benchmem -run='^$$' ./...
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	go run ./cmd/aquila-bench -exp all
+
+# Short fuzz passes over the hardened entry points.
+fuzz:
+	go test -fuzz=FuzzReadEdgeList -fuzztime=30s ./internal/graph
+	go test -fuzz=FuzzReadBinary -fuzztime=30s ./internal/graph
+	go test -fuzz=FuzzBiCCMatchesOracle -fuzztime=30s ./internal/bicc

@@ -1,0 +1,57 @@
+package aquila
+
+import (
+	"aquila/internal/apps/betweenness"
+	"aquila/internal/apps/condense"
+	"aquila/internal/apps/kcore"
+)
+
+// Condensation is the SCC-contracted DAG of a directed graph (paper §2.1,
+// application 1), supporting topological order and O(1) reachability queries
+// after a lazily built index.
+type Condensation = condense.DAG
+
+// Condensation contracts the engine's directed graph by its SCCs. The result
+// is computed once and cached.
+func (e *Engine) Condensation() (*Condensation, error) {
+	if e.dir == nil {
+		return nil, ErrNotDirected
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.condensation == nil {
+		e.condensation = condense.Build(e.dir, e.sccOptions())
+	}
+	return e.condensation, nil
+}
+
+// BetweennessCentrality computes exact betweenness centrality over the
+// undirected view (paper §2.1, application 2), using the biconnected-
+// decomposition strategy — per-block weighted Brandes guided by the
+// articulation points — unless partial computation is disabled, in which case
+// plain Brandes runs. Scores use the ordered-pair convention; the result is
+// cached.
+func (e *Engine) BetweennessCentrality() []float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.betweenness == nil {
+		if e.opt.DisablePartial || e.opt.DisableTrim {
+			e.betweenness = betweenness.Brandes(e.und, e.opt.Threads)
+		} else {
+			e.betweenness = betweenness.Decomposed(e.und, e.opt.Threads)
+		}
+	}
+	return e.betweenness
+}
+
+// Coreness returns the k-core decomposition of the undirected view: for each
+// vertex, the largest k such that it survives in the k-core. The result is
+// cached.
+func (e *Engine) Coreness() []int32 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.coreness == nil {
+		e.coreness = kcore.Decompose(e.und).Coreness
+	}
+	return e.coreness
+}

@@ -1,0 +1,81 @@
+package aquila
+
+import (
+	"math"
+	"testing"
+
+	"aquila/internal/gen"
+)
+
+func TestEngineCondensation(t *testing.T) {
+	e := NewDirectedEngine(gen.PaperExample(), Options{Threads: 2})
+	d, err := e.Condensation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumNodes() != 6 {
+		t.Errorf("NumNodes = %d, want 6", d.NumNodes())
+	}
+	// 5 and 0 share the big SCC; 1 reaches them but not back.
+	if !d.Reachable(5, 0) || !d.Reachable(0, 5) {
+		t.Errorf("big-SCC mutual reachability missing")
+	}
+	if !d.Reachable(1, 0) {
+		t.Errorf("1 -> 5 -> 0 should be reachable")
+	}
+	if d.Reachable(0, 1) {
+		t.Errorf("nothing reaches the pendant source 1")
+	}
+	d2, _ := e.Condensation()
+	if d != d2 {
+		t.Errorf("condensation not cached")
+	}
+	if _, err := NewEngine(gen.Cycle(4), Options{}).Condensation(); err != ErrNotDirected {
+		t.Errorf("undirected condensation error = %v", err)
+	}
+}
+
+func TestEngineBetweenness(t *testing.T) {
+	// Path 0-1-2-3 as a directed chain; undirected view BC: [0,4,4,0].
+	g := NewDirected(4, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	e := NewDirectedEngine(g, Options{Threads: 2})
+	bc := e.BetweennessCentrality()
+	want := []float64{0, 4, 4, 0}
+	for v := range want {
+		if math.Abs(bc[v]-want[v]) > 1e-9 {
+			t.Errorf("BC[%d] = %v, want %v", v, bc[v], want[v])
+		}
+	}
+	// Reduced and plain paths must agree.
+	plain := NewDirectedEngine(g, Options{Threads: 2, DisablePartial: true}).BetweennessCentrality()
+	for v := range want {
+		if math.Abs(bc[v]-plain[v]) > 1e-9 {
+			t.Errorf("reduced/plain disagree at %d: %v vs %v", v, bc[v], plain[v])
+		}
+	}
+	if &bc[0] != &e.BetweennessCentrality()[0] {
+		t.Errorf("betweenness not cached")
+	}
+}
+
+func TestEngineCoreness(t *testing.T) {
+	e := NewEngine(gen.Complete(5), Options{})
+	for v, c := range e.Coreness() {
+		if c != 4 {
+			t.Errorf("K5 coreness[%d] = %d, want 4", v, c)
+		}
+	}
+	e2 := NewDirectedEngine(gen.PaperExample(), Options{})
+	core := e2.Coreness()
+	// Pendants (1, 11, 12, 13) have coreness 1; cycle members 2.
+	for _, v := range []V{1, 11, 12, 13} {
+		if core[v] != 1 {
+			t.Errorf("coreness[%d] = %d, want 1", v, core[v])
+		}
+	}
+	for _, v := range []V{0, 2, 5, 8, 9} {
+		if core[v] != 2 {
+			t.Errorf("coreness[%d] = %d, want 2", v, core[v])
+		}
+	}
+}

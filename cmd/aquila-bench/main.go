@@ -1,0 +1,74 @@
+// Command aquila-bench regenerates the paper's evaluation tables and figures
+// (Table 1, Table 2, Figures 6, 8, 10, 11, 12, 13, 14) on the synthetic
+// stand-in workload suite.
+//
+// Usage:
+//
+//	aquila-bench -exp table2                 # one experiment
+//	aquila-bench -exp all -scale 0.5         # everything, smaller workloads
+//	aquila-bench -exp table2 -algs CC,SCC    # restrict Table 2 sections
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"aquila/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1, table2, fig6, fig8, fig10, fig11, fig12, fig13, fig14, all")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor")
+		threads = flag.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
+		runs    = flag.Int("runs", 3, "timed runs per cell (minimum reported)")
+		algs    = flag.String("algs", "", "comma-separated Table 2 sections (CC,SCC,BiCC,BgCC)")
+		format  = flag.String("format", "text", "table format: text or csv")
+	)
+	flag.Parse()
+
+	cfg := &bench.Config{
+		Scale:   *scale,
+		Threads: *threads,
+		Runs:    *runs,
+		Out:     os.Stdout,
+		CSV:     *format == "csv",
+	}
+	var algList []string
+	if *algs != "" {
+		algList = strings.Split(*algs, ",")
+	}
+
+	run := func(name string, fn func()) {
+		fmt.Printf("\n==================== %s ====================\n", name)
+		fn()
+	}
+	experiments := []struct {
+		name string
+		fn   func()
+	}{
+		{"table1", func() { bench.Table1(cfg) }},
+		{"table2", func() { bench.Table2(cfg, algList) }},
+		{"fig6", func() { bench.Fig6(cfg) }},
+		{"fig8", func() { bench.Fig8(cfg) }},
+		{"fig10", func() { bench.Fig10(cfg) }},
+		{"fig11", func() { bench.Fig11(cfg) }},
+		{"fig12", func() { bench.Fig12(cfg) }},
+		{"fig13", func() { bench.Fig13(cfg) }},
+		{"fig14", func() { bench.Fig14(cfg) }},
+	}
+	found := false
+	for _, e := range experiments {
+		if *exp == "all" || *exp == e.name {
+			run(e.name, e.fn)
+			found = true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

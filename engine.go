@@ -1,0 +1,133 @@
+package aquila
+
+import (
+	"sync"
+
+	"aquila/internal/bgcc"
+	"aquila/internal/bicc"
+	"aquila/internal/cc"
+	"aquila/internal/graph"
+	"aquila/internal/scc"
+)
+
+// Engine answers connectivity queries over one graph. It owns the query
+// transformation (§3): partial-computation queries use dedicated fast paths,
+// and complete decompositions are computed at most once and cached, so
+// repeated queries are free.
+//
+// An Engine is safe for concurrent use by multiple goroutines.
+type Engine struct {
+	opt Options
+
+	dir *Directed // nil for engines over undirected input
+	und *Undirected
+
+	mu           sync.Mutex
+	ccRes        *cc.Result
+	sccRes       *scc.Result
+	biccRes      *bicc.Result
+	bgccRes      *bgcc.Result
+	apOnly       *bicc.Result
+	brOnly       *bgcc.Result
+	largestCC    *LargestResult
+	condensation *Condensation
+	betweenness  []float64
+	coreness     []int32
+}
+
+// NewEngine returns an Engine over an undirected graph. SCC queries on an
+// undirected engine degenerate to CC.
+func NewEngine(g *Undirected, opt Options) *Engine {
+	return &Engine{opt: opt, und: g}
+}
+
+// NewDirectedEngine returns an Engine over a directed graph. CC/BiCC/BgCC
+// queries run over the undirected view (computed once, per paper §6.1); SCC
+// and WCC use the directed graph.
+func NewDirectedEngine(g *Directed, opt Options) *Engine {
+	return &Engine{opt: opt, dir: g, und: graph.Undirect(g)}
+}
+
+// Undirected returns the (possibly derived) undirected view of the engine's
+// graph.
+func (e *Engine) Undirected() *Undirected { return e.und }
+
+// Directed returns the directed graph, or nil for undirected engines.
+func (e *Engine) Directed() *Directed { return e.dir }
+
+func (e *Engine) ccOptions() cc.Options {
+	return cc.Options{
+		Threads:    e.opt.Threads,
+		NoTrim:     e.opt.DisableTrim,
+		NoAdaptive: e.opt.DisableAdaptive,
+		Mode:       e.opt.Traversal.mode(),
+	}
+}
+
+func (e *Engine) sccOptions() scc.Options {
+	return scc.Options{
+		Threads:    e.opt.Threads,
+		NoTrim:     e.opt.DisableTrim,
+		NoAdaptive: e.opt.DisableAdaptive,
+		Mode:       e.opt.Traversal.mode(),
+	}
+}
+
+func (e *Engine) biccOptions(apOnly bool) bicc.Options {
+	return bicc.Options{
+		Threads:    e.opt.Threads,
+		NoTrim:     e.opt.DisableTrim,
+		NoSPO:      e.opt.DisableSPO,
+		NoAdaptive: e.opt.DisableAdaptive,
+		Mode:       e.opt.Traversal.mode(),
+		APOnly:     apOnly,
+	}
+}
+
+func (e *Engine) bgccOptions(bridgeOnly bool) bgcc.Options {
+	return bgcc.Options{
+		Threads:    e.opt.Threads,
+		NoTrim:     e.opt.DisableTrim,
+		NoSPO:      e.opt.DisableSPO,
+		NoAdaptive: e.opt.DisableAdaptive,
+		Mode:       e.opt.Traversal.mode(),
+		BridgeOnly: bridgeOnly,
+	}
+}
+
+// ccComplete returns the cached complete CC decomposition, computing it once.
+func (e *Engine) ccComplete() *cc.Result {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.ccRes == nil {
+		e.ccRes = cc.Run(e.und, e.ccOptions())
+	}
+	return e.ccRes
+}
+
+func (e *Engine) sccComplete() *scc.Result {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sccRes == nil {
+		e.sccRes = scc.Run(e.dir, e.sccOptions())
+	}
+	return e.sccRes
+}
+
+func (e *Engine) biccComplete() *bicc.Result {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.biccRes == nil {
+		e.biccRes = bicc.Run(e.und, e.biccOptions(false))
+	}
+	return e.biccRes
+}
+
+func (e *Engine) bgccComplete() *bgcc.Result {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.bgccRes == nil {
+		e.bgccRes = bgcc.Run(e.und, e.bgccOptions(false))
+	}
+	return e.bgccRes
+}

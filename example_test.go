@@ -1,0 +1,87 @@
+package aquila_test
+
+import (
+	"fmt"
+
+	"aquila"
+)
+
+// The paper's running example graph (Fig. 1): three components, one big SCC,
+// two articulation points, three bridges.
+func paperGraph() *aquila.Directed {
+	return aquila.NewDirected(14, []aquila.Edge{
+		{U: 0, V: 2}, {U: 2, V: 6}, {U: 6, V: 5}, {U: 5, V: 0},
+		{U: 5, V: 3}, {U: 3, V: 7}, {U: 7, V: 4}, {U: 4, V: 5},
+		{U: 1, V: 5},
+		{U: 8, V: 9}, {U: 9, V: 10}, {U: 10, V: 8}, {U: 9, V: 11},
+		{U: 12, V: 13},
+	})
+}
+
+func ExampleEngine_IsConnected() {
+	eng := aquila.NewDirectedEngine(paperGraph(), aquila.Options{})
+	// A small-XCC query: answered by a trim check plus at most one traversal,
+	// never a complete decomposition.
+	fmt.Println(eng.IsConnected())
+	// Output: false
+}
+
+func ExampleEngine_LargestCC() {
+	eng := aquila.NewDirectedEngine(paperGraph(), aquila.Options{})
+	largest := eng.LargestCC()
+	fmt.Println(largest.Size, largest.Partial, largest.Contains(3), largest.Contains(12))
+	// Output: 8 true true false
+}
+
+func ExampleEngine_ArticulationPoints() {
+	eng := aquila.NewDirectedEngine(paperGraph(), aquila.Options{})
+	fmt.Println(eng.ArticulationPoints())
+	// Output: [5 9]
+}
+
+func ExampleEngine_Bridges() {
+	eng := aquila.NewDirectedEngine(paperGraph(), aquila.Options{})
+	for _, b := range eng.Bridges() {
+		fmt.Printf("%d-%d ", b[0], b[1])
+	}
+	fmt.Println()
+	// Output: 1-5 9-11 12-13
+}
+
+func ExampleEngine_SCC() {
+	eng := aquila.NewDirectedEngine(paperGraph(), aquila.Options{})
+	res, err := eng.SCC()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.NumComponents, res.LargestSize)
+	// Output: 6 7
+}
+
+func ExampleEngine_BiCC() {
+	eng := aquila.NewDirectedEngine(paperGraph(), aquila.Options{})
+	res := eng.BiCC()
+	fmt.Println(res.NumBlocks)
+	// Output: 6
+}
+
+func ExampleEngine_Condensation() {
+	eng := aquila.NewDirectedEngine(paperGraph(), aquila.Options{})
+	dag, err := eng.Condensation()
+	if err != nil {
+		panic(err)
+	}
+	// 1 -> 5 holds (1 feeds the big SCC); nothing reaches back to 1.
+	fmt.Println(dag.NumNodes(), dag.Reachable(1, 0), dag.Reachable(0, 1))
+	// Output: 6 true false
+}
+
+func ExampleNewEngine() {
+	// Undirected engines answer everything except SCC queries.
+	g := aquila.NewUndirected(5, []aquila.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 2, V: 3},
+	})
+	eng := aquila.NewEngine(g, aquila.Options{})
+	fmt.Println(eng.CountCC(), eng.IsConnected(), eng.IsArticulationPoint(2))
+	// Output: 2 false true
+}

@@ -1,0 +1,87 @@
+// Network single-point-of-failure audit (paper §2.1 and §3): in a computer
+// network, articulation points and bridges are the routers and links whose
+// failure partitions the network. Aquila's AP/bridge-only partial queries
+// answer this without computing the full BiCC/BgCC decompositions.
+package main
+
+import (
+	"fmt"
+
+	"aquila"
+)
+
+func main() {
+	g := buildNetwork()
+	eng := aquila.NewEngine(g, aquila.Options{})
+
+	fmt.Printf("network: %d routers, %d links\n", g.NumVertices(), g.NumEdges())
+	if !eng.IsConnected() {
+		fmt.Println("WARNING: network is already partitioned!")
+	}
+
+	aps := eng.ArticulationPoints()
+	fmt.Printf("\n%d single-point-of-failure routers:\n", len(aps))
+	for _, r := range aps {
+		fmt.Printf("  router %-4d degree %d\n", r, g.Degree(r))
+	}
+
+	bridges := eng.Bridges()
+	fmt.Printf("\n%d single-point-of-failure links:\n", len(bridges))
+	for _, b := range bridges {
+		fmt.Printf("  link %d <-> %d\n", b[0], b[1])
+	}
+
+	// Remediation check: if the backbone ring were doubled, which failures
+	// disappear? Re-run on the hardened topology.
+	hardened := aquila.NewEngine(buildHardenedNetwork(), aquila.Options{})
+	fmt.Printf("\nafter adding redundant backbone links: %d APs, %d bridges\n",
+		len(hardened.ArticulationPoints()), len(hardened.Bridges()))
+}
+
+// buildNetwork models a small ISP: a backbone ring of 8 core routers, four
+// regional stars hanging off single core routers (classic SPOF topology),
+// and one remote site on a single uplink.
+func buildNetwork() *aquila.Undirected {
+	var edges []aquila.Edge
+	// Backbone ring: routers 0..7.
+	for i := 0; i < 8; i++ {
+		edges = append(edges, aquila.Edge{U: aquila.V(i), V: aquila.V((i + 1) % 8)})
+	}
+	// Regional stars: each region r has 6 access routers on one core router.
+	next := aquila.V(8)
+	for r := 0; r < 4; r++ {
+		core := aquila.V(r * 2)
+		for k := 0; k < 6; k++ {
+			edges = append(edges, aquila.Edge{U: core, V: next})
+			next++
+		}
+	}
+	// Remote site: a pair of routers behind one uplink from router 5.
+	edges = append(edges,
+		aquila.Edge{U: 5, V: next}, aquila.Edge{U: next, V: next + 1})
+	return aquila.NewUndirected(int(next)+2, edges)
+}
+
+// buildHardenedNetwork doubles every access router onto a second core router
+// and adds a second uplink to the remote site.
+func buildHardenedNetwork() *aquila.Undirected {
+	var edges []aquila.Edge
+	for i := 0; i < 8; i++ {
+		edges = append(edges, aquila.Edge{U: aquila.V(i), V: aquila.V((i + 1) % 8)})
+	}
+	next := aquila.V(8)
+	for r := 0; r < 4; r++ {
+		core := aquila.V(r * 2)
+		backup := aquila.V((r*2 + 1) % 8)
+		for k := 0; k < 6; k++ {
+			edges = append(edges,
+				aquila.Edge{U: core, V: next},
+				aquila.Edge{U: backup, V: next})
+			next++
+		}
+	}
+	edges = append(edges,
+		aquila.Edge{U: 5, V: next}, aquila.Edge{U: next, V: next + 1},
+		aquila.Edge{U: 6, V: next + 1}, aquila.Edge{U: 6, V: next})
+	return aquila.NewUndirected(int(next)+2, edges)
+}

@@ -1,0 +1,53 @@
+// Quickstart: build a graph, create an Engine, and run one query from each
+// of Aquila's four query classes (paper §3) — complete computation, largest
+// XCC, small XCC, and AP/bridge-only.
+package main
+
+import (
+	"fmt"
+
+	"aquila"
+)
+
+func main() {
+	// The paper's running example graph (Fig. 1): three components, one big
+	// SCC, two articulation points, three bridges.
+	edges := []aquila.Edge{
+		// component A: two directed cycles sharing vertex 5, plus pendant 1
+		{U: 0, V: 2}, {U: 2, V: 6}, {U: 6, V: 5}, {U: 5, V: 0},
+		{U: 5, V: 3}, {U: 3, V: 7}, {U: 7, V: 4}, {U: 4, V: 5},
+		{U: 1, V: 5},
+		// component B: a 3-cycle with pendant 11
+		{U: 8, V: 9}, {U: 9, V: 10}, {U: 10, V: 8}, {U: 9, V: 11},
+		// component C: a single edge
+		{U: 12, V: 13},
+	}
+	g := aquila.NewDirected(14, edges)
+	eng := aquila.NewDirectedEngine(g, aquila.Options{})
+
+	// Small-XCC query: answered with partial computation (a trim check plus
+	// at most one traversal), never a full decomposition.
+	fmt.Println("is the graph connected?      ", eng.IsConnected())
+
+	// Largest-XCC query: one traversal from the max-degree pivot; since that
+	// component holds the majority of vertices, the computation stops there.
+	largest := eng.LargestCC()
+	fmt.Printf("largest CC:                   %d vertices (partial=%v)\n",
+		largest.Size, largest.Partial)
+	fmt.Println("vertex 3 in the largest CC?  ", largest.Contains(3))
+
+	// AP/bridge-only queries: workload-reduced detection without the full
+	// block decomposition.
+	fmt.Println("articulation points:         ", eng.ArticulationPoints())
+	fmt.Println("bridges:                     ", eng.Bridges())
+
+	// Complete computations (computed once, cached on the engine).
+	fmt.Println("connected components:        ", eng.CountCC())
+	scc, err := eng.SCC()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("strongly connected components:", scc.NumComponents)
+	fmt.Println("biconnected components:      ", eng.BiCC().NumBlocks)
+	fmt.Println("bridgeless components:       ", eng.BgCC().NumComponents)
+}

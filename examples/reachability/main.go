@@ -1,0 +1,56 @@
+// Reachability via SCC condensation (paper §2.1, application 1): topological
+// sort and reachability queries need a DAG; contracting every SCC to a super
+// node produces one. This example builds the condensation of a call-graph-
+// shaped digraph and answers reachability queries in O(1) after a one-time
+// index build.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"aquila/internal/apps/condense"
+	"aquila/internal/gen"
+	"aquila/internal/scc"
+)
+
+func main() {
+	// A call-graph-shaped digraph: R-MAT skew gives hub functions and
+	// mutually recursive clusters (SCCs).
+	g := gen.RMAT(12, 8, 0xCA11)
+	fmt.Printf("call graph: %d functions, %d call edges\n", g.NumVertices(), g.NumArcs())
+
+	start := time.Now()
+	dag := condense.Build(g, scc.Options{})
+	fmt.Printf("condensation: %d SCC super-nodes, %d DAG edges (built in %v)\n",
+		dag.NumNodes(), dag.G.NumArcs(), time.Since(start))
+
+	// Largest recursive cluster.
+	biggest := 0
+	for _, members := range dag.Members {
+		if len(members) > biggest {
+			biggest = len(members)
+		}
+	}
+	fmt.Printf("largest mutually-recursive cluster: %d functions\n", biggest)
+
+	// Topological order of the super-nodes = a valid processing order for
+	// e.g. bottom-up summary-based analysis.
+	order := dag.TopoSortVertices()
+	fmt.Printf("topological order starts: %v ...\n", order[:8])
+
+	// Reachability queries ("can f transitively call g?").
+	rng := gen.NewRNG(7)
+	start = time.Now()
+	reachable := 0
+	const queries = 100000
+	for i := 0; i < queries; i++ {
+		u := uint32(rng.Intn(g.NumVertices()))
+		v := uint32(rng.Intn(g.NumVertices()))
+		if dag.Reachable(u, v) {
+			reachable++
+		}
+	}
+	fmt.Printf("%d reachability queries in %v (%.1f%% reachable)\n",
+		queries, time.Since(start), 100*float64(reachable)/queries)
+}

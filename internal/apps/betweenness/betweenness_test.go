@@ -1,0 +1,143 @@
+package betweenness
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+)
+
+func closeEnough(a, b []float64) (int, bool) {
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-6*(1+math.Abs(a[i])) {
+			return i, false
+		}
+	}
+	return -1, true
+}
+
+func TestBrandesPath(t *testing.T) {
+	// Path 0-1-2-3: ordered-pair BC of internal vertices: 1 sits on pairs
+	// {0,2},{0,3} in both directions = 4; same for 2; endpoints 0.
+	g := gen.Path(4)
+	bc := Brandes(g, 2)
+	want := []float64{0, 4, 4, 0}
+	for v := range want {
+		if math.Abs(bc[v]-want[v]) > 1e-9 {
+			t.Errorf("BC[%d] = %v, want %v", v, bc[v], want[v])
+		}
+	}
+}
+
+func TestBrandesStar(t *testing.T) {
+	// Star center intermediates every leaf pair: (n-1)(n-2) ordered pairs.
+	g := gen.Star(6)
+	bc := Brandes(g, 3)
+	if math.Abs(bc[0]-20) > 1e-9 {
+		t.Errorf("center BC = %v, want 20", bc[0])
+	}
+	for v := 1; v < 6; v++ {
+		if bc[v] != 0 {
+			t.Errorf("leaf %d BC = %v, want 0", v, bc[v])
+		}
+	}
+}
+
+func TestBrandesCycle(t *testing.T) {
+	// Even cycle C6: by symmetry all vertices equal; each pair at distance 2
+	// has a unique midpoint, distance-3 pairs have two shortest paths.
+	g := gen.Cycle(6)
+	bc := Brandes(g, 2)
+	for v := 1; v < 6; v++ {
+		if math.Abs(bc[v]-bc[0]) > 1e-9 {
+			t.Fatalf("cycle symmetry broken: BC[%d]=%v BC[0]=%v", v, bc[v], bc[0])
+		}
+	}
+	if bc[0] == 0 {
+		t.Errorf("cycle interior BC should be positive")
+	}
+}
+
+func TestBrandesDisconnected(t *testing.T) {
+	// Two separate paths: pairs never cross components.
+	g := graph.BuildUndirected(6, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}, {U: 4, V: 5}})
+	bc := Brandes(g, 2)
+	want := []float64{0, 2, 0, 0, 2, 0}
+	if i, ok := closeEnough(bc, want); !ok {
+		t.Errorf("BC[%d] = %v, want %v", i, bc[i], want[i])
+	}
+}
+
+func TestReducedEqualsBrandesOnTrees(t *testing.T) {
+	for _, g := range []*graph.Undirected{gen.Path(10), gen.Star(9)} {
+		plain := Brandes(g, 2)
+		reduced := Reduced(g, 2)
+		if i, ok := closeEnough(plain, reduced); !ok {
+			t.Errorf("tree: Reduced[%d] = %v, Brandes = %v", i, reduced[i], plain[i])
+		}
+	}
+}
+
+func TestReducedEqualsBrandesMixed(t *testing.T) {
+	// Square with two pendants (the worked example from the derivation):
+	// cycle 1-2-4-5 with pendants 0 on 1 and 3 on 2.
+	g := graph.BuildUndirected(6, []graph.Edge{
+		{U: 1, V: 2}, {U: 2, V: 4}, {U: 4, V: 5}, {U: 5, V: 1},
+		{U: 0, V: 1}, {U: 3, V: 2},
+	})
+	plain := Brandes(g, 1)
+	reduced := Reduced(g, 1)
+	want := []float64{0, 10, 10, 0, 2, 2}
+	if i, ok := closeEnough(plain, want); !ok {
+		t.Fatalf("Brandes[%d] = %v, want %v (test premise)", i, plain[i], want[i])
+	}
+	if i, ok := closeEnough(reduced, plain); !ok {
+		t.Errorf("Reduced[%d] = %v, Brandes = %v", i, reduced[i], plain[i])
+	}
+}
+
+func TestReducedEqualsBrandesOnSuite(t *testing.T) {
+	graphs := map[string]*graph.Undirected{
+		"paper":   gen.PaperExampleUndirected(),
+		"barbell": gen.BarbellWithBridge(4),
+		"sparse":  gen.RandomUndirected(100, 90, 81),
+		"random":  gen.RandomUndirected(100, 250, 82),
+		"social":  graph.Undirect(gen.Social(gen.SocialConfig{GiantVertices: 150, GiantAvgDeg: 3, SmallComps: 15, SmallMaxSize: 8, Isolated: 5, MutualFrac: 0.4, Seed: 83})),
+	}
+	for name, g := range graphs {
+		plain := Brandes(g, 3)
+		reduced := Reduced(g, 3)
+		if i, ok := closeEnough(plain, reduced); !ok {
+			t.Errorf("%s: Reduced[%d] = %v, Brandes = %v", name, i, reduced[i], plain[i])
+		}
+	}
+}
+
+// Property: Reduced ≡ Brandes on arbitrary graphs — the folding formulas are
+// exact, not approximations.
+func TestReducedProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const n = 26
+		edges := make([]graph.Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, graph.Edge{U: graph.V(raw[i] % n), V: graph.V(raw[i+1] % n)})
+		}
+		g := graph.BuildUndirected(n, edges)
+		_, ok := closeEnough(Brandes(g, 2), Reduced(g, 2))
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBrandesThreadInvariance(t *testing.T) {
+	g := gen.RandomUndirected(120, 300, 84)
+	a := Brandes(g, 1)
+	b := Brandes(g, 4)
+	if i, ok := closeEnough(a, b); !ok {
+		t.Errorf("thread count changed BC at %d: %v vs %v", i, a[i], b[i])
+	}
+}

@@ -1,0 +1,86 @@
+package betweenness
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+)
+
+func TestDecomposedKnownShapes(t *testing.T) {
+	// Path: every vertex is a cut; all contributions via cross-branch terms.
+	g := gen.Path(5)
+	want := Brandes(g, 1)
+	got := Decomposed(g, 1)
+	if i, ok := closeEnough(want, got); !ok {
+		t.Errorf("path: Decomposed[%d] = %v, Brandes = %v", i, got[i], want[i])
+	}
+
+	// Single block (cycle): pure block-Brandes, no cut terms.
+	g = gen.Cycle(7)
+	want, got = Brandes(g, 1), Decomposed(g, 1)
+	if i, ok := closeEnough(want, got); !ok {
+		t.Errorf("cycle: Decomposed[%d] = %v, Brandes = %v", i, got[i], want[i])
+	}
+
+	// Barbell: two clique blocks + one bridge block, two cut vertices.
+	g = gen.BarbellWithBridge(4)
+	want, got = Brandes(g, 2), Decomposed(g, 2)
+	if i, ok := closeEnough(want, got); !ok {
+		t.Errorf("barbell: Decomposed[%d] = %v, Brandes = %v", i, got[i], want[i])
+	}
+}
+
+func TestDecomposedWorkedExample(t *testing.T) {
+	// Square with two pendants (BC known: [0,10,10,0,2,2]).
+	g := graph.BuildUndirected(6, []graph.Edge{
+		{U: 1, V: 2}, {U: 2, V: 4}, {U: 4, V: 5}, {U: 5, V: 1},
+		{U: 0, V: 1}, {U: 3, V: 2},
+	})
+	got := Decomposed(g, 1)
+	want := []float64{0, 10, 10, 0, 2, 2}
+	if i, ok := closeEnough(got, want); !ok {
+		t.Errorf("Decomposed[%d] = %v, want %v", i, got[i], want[i])
+	}
+}
+
+func TestDecomposedEqualsBrandesOnSuite(t *testing.T) {
+	graphs := map[string]*graph.Undirected{
+		"paper":    gen.PaperExampleUndirected(),
+		"star":     gen.Star(9),
+		"complete": gen.Complete(6),
+		"sparse":   gen.RandomUndirected(90, 80, 85),
+		"random":   gen.RandomUndirected(90, 220, 86),
+		"social": graph.Undirect(gen.Social(gen.SocialConfig{
+			GiantVertices: 120, GiantAvgDeg: 3,
+			SmallComps: 12, SmallMaxSize: 9, Isolated: 6,
+			MutualFrac: 0.4, Seed: 87,
+		})),
+	}
+	for name, g := range graphs {
+		want := Brandes(g, 2)
+		got := Decomposed(g, 2)
+		if i, ok := closeEnough(want, got); !ok {
+			t.Errorf("%s: Decomposed[%d] = %v, Brandes = %v", name, i, got[i], want[i])
+		}
+	}
+}
+
+// Property: the block-decomposed computation is exact on arbitrary graphs —
+// the strongest statement about the cut-structure formulas.
+func TestDecomposedProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const n = 24
+		edges := make([]graph.Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, graph.Edge{U: graph.V(raw[i] % n), V: graph.V(raw[i+1] % n)})
+		}
+		g := graph.BuildUndirected(n, edges)
+		_, ok := closeEnough(Brandes(g, 2), Decomposed(g, 2))
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,159 @@
+// Package condense implements the paper's first motivating application
+// (§2.1): converting a directed graph to a DAG by contracting every strongly
+// connected component to a super node, then answering topological-order and
+// reachability queries on the condensation. Algorithms such as topological
+// sort and reachability indexing require a DAG; the SCC decomposition is the
+// step that gets them one.
+package condense
+
+import (
+	"fmt"
+
+	"aquila/internal/graph"
+	"aquila/internal/scc"
+)
+
+// DAG is the condensation of a directed graph: one node per SCC, one edge per
+// pair of SCCs connected by at least one original arc.
+type DAG struct {
+	// G is the condensation graph; it is acyclic by construction.
+	G *graph.Directed
+	// NodeOf maps each original vertex to its condensation node.
+	NodeOf []uint32
+	// Members lists the original vertices of each condensation node.
+	Members [][]graph.V
+	// order holds a topological order of the condensation nodes (computed at
+	// build time; every DAG has one).
+	order []uint32
+	// pos[n] is node n's position in order.
+	pos []int32
+	// closure caches per-node reachability bitsets, built lazily.
+	closure [][]uint64
+}
+
+// Build contracts the SCCs of g (computed with Aquila's SCC under opt) into a
+// DAG.
+func Build(g *graph.Directed, opt scc.Options) *DAG {
+	res := scc.Run(g, opt)
+	n := g.NumVertices()
+
+	// Dense node ids in label order of first appearance.
+	id := make(map[uint32]uint32, res.NumComponents)
+	nodeOf := make([]uint32, n)
+	var members [][]graph.V
+	for v := 0; v < n; v++ {
+		l := res.Label[v]
+		nid, ok := id[l]
+		if !ok {
+			nid = uint32(len(members))
+			id[l] = nid
+			members = append(members, nil)
+		}
+		nodeOf[v] = nid
+		members[nid] = append(members[nid], graph.V(v))
+	}
+
+	// Cross-SCC edges, deduplicated by the builder.
+	var edges []graph.Edge
+	for u := 0; u < n; u++ {
+		cu := nodeOf[u]
+		for _, v := range g.Out(graph.V(u)) {
+			if cv := nodeOf[v]; cv != cu {
+				edges = append(edges, graph.Edge{U: cu, V: cv})
+			}
+		}
+	}
+	d := &DAG{
+		G:      graph.BuildDirected(len(members), edges),
+		NodeOf: nodeOf, Members: members,
+	}
+	d.computeTopoOrder()
+	return d
+}
+
+// NumNodes returns the number of condensation nodes (SCCs).
+func (d *DAG) NumNodes() int { return d.G.NumVertices() }
+
+// computeTopoOrder runs Kahn's algorithm; a leftover vertex would mean a
+// cycle, which is impossible for a correct condensation (checked anyway).
+func (d *DAG) computeTopoOrder() {
+	n := d.G.NumVertices()
+	indeg := make([]int32, n)
+	for u := 0; u < n; u++ {
+		indeg[u] = int32(d.G.InDegree(graph.V(u)))
+	}
+	queue := make([]uint32, 0, n)
+	for u := 0; u < n; u++ {
+		if indeg[u] == 0 {
+			queue = append(queue, uint32(u))
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range d.G.Out(graph.V(u)) {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, uint32(v))
+			}
+		}
+	}
+	if len(queue) != n {
+		panic(fmt.Sprintf("condense: condensation has a cycle (%d of %d ordered)", len(queue), n))
+	}
+	d.order = queue
+	d.pos = make([]int32, n)
+	for i, u := range queue {
+		d.pos[u] = int32(i)
+	}
+}
+
+// TopoOrder returns a topological order of the condensation nodes.
+func (d *DAG) TopoOrder() []uint32 { return d.order }
+
+// TopoSortVertices returns the original vertices in an order consistent with
+// reachability between distinct SCCs (vertices of one SCC appear
+// consecutively).
+func (d *DAG) TopoSortVertices() []graph.V {
+	out := make([]graph.V, 0, len(d.NodeOf))
+	for _, node := range d.order {
+		out = append(out, d.Members[node]...)
+	}
+	return out
+}
+
+// buildClosure computes per-node reachability bitsets in reverse topological
+// order: reach(u) = {u} ∪ ⋃ reach(successors).
+func (d *DAG) buildClosure() {
+	n := d.G.NumVertices()
+	words := (n + 63) / 64
+	d.closure = make([][]uint64, n)
+	for i := len(d.order) - 1; i >= 0; i-- {
+		u := d.order[i]
+		row := make([]uint64, words)
+		row[u/64] |= 1 << (u % 64)
+		for _, v := range d.G.Out(graph.V(u)) {
+			for w, bits := range d.closure[v] {
+				row[w] |= bits
+			}
+		}
+		d.closure[u] = row
+	}
+}
+
+// Reachable reports whether original vertex u can reach original vertex v.
+// The first call builds the transitive closure of the condensation
+// (O(SCCs²/64 + SCC-edges·SCCs/64)); later calls are O(1).
+func (d *DAG) Reachable(u, v graph.V) bool {
+	cu, cv := d.NodeOf[u], d.NodeOf[v]
+	if cu == cv {
+		return true
+	}
+	// Cheap pre-filter: reachability respects topological order.
+	if d.pos[cu] > d.pos[cv] {
+		return false
+	}
+	if d.closure == nil {
+		d.buildClosure()
+	}
+	return d.closure[cu][cv/64]&(1<<(cv%64)) != 0
+}

@@ -1,0 +1,137 @@
+package condense
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aquila/internal/baseline/serialdfs"
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+	"aquila/internal/scc"
+)
+
+func serialReachable(g *graph.Directed, u, v graph.V) bool {
+	seen := make([]bool, g.NumVertices())
+	seen[u] = true
+	queue := []graph.V{u}
+	for head := 0; head < len(queue); head++ {
+		x := queue[head]
+		if x == v {
+			return true
+		}
+		for _, y := range g.Out(x) {
+			if !seen[y] {
+				seen[y] = true
+				queue = append(queue, y)
+			}
+		}
+	}
+	return seen[v]
+}
+
+func TestBuildPaperExample(t *testing.T) {
+	g := gen.PaperExample()
+	d := Build(g, scc.Options{Threads: 2})
+	if d.NumNodes() != 6 {
+		t.Fatalf("NumNodes = %d, want 6 SCCs", d.NumNodes())
+	}
+	// Members partition the vertices.
+	seen := make([]bool, g.NumVertices())
+	for _, ms := range d.Members {
+		for _, v := range ms {
+			if seen[v] {
+				t.Fatalf("vertex %d in two nodes", v)
+			}
+			seen[v] = true
+		}
+	}
+	for v, s := range seen {
+		if !s {
+			t.Errorf("vertex %d in no node", v)
+		}
+	}
+}
+
+func TestCondensationIsDAGAndTopoOrdered(t *testing.T) {
+	for seed := uint64(70); seed < 76; seed++ {
+		g := gen.Random(120, 400, seed)
+		d := Build(g, scc.Options{Threads: 2})
+		// Every condensation edge goes forward in topological order.
+		for u := 0; u < d.NumNodes(); u++ {
+			for _, v := range d.G.Out(graph.V(u)) {
+				if d.pos[u] >= d.pos[v] {
+					t.Fatalf("seed %d: edge %d->%d violates topo order", seed, u, v)
+				}
+			}
+		}
+		if len(d.TopoOrder()) != d.NumNodes() {
+			t.Fatalf("seed %d: topo order incomplete", seed)
+		}
+	}
+}
+
+func TestTopoSortVertices(t *testing.T) {
+	g := gen.PaperExample()
+	d := Build(g, scc.Options{})
+	order := d.TopoSortVertices()
+	if len(order) != g.NumVertices() {
+		t.Fatalf("order covers %d vertices, want %d", len(order), g.NumVertices())
+	}
+	pos := make(map[graph.V]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	// Cross-SCC edges must point forward.
+	labels := serialdfs.SCC(g)
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, v := range g.Out(graph.V(u)) {
+			if labels[u] != labels[v] && pos[graph.V(u)] > pos[v] {
+				t.Errorf("cross-SCC edge %d->%d points backward", u, v)
+			}
+		}
+	}
+}
+
+func TestReachableMatchesBFS(t *testing.T) {
+	g := gen.Random(80, 200, 77)
+	d := Build(g, scc.Options{})
+	rng := gen.NewRNG(99)
+	for i := 0; i < 300; i++ {
+		u := graph.V(rng.Intn(80))
+		v := graph.V(rng.Intn(80))
+		want := serialReachable(g, u, v)
+		if got := d.Reachable(u, v); got != want {
+			t.Fatalf("Reachable(%d,%d) = %v, want %v", u, v, got, want)
+		}
+	}
+}
+
+func TestReachableWithinSCC(t *testing.T) {
+	g := graph.BuildDirected(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	d := Build(g, scc.Options{})
+	for u := graph.V(0); u < 3; u++ {
+		for v := graph.V(0); v < 3; v++ {
+			if !d.Reachable(u, v) {
+				t.Errorf("cycle members must reach each other: %d->%d", u, v)
+			}
+		}
+	}
+}
+
+// Property: on arbitrary digraphs, Reachable agrees with plain BFS.
+func TestReachableProperty(t *testing.T) {
+	f := func(raw []uint16, a, b uint8) bool {
+		const n = 24
+		edges := make([]graph.Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, graph.Edge{U: graph.V(raw[i] % n), V: graph.V(raw[i+1] % n)})
+		}
+		g := graph.BuildDirected(n, edges)
+		d := Build(g, scc.Options{})
+		u, v := graph.V(a%n), graph.V(b%n)
+		return d.Reachable(u, v) == serialReachable(g, u, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,90 @@
+// Package kcore implements k-core decomposition — the natural generalization
+// of the pendant trim at the heart of Aquila's BiCC/BgCC workload reduction
+// (iterated removal of degree-1 vertices is exactly the 2-core peel), and the
+// direction the paper's §8 points to for k-connectivity extensions.
+//
+// The decomposition assigns every vertex its coreness: the largest k such
+// that the vertex survives in the k-core (the maximal subgraph of minimum
+// degree ≥ k). Computed with the linear-time bucket peel of Batagelj–Zaveršnik.
+package kcore
+
+import "aquila/internal/graph"
+
+// Result of a k-core decomposition.
+type Result struct {
+	// Coreness[v] is the largest k with v in the k-core (0 for isolated).
+	Coreness []int32
+	// MaxCore is the degeneracy of the graph.
+	MaxCore int32
+}
+
+// Decompose computes the coreness of every vertex.
+func Decompose(g *graph.Undirected) *Result {
+	n := g.NumVertices()
+	res := &Result{Coreness: make([]int32, n)}
+	if n == 0 {
+		return res
+	}
+	deg := make([]int32, n)
+	maxDeg := int32(0)
+	for v := 0; v < n; v++ {
+		deg[v] = int32(g.Degree(graph.V(v)))
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// Bucket sort vertices by degree.
+	binStart := make([]int32, maxDeg+2)
+	for _, d := range deg {
+		binStart[d+1]++
+	}
+	for d := int32(1); d <= maxDeg+1; d++ {
+		binStart[d] += binStart[d-1]
+	}
+	pos := make([]int32, n)    // position of vertex in vert
+	vert := make([]graph.V, n) // vertices sorted by current degree
+	cursor := make([]int32, maxDeg+1)
+	copy(cursor, binStart[:maxDeg+1])
+	for v := 0; v < n; v++ {
+		pos[v] = cursor[deg[v]]
+		vert[pos[v]] = graph.V(v)
+		cursor[deg[v]]++
+	}
+	// binStart[d] is now the first index of the degree-d region in vert.
+
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		res.Coreness[v] = deg[v]
+		if deg[v] > res.MaxCore {
+			res.MaxCore = deg[v]
+		}
+		for _, u := range g.Neighbors(v) {
+			if deg[u] <= deg[v] {
+				continue // already peeled or tied at the current level
+			}
+			// Move u one bucket down: swap it with the first vertex of its
+			// current degree region, then shrink that region.
+			du := deg[u]
+			pu := pos[u]
+			pw := binStart[du]
+			w := vert[pw]
+			if u != w {
+				vert[pu], vert[pw] = w, u
+				pos[u], pos[w] = pw, pu
+			}
+			binStart[du]++
+			deg[u]--
+		}
+	}
+	return res
+}
+
+// Core returns the vertex set of the k-core as a boolean mask.
+func Core(g *graph.Undirected, k int32) []bool {
+	res := Decompose(g)
+	in := make([]bool, g.NumVertices())
+	for v, c := range res.Coreness {
+		in[v] = c >= k
+	}
+	return in
+}

@@ -1,0 +1,139 @@
+package kcore
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+	"aquila/internal/trim"
+)
+
+// naiveCore computes the k-core by repeated scanning — the oracle.
+func naiveCore(g *graph.Undirected, k int32) []bool {
+	n := g.NumVertices()
+	in := make([]bool, n)
+	deg := make([]int32, n)
+	for v := 0; v < n; v++ {
+		in[v] = true
+		deg[v] = int32(g.Degree(graph.V(v)))
+	}
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < n; v++ {
+			if in[v] && deg[v] < k {
+				in[v] = false
+				changed = true
+				for _, u := range g.Neighbors(graph.V(v)) {
+					if in[u] {
+						deg[u]--
+					}
+				}
+			}
+		}
+	}
+	return in
+}
+
+func TestDecomposeKnownShapes(t *testing.T) {
+	// Clique K5: coreness 4 everywhere.
+	for _, c := range Decompose(gen.Complete(5)).Coreness {
+		if c != 4 {
+			t.Errorf("K5 coreness = %d, want 4", c)
+		}
+	}
+	// Cycle: coreness 2.
+	for _, c := range Decompose(gen.Cycle(8)).Coreness {
+		if c != 2 {
+			t.Errorf("cycle coreness = %d, want 2", c)
+		}
+	}
+	// Path: coreness 1.
+	for _, c := range Decompose(gen.Path(8)).Coreness {
+		if c != 1 {
+			t.Errorf("path coreness = %d, want 1", c)
+		}
+	}
+	// Star: center and leaves all coreness 1.
+	res := Decompose(gen.Star(9))
+	for v, c := range res.Coreness {
+		if c != 1 {
+			t.Errorf("star coreness[%d] = %d, want 1", v, c)
+		}
+	}
+	// Isolated vertices: coreness 0.
+	g := graph.BuildUndirected(3, []graph.Edge{{U: 0, V: 1}})
+	if Decompose(g).Coreness[2] != 0 {
+		t.Errorf("isolated vertex coreness != 0")
+	}
+}
+
+func TestCoreMatchesNaive(t *testing.T) {
+	for seed := uint64(90); seed < 96; seed++ {
+		g := gen.RandomUndirected(120, 300, seed)
+		for k := int32(1); k <= 5; k++ {
+			got := Core(g, k)
+			want := naiveCore(g, k)
+			for v := range got {
+				if got[v] != want[v] {
+					t.Fatalf("seed %d k=%d: Core[%d] = %v, want %v", seed, k, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+// Test2CoreEqualsPendantTrimSurvivors: the k=2 core is exactly the vertex set
+// that survives the BiCC/BgCC pendant trim plus loses the degree-0 leftovers.
+func Test2CoreEqualsPendantTrimSurvivors(t *testing.T) {
+	g := graph.Undirect(gen.Social(gen.SocialConfig{
+		GiantVertices: 400, GiantAvgDeg: 4,
+		SmallComps: 30, SmallMaxSize: 8, Isolated: 10,
+		MutualFrac: 0.3, Seed: 97,
+	}))
+	pend := trim.Pendants(g)
+	core2 := Core(g, 2)
+	// A vertex is in the 2-core iff it survived the peel with degree >= 2.
+	deg := make([]int, g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		if pend.Removed[v] {
+			continue
+		}
+		for _, u := range g.Neighbors(graph.V(v)) {
+			if !pend.Removed[u] {
+				deg[v]++
+			}
+		}
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		want := !pend.Removed[v] && deg[v] >= 2
+		if core2[v] != want {
+			t.Fatalf("vertex %d: 2-core %v, pendant-trim survivor %v", v, core2[v], want)
+		}
+	}
+}
+
+// Property: coreness is correct for every k simultaneously.
+func TestCorenessProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const n = 40
+		edges := make([]graph.Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, graph.Edge{U: graph.V(raw[i] % n), V: graph.V(raw[i+1] % n)})
+		}
+		g := graph.BuildUndirected(n, edges)
+		res := Decompose(g)
+		for k := int32(1); k <= res.MaxCore; k++ {
+			want := naiveCore(g, k)
+			for v := 0; v < n; v++ {
+				if (res.Coreness[v] >= k) != want[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,272 @@
+// Package baseline_test cross-validates every comparator implementation
+// against the serial ground truth on a shared workload suite — the same
+// correctness bar the core Aquila algorithms are held to.
+package baseline_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"aquila/internal/baseline/galois"
+	"aquila/internal/baseline/graphchi"
+	"aquila/internal/baseline/hong"
+	"aquila/internal/baseline/ispan"
+	"aquila/internal/baseline/ligra"
+	"aquila/internal/baseline/multistep"
+	"aquila/internal/baseline/serialdfs"
+	"aquila/internal/baseline/slota"
+	"aquila/internal/baseline/xstream"
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+	"aquila/internal/verify"
+)
+
+func directedSuite() map[string]*graph.Directed {
+	return map[string]*graph.Directed{
+		"paper":  gen.PaperExample(),
+		"random": gen.Random(150, 450, 61),
+		"rmat":   gen.RMAT(8, 6, 62),
+		"social": gen.Social(gen.SocialConfig{GiantVertices: 300, GiantAvgDeg: 4, SmallComps: 15, SmallMaxSize: 4, Isolated: 8, MutualFrac: 0.5, Seed: 63}),
+		"dag":    graph.BuildDirected(6, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}, {U: 4, V: 5}, {U: 0, V: 5}}),
+	}
+}
+
+func undirectedSuite() map[string]*graph.Undirected {
+	out := make(map[string]*graph.Undirected)
+	for name, d := range directedSuite() {
+		out[name] = graph.Undirect(d)
+	}
+	out["path"] = gen.Path(30)
+	out["cycle"] = gen.Cycle(21)
+	out["barbell"] = gen.BarbellWithBridge(5)
+	out["star"] = gen.Star(14)
+	return out
+}
+
+func TestXStreamCC(t *testing.T) {
+	for name, d := range directedSuite() {
+		e := xstream.New(d, 3)
+		want := serialdfs.WCC(d)
+		if err := verify.SamePartition(e.CC(), want); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestXStreamSCC(t *testing.T) {
+	for name, d := range directedSuite() {
+		if name == "social" {
+			continue // hundreds of SCCs: X-Stream's per-SCC full streams are the "-" cell of Table 2
+		}
+		e := xstream.New(d, 3)
+		if err := verify.SamePartition(e.SCC(), serialdfs.SCC(d)); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestGraphChiCC(t *testing.T) {
+	for name, d := range directedSuite() {
+		e := graphchi.New(d, 3, 4)
+		want := serialdfs.WCC(d)
+		if err := verify.SamePartition(e.CCLabelProp(), want); err != nil {
+			t.Errorf("%s LP: %v", name, err)
+		}
+		if err := verify.SamePartition(e.CCUnionFind(), want); err != nil {
+			t.Errorf("%s UF: %v", name, err)
+		}
+	}
+}
+
+func TestGraphChiSCC(t *testing.T) {
+	for name, d := range directedSuite() {
+		if name == "social" {
+			continue // same "-" behaviour as X-Stream on many-SCC graphs
+		}
+		e := graphchi.New(d, 2, 4)
+		if err := verify.SamePartition(e.SCC(), serialdfs.SCC(d)); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestLigraCC(t *testing.T) {
+	for name, g := range undirectedSuite() {
+		f := ligra.New(g, 3)
+		want := serialdfs.CC(g)
+		if err := verify.SamePartition(f.CCLabelProp(), want); err != nil {
+			t.Errorf("%s LP: %v", name, err)
+		}
+		if err := verify.SamePartition(f.CCShortcut(), want); err != nil {
+			t.Errorf("%s SC: %v", name, err)
+		}
+	}
+}
+
+func TestLigraFrameworkPrimitives(t *testing.T) {
+	g := gen.Path(10)
+	f := ligra.New(g, 2)
+	frontier := ligra.NewSubset(10, 0)
+	visited := make([]uint32, 10)
+	visited[0] = 1
+	// BFS via EdgeMap: 9 rounds to cross a 10-path.
+	rounds := 0
+	for !frontier.IsEmpty() {
+		frontier = f.EdgeMap(frontier, nil, func(u, v graph.V) bool {
+			return ligraCAS(&visited[v])
+		})
+		rounds++
+	}
+	for v, s := range visited {
+		if s != 1 {
+			t.Errorf("vertex %d unvisited", v)
+		}
+	}
+	if rounds != 10 {
+		t.Errorf("rounds = %d, want 10 (9 expansions + 1 empty)", rounds)
+	}
+	// VertexMap over All.
+	count := int64(0)
+	f.VertexMap(ligra.All(10), func(graph.V) { addI64(&count, 1) })
+	if count != 10 {
+		t.Errorf("VertexMap visited %d, want 10", count)
+	}
+}
+
+func TestGaloisCC(t *testing.T) {
+	for name, g := range undirectedSuite() {
+		e := galois.New(g, 4)
+		want := serialdfs.CC(g)
+		if err := verify.SamePartition(e.CCAsync(), want); err != nil {
+			t.Errorf("%s async: %v", name, err)
+		}
+		if err := verify.SamePartition(e.CCLabelProp(), want); err != nil {
+			t.Errorf("%s LP: %v", name, err)
+		}
+	}
+}
+
+func TestMultistepCCAndSCC(t *testing.T) {
+	e := multistep.New(3)
+	for name, g := range undirectedSuite() {
+		if err := verify.SamePartition(e.CC(g), serialdfs.CC(g)); err != nil {
+			t.Errorf("%s CC: %v", name, err)
+		}
+	}
+	for name, d := range directedSuite() {
+		if err := verify.SamePartition(e.SCC(d), serialdfs.SCC(d)); err != nil {
+			t.Errorf("%s SCC: %v", name, err)
+		}
+	}
+}
+
+func TestMultistepSerialTailCutoff(t *testing.T) {
+	// Force the serial tail to cover everything after the giant SCC.
+	e := multistep.New(2)
+	e.SerialCutoff = 1 << 30
+	d := directedSuite()["random"]
+	if err := verify.SamePartition(e.SCC(d), serialdfs.SCC(d)); err != nil {
+		t.Errorf("giant cutoff: %v", err)
+	}
+	e.SerialCutoff = 0 // never use the serial tail
+	if err := verify.SamePartition(e.SCC(d), serialdfs.SCC(d)); err != nil {
+		t.Errorf("zero cutoff: %v", err)
+	}
+}
+
+func TestHongSCC(t *testing.T) {
+	e := hong.New(3)
+	for name, d := range directedSuite() {
+		if err := verify.SamePartition(e.SCC(d), serialdfs.SCC(d)); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestISpanSCC(t *testing.T) {
+	e := ispan.New(3)
+	for name, d := range directedSuite() {
+		if err := verify.SamePartition(e.SCC(d), serialdfs.SCC(d)); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestSlotaBFSBiCC(t *testing.T) {
+	for name, g := range undirectedSuite() {
+		truth := serialdfs.BiCC(g)
+		res := slota.BiCCBFS(g, 3)
+		if err := verify.SameBoolSet(res.IsAP, truth.IsAP, name+" APs"); err != nil {
+			t.Errorf("%v", err)
+		}
+		if res.NumBlocks != truth.NumBlocks {
+			t.Errorf("%s: NumBlocks = %d, want %d", name, res.NumBlocks, truth.NumBlocks)
+		}
+		if err := verify.SameEdgePartition(res.BlockOf, truth.BlockOf); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestSlotaLPBiCC(t *testing.T) {
+	for name, g := range undirectedSuite() {
+		truth := serialdfs.BiCC(g)
+		res := slota.BiCCLP(g, 3)
+		if err := verify.SameBoolSet(res.IsAP, truth.IsAP, name+" APs"); err != nil {
+			t.Errorf("%v", err)
+		}
+		if res.NumBlocks != truth.NumBlocks {
+			t.Errorf("%s: NumBlocks = %d, want %d", name, res.NumBlocks, truth.NumBlocks)
+		}
+		if err := verify.SameEdgePartition(res.BlockOf, truth.BlockOf); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if err := verify.BridgeSetEqual(slota.BridgesLP(g, 3), serialdfs.Bridges(g)); err != nil {
+			t.Errorf("%s bridges: %v", name, err)
+		}
+	}
+}
+
+func TestSlotaBFSRunsFullWorkload(t *testing.T) {
+	// Slota_BFS must run one check per non-root vertex (minus region-marked
+	// skips) — i.e. far more than Aquila's reduced workload.
+	g := undirectedSuite()["social"]
+	res := slota.BiCCBFS(g, 2)
+	if res.ChecksRun == 0 {
+		t.Fatalf("no checks recorded")
+	}
+	if res.ChecksRun < g.NumVertices()/2 {
+		t.Errorf("ChecksRun = %d suspiciously low for a no-SPO baseline (n=%d)",
+			res.ChecksRun, g.NumVertices())
+	}
+}
+
+func ligraCAS(addr *uint32) bool { return atomic.CompareAndSwapUint32(addr, 0, 1) }
+
+func addI64(addr *int64, d int64) { atomic.AddInt64(addr, d) }
+
+// Property test: Slota LP (the most intricate baseline) against the oracle on
+// random graphs.
+func TestSlotaLPProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const n = 28
+		edges := make([]graph.Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, graph.Edge{U: graph.V(raw[i] % n), V: graph.V(raw[i+1] % n)})
+		}
+		g := graph.BuildUndirected(n, edges)
+		truth := serialdfs.BiCC(g)
+		res := slota.BiCCLP(g, 2)
+		if verify.SameBoolSet(res.IsAP, truth.IsAP, "aps") != nil {
+			return false
+		}
+		if res.NumBlocks != truth.NumBlocks {
+			return false
+		}
+		return verify.SameEdgePartition(res.BlockOf, truth.BlockOf) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

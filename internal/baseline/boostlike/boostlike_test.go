@@ -1,0 +1,114 @@
+package boostlike
+
+import (
+	"testing"
+
+	"aquila/internal/baseline/serialdfs"
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+	"aquila/internal/verify"
+)
+
+func undirectedSuite() map[string]*graph.Undirected {
+	return map[string]*graph.Undirected{
+		"paper":   gen.PaperExampleUndirected(),
+		"path":    gen.Path(25),
+		"cycle":   gen.Cycle(17),
+		"star":    gen.Star(9),
+		"barbell": gen.BarbellWithBridge(4),
+		"random":  gen.RandomUndirected(120, 240, 51),
+		"sparse":  gen.RandomUndirected(150, 110, 52),
+	}
+}
+
+func TestCCMatchesOracle(t *testing.T) {
+	for name, g := range undirectedSuite() {
+		if err := verify.SamePartition(CC(g), serialdfs.CC(g)); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestSCCMatchesOracle(t *testing.T) {
+	graphs := map[string]*graph.Directed{
+		"paper":  gen.PaperExample(),
+		"random": gen.Random(120, 360, 53),
+		"rmat":   gen.RMAT(8, 6, 54),
+		"dag":    graph.BuildDirected(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}}),
+	}
+	for name, g := range graphs {
+		if err := verify.SamePartition(SCC(g), serialdfs.SCC(g)); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestBiCCMatchesOracle(t *testing.T) {
+	for name, g := range undirectedSuite() {
+		truth := serialdfs.BiCC(g)
+		res := BiCC(g)
+		if err := verify.SameBoolSet(res.IsAP, truth.IsAP, name+" APs"); err != nil {
+			t.Errorf("%v", err)
+		}
+		if res.NumBlocks != truth.NumBlocks {
+			t.Errorf("%s: NumBlocks = %d, want %d", name, res.NumBlocks, truth.NumBlocks)
+		}
+		if err := verify.SameEdgePartition(res.BlockOf, truth.BlockOf); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestBridgesAndBgCCMatchOracle(t *testing.T) {
+	for name, g := range undirectedSuite() {
+		if err := verify.BridgeSetEqual(Bridges(g), serialdfs.Bridges(g)); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if err := verify.SamePartition(BgCC(g), serialdfs.BgCC(g)); err != nil {
+			t.Errorf("%s BgCC: %v", name, err)
+		}
+	}
+}
+
+// TestVisitorEventOrder pins the DFS event contract the algorithms rely on.
+func TestVisitorEventOrder(t *testing.T) {
+	g := graph.BuildUndirected(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	var events []string
+	rec := &recorder{events: &events}
+	UndirectedDFS(g, rec)
+	// Triangle from 0: discover 0, tree to 1, discover 1, tree to 2,
+	// discover 2, back to 0, finish 2, finish 1, finish 0.
+	want := []string{"start0", "disc0", "tree0-1", "disc1", "tree1-2", "disc2", "back2-0", "fin2", "fin1", "fin0"}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("event[%d] = %s, want %s (all: %v)", i, events[i], want[i], events)
+		}
+	}
+}
+
+type recorder struct {
+	NullVisitor
+	events *[]string
+}
+
+func (r *recorder) StartVertex(v graph.V) { *r.events = append(*r.events, "start"+itoa(v)) }
+func (r *recorder) DiscoverVertex(v graph.V) {
+	*r.events = append(*r.events, "disc"+itoa(v))
+}
+func (r *recorder) TreeEdge(u, v graph.V, _ int64) {
+	*r.events = append(*r.events, "tree"+itoa(u)+"-"+itoa(v))
+}
+func (r *recorder) BackEdge(u, v graph.V, _ int64) {
+	*r.events = append(*r.events, "back"+itoa(u)+"-"+itoa(v))
+}
+func (r *recorder) FinishVertex(v graph.V) { *r.events = append(*r.events, "fin"+itoa(v)) }
+
+func itoa(v graph.V) string {
+	if v < 10 {
+		return string(rune('0' + v))
+	}
+	return "big"
+}

@@ -1,0 +1,112 @@
+// Package galois reproduces the Galois comparator rows of Table 2 (Nguyen et
+// al., SOSP'13). The paper compares against Galois's two fastest CC variants:
+// the asynchronous union-find (Galois_Async) — workers race through edge
+// chunks performing lock-free hook operations with no barriers at all — and
+// the label-propagation variant (Galois_LP), an asynchronous worklist where
+// workers pop vertices, relax their neighborhoods and push the changed ones.
+package galois
+
+import (
+	"runtime"
+	"sync"
+
+	"aquila/internal/graph"
+	"aquila/internal/parallel"
+	"aquila/internal/unionfind"
+)
+
+// Engine bundles the undirected graph with a thread count.
+type Engine struct {
+	g       *graph.Undirected
+	threads int
+}
+
+// New returns an Engine over g.
+func New(g *graph.Undirected, threads int) *Engine {
+	return &Engine{g: g, threads: parallel.Threads(threads)}
+}
+
+// CCAsync is Galois_Async: fully asynchronous concurrent union-find over the
+// edges. There is exactly one pass and no synchronization beyond the CAS
+// hooks themselves.
+func (e *Engine) CCAsync() []uint32 {
+	uf := unionfind.NewConcurrent(e.g.NumVertices())
+	parallel.ForChunksDynamic(0, e.g.NumVertices(), e.threads, 256, func(lo, hi, _ int) {
+		for u := lo; u < hi; u++ {
+			for _, v := range e.g.Neighbors(graph.V(u)) {
+				if v > graph.V(u) { // each undirected edge once
+					uf.Union(uint32(u), uint32(v))
+				}
+			}
+		}
+	})
+	return uf.Labels()
+}
+
+// CCLabelProp is Galois_LP: asynchronous worklist-driven min-label
+// propagation. Workers pop batches, relax, and push vertices whose label
+// dropped; there are no rounds and no barriers.
+func (e *Engine) CCLabelProp() []uint32 {
+	n := e.g.NumVertices()
+	label := make([]uint32, n)
+	queue := make([]graph.V, n)
+	inQueue := make([]uint32, n)
+	for i := range label {
+		label[i] = uint32(i)
+		queue[i] = graph.V(i)
+		inQueue[i] = 1
+	}
+	var (
+		mu      sync.Mutex
+		pending = int64(n)
+	)
+	parallel.Run(e.threads, func(_ int) {
+		local := make([]graph.V, 0, 256)
+		push := make([]graph.V, 0, 256)
+		for {
+			mu.Lock()
+			if len(queue) == 0 {
+				if parallel.AddI64(&pending, 0) == 0 {
+					mu.Unlock()
+					return
+				}
+				mu.Unlock()
+				runtime.Gosched()
+				continue
+			}
+			take := len(queue)
+			if take > 256 {
+				take = 256
+			}
+			// FIFO order: asynchronous label propagation with LIFO order
+			// thrashes on long chains (deep propagation of non-minimal
+			// labels); FIFO approximates the round order Galois's scheduler
+			// would give this operator.
+			local = append(local[:0], queue[:take]...)
+			queue = queue[take:]
+			mu.Unlock()
+
+			push = push[:0]
+			for _, u := range local {
+				// Clear the membership flag before relaxing, so a
+				// concurrent lowering of u re-enqueues it.
+				parallel.StoreU32(&inQueue[u], 0)
+				lu := parallel.LoadU32(&label[u])
+				for _, v := range e.g.Neighbors(u) {
+					if parallel.MinU32(&label[v], lu) &&
+						parallel.CASU32(&inQueue[v], 0, 1) {
+						push = append(push, v)
+					}
+				}
+				parallel.AddI64(&pending, -1)
+			}
+			if len(push) > 0 {
+				mu.Lock()
+				queue = append(queue, push...)
+				mu.Unlock()
+				parallel.AddI64(&pending, int64(len(push)))
+			}
+		}
+	})
+	return label
+}

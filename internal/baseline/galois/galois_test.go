@@ -1,0 +1,47 @@
+package galois
+
+import (
+	"testing"
+
+	"aquila/internal/baseline/serialdfs"
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+	"aquila/internal/verify"
+)
+
+func TestAsyncAndLPAgreeAcrossThreadCounts(t *testing.T) {
+	g := gen.RandomUndirected(200, 500, 41)
+	want := serialdfs.CC(g)
+	for _, threads := range []int{1, 2, 8} {
+		e := New(g, threads)
+		if err := verify.SamePartition(e.CCAsync(), want); err != nil {
+			t.Errorf("threads=%d async: %v", threads, err)
+		}
+		if err := verify.SamePartition(e.CCLabelProp(), want); err != nil {
+			t.Errorf("threads=%d LP: %v", threads, err)
+		}
+	}
+}
+
+func TestLongChain(t *testing.T) {
+	// The asynchronous worklist's worst shape: a single long path.
+	g := gen.Path(3000)
+	e := New(g, 4)
+	label := e.CCLabelProp()
+	for v, l := range label {
+		if l != 0 {
+			t.Fatalf("chain label[%d] = %d, want 0", v, l)
+		}
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	e := New(graph.BuildUndirected(0, nil), 2)
+	if got := e.CCAsync(); len(got) != 0 {
+		t.Errorf("empty graph labels: %v", got)
+	}
+	e = New(graph.BuildUndirected(1, nil), 2)
+	if got := e.CCLabelProp(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("singleton labels: %v", got)
+	}
+}

@@ -1,0 +1,167 @@
+// Package graphchi reproduces the GraphChi comparator rows of Table 2
+// (Kyrola et al., OSDI'12): vertex-centric computation over shards —
+// intervals of vertices processed one at a time, as the out-of-core design
+// forces — plus the streaming union-find connected-components variant
+// (GraphChi_UF), whose single pass over the edges makes it the fastest
+// baseline on small graphs in the paper's Table 2.
+package graphchi
+
+import (
+	"aquila/internal/graph"
+	"aquila/internal/parallel"
+	"aquila/internal/unionfind"
+)
+
+// Engine schedules vertex-centric updates shard by shard.
+type Engine struct {
+	g       *graph.Directed
+	und     *graph.Undirected
+	threads int
+	shards  int
+}
+
+// New builds an engine over the directed graph (the undirected view is
+// derived once, as GraphChi's preprocessing sharder would).
+func New(g *graph.Directed, threads, shards int) *Engine {
+	if shards < 1 {
+		shards = 8
+	}
+	return &Engine{g: g, und: graph.Undirect(g), threads: parallel.Threads(threads), shards: shards}
+}
+
+// shardRange returns the vertex interval of shard s.
+func (e *Engine) shardRange(s, n int) (int, int) {
+	lo := s * n / e.shards
+	hi := (s + 1) * n / e.shards
+	return lo, hi
+}
+
+// CCLabelProp is GraphChi's label-propagation CC: iterate shard by shard
+// (sequentially across shards, parallel within — the out-of-core execution
+// order), each vertex taking the minimum label of its neighborhood, until a
+// full sweep changes nothing. This is the GraphChi_LP row.
+func (e *Engine) CCLabelProp() []uint32 {
+	n := e.und.NumVertices()
+	label := make([]uint32, n)
+	for i := range label {
+		label[i] = uint32(i)
+	}
+	for {
+		var changed int64
+		for s := 0; s < e.shards; s++ {
+			lo, hi := e.shardRange(s, n)
+			parallel.ForBlocks(lo, hi, e.threads, func(blo, bhi, _ int) {
+				var local int64
+				for v := blo; v < bhi; v++ {
+					best := parallel.LoadU32(&label[v])
+					for _, u := range e.und.Neighbors(graph.V(v)) {
+						if lu := parallel.LoadU32(&label[u]); lu < best {
+							best = lu
+						}
+					}
+					if parallel.MinU32(&label[v], best) {
+						local++
+					}
+				}
+				parallel.AddI64(&changed, local)
+			})
+		}
+		if changed == 0 {
+			return label
+		}
+	}
+}
+
+// CCUnionFind is the GraphChi_UF row: one streaming pass over the edges
+// through a union-find — no iteration at all, which is why it beats every
+// label-propagation system on small graphs (Table 2 discussion in §6.4).
+func (e *Engine) CCUnionFind() []uint32 {
+	uf := unionfind.NewSerial(e.g.NumVertices())
+	for u := 0; u < e.g.NumVertices(); u++ {
+		for _, v := range e.g.Out(graph.V(u)) {
+			uf.Union(uint32(u), uint32(v))
+		}
+	}
+	return uf.Labels()
+}
+
+// SCC is GraphChi's strongly-connected-components app: forward–backward
+// label propagation executed shard-sequentially, with no trimming (the §6.4
+// discussion notes the missing trim is why it struggles on graphs with many
+// SCCs). Vertices propagate a forward color and a backward color from the
+// current pivot; the intersection is peeled, and the process repeats.
+func (e *Engine) SCC() []uint32 {
+	n := e.g.NumVertices()
+	label := make([]uint32, n)
+	for i := range label {
+		label[i] = graph.NoVertex
+	}
+	fw := make([]uint32, n)
+	bw := make([]uint32, n)
+	for {
+		pivot := -1
+		for v := 0; v < n; v++ {
+			if label[v] == graph.NoVertex {
+				pivot = v
+				break
+			}
+		}
+		if pivot < 0 {
+			return label
+		}
+		e.reachShardwise(fw, uint32(pivot), label, false)
+		e.reachShardwise(bw, uint32(pivot), label, true)
+		minID := uint32(pivot)
+		for v := 0; v < n; v++ {
+			if fw[v] == 1 && bw[v] == 1 && uint32(v) < minID {
+				minID = uint32(v)
+			}
+		}
+		for v := 0; v < n; v++ {
+			if fw[v] == 1 && bw[v] == 1 {
+				label[v] = minID
+			}
+		}
+	}
+}
+
+// reachShardwise computes reachability from pivot with shard-sequential
+// vertex-centric pull updates.
+func (e *Engine) reachShardwise(visited []uint32, pivot uint32, label []uint32, backward bool) {
+	n := e.g.NumVertices()
+	for i := range visited {
+		visited[i] = 0
+	}
+	visited[pivot] = 1
+	for {
+		var changed int64
+		for s := 0; s < e.shards; s++ {
+			lo, hi := e.shardRange(s, n)
+			parallel.ForBlocks(lo, hi, e.threads, func(blo, bhi, _ int) {
+				var local int64
+				for v := blo; v < bhi; v++ {
+					if label[v] != graph.NoVertex || parallel.LoadU32(&visited[v]) == 1 {
+						continue
+					}
+					var ns []graph.V
+					if backward {
+						ns = e.g.Out(graph.V(v)) // pull from successors
+					} else {
+						ns = e.g.In(graph.V(v)) // pull from predecessors
+					}
+					for _, u := range ns {
+						if label[u] == graph.NoVertex && parallel.LoadU32(&visited[u]) == 1 {
+							parallel.StoreU32(&visited[v], 1)
+							local++
+							break
+						}
+					}
+				}
+				parallel.AddI64(&changed, local)
+			})
+		}
+		if changed == 0 {
+			return
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package graphchi
+
+import (
+	"testing"
+
+	"aquila/internal/baseline/serialdfs"
+	"aquila/internal/gen"
+	"aquila/internal/verify"
+)
+
+func TestShardCountsAllAgree(t *testing.T) {
+	g := gen.Random(120, 350, 7)
+	want := serialdfs.WCC(g)
+	for _, shards := range []int{1, 2, 8, 64, 200} {
+		e := New(g, 2, shards)
+		if err := verify.SamePartition(e.CCLabelProp(), want); err != nil {
+			t.Errorf("shards=%d LP: %v", shards, err)
+		}
+		if err := verify.SamePartition(e.CCUnionFind(), want); err != nil {
+			t.Errorf("shards=%d UF: %v", shards, err)
+		}
+	}
+}
+
+func TestDefaultShardCount(t *testing.T) {
+	g := gen.Random(30, 60, 8)
+	e := New(g, 1, 0) // 0 must fall back to a sane default
+	if e.shards < 1 {
+		t.Fatalf("shards = %d", e.shards)
+	}
+	if err := verify.SamePartition(e.CCLabelProp(), serialdfs.WCC(g)); err != nil {
+		t.Errorf("%v", err)
+	}
+}
+
+func TestSCCWithShards(t *testing.T) {
+	g := gen.Random(50, 200, 9)
+	e := New(g, 2, 4)
+	if err := verify.SamePartition(e.SCC(), serialdfs.SCC(g)); err != nil {
+		t.Errorf("%v", err)
+	}
+}

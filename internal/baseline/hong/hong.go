@@ -1,0 +1,208 @@
+// Package hong reproduces the Hong comparator row of Table 2 (Hong, Rodia,
+// Olukotun — SC'13): trim-1 plus their trim-2 for size-2 SCCs, one FW-BW
+// sweep for the giant SCC, then the WCC-guided phase — partition the
+// remainder into weakly connected components and recurse FW-BW inside each
+// partition independently (task-parallel), which is where the method gets
+// its edge on small-world graphs.
+package hong
+
+import (
+	"aquila/internal/bfs"
+	"aquila/internal/graph"
+	"aquila/internal/parallel"
+	"aquila/internal/trim"
+)
+
+// Engine holds the execution parameters.
+type Engine struct {
+	threads int
+}
+
+// New returns an Engine with the given thread count.
+func New(threads int) *Engine {
+	return &Engine{threads: parallel.Threads(threads)}
+}
+
+// SCC computes strongly connected components with the Hong method.
+func (e *Engine) SCC(g *graph.Directed) []uint32 {
+	n := g.NumVertices()
+	label := make([]uint32, n)
+	for i := range label {
+		label[i] = graph.NoVertex
+	}
+	if n == 0 {
+		return label
+	}
+	// Phase 1: trims + giant FW-BW.
+	trim.SCCSize1(g, label, e.threads)
+	trim.SCCSize2(g, label, e.threads)
+	pivot := maxLive(g, label)
+	if pivot != graph.NoVertex {
+		unassigned := func(v graph.V) bool { return label[v] == graph.NoVertex }
+		fw := bfs.EnhancedReach(bfs.ForwardAdj(g), pivot, unassigned, bfs.Options{Threads: e.threads}, bfs.ModeDirOpt)
+		bw := bfs.EnhancedReach(bfs.BackwardAdj(g), pivot, unassigned, bfs.Options{Threads: e.threads}, bfs.ModeDirOpt)
+		assignIntersection(n, fw.Get, bw.Get, label)
+	}
+	trim.SCCSize1(g, label, e.threads)
+
+	// Phase 2: WCC partition of the live remainder; FW-BW recursion runs
+	// independently inside each WCC (they cannot share SCCs).
+	wcc := liveWCC(g, label)
+	buckets := make(map[uint32][]graph.V)
+	for v := 0; v < n; v++ {
+		if label[v] == graph.NoVertex {
+			buckets[wcc[v]] = append(buckets[wcc[v]], graph.V(v))
+		}
+	}
+	parts := make([][]graph.V, 0, len(buckets))
+	for _, part := range buckets {
+		parts = append(parts, part)
+	}
+	parallel.ForChunksDynamic(0, len(parts), e.threads, 1, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			e.fwbwSerial(g, parts[i], label)
+		}
+	})
+	return label
+}
+
+// fwbwSerial runs the recursive FW-BW decomposition of one partition with a
+// serial worklist (partitions are small after the giant SCC is gone).
+func (e *Engine) fwbwSerial(g *graph.Directed, part []graph.V, label []uint32) {
+	work := [][]graph.V{part}
+	var fwSet, bwSet map[graph.V]bool
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		// Drop already-settled vertices.
+		live := cur[:0]
+		for _, v := range cur {
+			if label[v] == graph.NoVertex {
+				live = append(live, v)
+			}
+		}
+		if len(live) == 0 {
+			continue
+		}
+		pivot := live[0]
+		member := make(map[graph.V]bool, len(live))
+		for _, v := range live {
+			member[v] = true
+		}
+		fwSet = reachWithin(g, pivot, member, label, false)
+		bwSet = reachWithin(g, pivot, member, label, true)
+		// SCC = fw ∩ bw; canonical min label.
+		minID := uint32(pivot)
+		for v := range fwSet {
+			if bwSet[v] && uint32(v) < minID {
+				minID = uint32(v)
+			}
+		}
+		var rest1, rest2, rest3 []graph.V
+		for _, v := range live {
+			switch {
+			case fwSet[v] && bwSet[v]:
+				label[v] = minID
+			case fwSet[v]:
+				rest1 = append(rest1, v)
+			case bwSet[v]:
+				rest2 = append(rest2, v)
+			default:
+				rest3 = append(rest3, v)
+			}
+		}
+		for _, r := range [][]graph.V{rest1, rest2, rest3} {
+			if len(r) > 0 {
+				work = append(work, r)
+			}
+		}
+	}
+}
+
+// reachWithin computes reachability from pivot restricted to the member set
+// and to unassigned vertices.
+func reachWithin(g *graph.Directed, pivot graph.V, member map[graph.V]bool, label []uint32, backward bool) map[graph.V]bool {
+	seen := map[graph.V]bool{pivot: true}
+	queue := []graph.V{pivot}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		var ns []graph.V
+		if backward {
+			ns = g.In(u)
+		} else {
+			ns = g.Out(u)
+		}
+		for _, v := range ns {
+			if member[v] && label[v] == graph.NoVertex && !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return seen
+}
+
+// liveWCC labels the weakly connected components of the live subgraph with a
+// serial sweep (the live remainder is small by this phase).
+func liveWCC(g *graph.Directed, label []uint32) []uint32 {
+	n := g.NumVertices()
+	wcc := make([]uint32, n)
+	for i := range wcc {
+		wcc[i] = graph.NoVertex
+	}
+	var stack []graph.V
+	for r := 0; r < n; r++ {
+		if label[r] != graph.NoVertex || wcc[r] != graph.NoVertex {
+			continue
+		}
+		wcc[r] = uint32(r)
+		stack = append(stack[:0], graph.V(r))
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range g.Out(u) {
+				if label[v] == graph.NoVertex && wcc[v] == graph.NoVertex {
+					wcc[v] = uint32(r)
+					stack = append(stack, v)
+				}
+			}
+			for _, v := range g.In(u) {
+				if label[v] == graph.NoVertex && wcc[v] == graph.NoVertex {
+					wcc[v] = uint32(r)
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	return wcc
+}
+
+func assignIntersection(n int, fw, bw func(graph.V) bool, label []uint32) {
+	minID := uint32(graph.NoVertex)
+	for v := 0; v < n; v++ {
+		if fw(graph.V(v)) && bw(graph.V(v)) {
+			minID = uint32(v)
+			break
+		}
+	}
+	for v := 0; v < n; v++ {
+		if fw(graph.V(v)) && bw(graph.V(v)) {
+			label[v] = minID
+		}
+	}
+}
+
+func maxLive(g *graph.Directed, label []uint32) graph.V {
+	best := graph.NoVertex
+	bestDeg := -1
+	for v := 0; v < g.NumVertices(); v++ {
+		if label[v] != graph.NoVertex {
+			continue
+		}
+		if d := g.OutDegree(graph.V(v)) + g.InDegree(graph.V(v)); d > bestDeg {
+			bestDeg = d
+			best = graph.V(v)
+		}
+	}
+	return best
+}

@@ -1,0 +1,139 @@
+// Package ispan reproduces the iSpan comparator row of Table 2 (Ji, Liu,
+// Huang — SC'18): the paper's closest SCC rival. iSpan builds forward and
+// backward spanning trees from the max-degree pivot with relaxed
+// synchronization (no per-level barriers — the same relaxation Aquila adopts
+// in §5.3), applies aggressive iterated size-1/size-2 trims, and finishes the
+// small SCCs with coloring.
+package ispan
+
+import (
+	"aquila/internal/bfs"
+	"aquila/internal/graph"
+	"aquila/internal/lp"
+	"aquila/internal/parallel"
+	"aquila/internal/trim"
+)
+
+// Engine holds the execution parameters.
+type Engine struct {
+	threads int
+}
+
+// New returns an Engine with the given thread count.
+func New(threads int) *Engine {
+	return &Engine{threads: parallel.Threads(threads)}
+}
+
+// SCC computes strongly connected components with the iSpan recipe.
+func (e *Engine) SCC(g *graph.Directed) []uint32 {
+	n := g.NumVertices()
+	label := make([]uint32, n)
+	for i := range label {
+		label[i] = graph.NoVertex
+	}
+	if n == 0 {
+		return label
+	}
+	// Aggressive trimming up front: iterate size-1 and size-2 to fixpoint.
+	for {
+		t := trim.SCCSize1(g, label, e.threads)
+		t += trim.SCCSize2(g, label, e.threads)
+		if t == 0 {
+			break
+		}
+	}
+
+	// Relaxed-synchronization spanning "trees" (reachability sets) from the
+	// max-degree pivot.
+	pivot := maxLive(g, label)
+	if pivot != graph.NoVertex {
+		unassigned := func(v graph.V) bool { return label[v] == graph.NoVertex }
+		fw := bfs.EnhancedReach(bfs.ForwardAdj(g), pivot, unassigned, bfs.Options{Threads: e.threads}, bfs.ModeEnhanced)
+		bw := bfs.EnhancedReach(bfs.BackwardAdj(g), pivot, unassigned, bfs.Options{Threads: e.threads}, bfs.ModeEnhanced)
+		minID := uint32(graph.NoVertex)
+		for v := 0; v < n; v++ {
+			if fw.Get(graph.V(v)) && bw.Get(graph.V(v)) {
+				minID = uint32(v)
+				break
+			}
+		}
+		for v := 0; v < n; v++ {
+			if fw.Get(graph.V(v)) && bw.Get(graph.V(v)) {
+				label[v] = minID
+			}
+		}
+	}
+	trim.SCCSize1(g, label, e.threads)
+
+	// Coloring for the remaining small SCCs (single pass per round, no
+	// re-trim between rounds — that refinement is Aquila's).
+	color := make([]uint32, n)
+	for {
+		live := false
+		for v := 0; v < n; v++ {
+			if label[v] == graph.NoVertex {
+				live = true
+				break
+			}
+		}
+		if !live {
+			return label
+		}
+		for v := 0; v < n; v++ {
+			color[v] = uint32(v)
+		}
+		lp.MaxColorForward(g, color, func(v graph.V) bool { return label[v] == graph.NoVertex }, e.threads)
+		assignByColor(g, color, label, e.threads)
+	}
+}
+
+func assignByColor(g *graph.Directed, color, label []uint32, threads int) {
+	var roots []graph.V
+	for v := 0; v < g.NumVertices(); v++ {
+		if label[v] == graph.NoVertex && color[v] == uint32(v) {
+			roots = append(roots, graph.V(v))
+		}
+	}
+	parallel.ForChunksDynamic(0, len(roots), threads, 1, func(lo, hi, _ int) {
+		queue := make([]graph.V, 0, 64)
+		for i := lo; i < hi; i++ {
+			r := roots[i]
+			c := uint32(r)
+			minID := uint32(r)
+			queue = append(queue[:0], r)
+			label[r] = c
+			for head := 0; head < len(queue); head++ {
+				u := queue[head]
+				for _, w := range g.In(u) {
+					if color[w] == c && label[w] == graph.NoVertex {
+						label[w] = c
+						if uint32(w) < minID {
+							minID = uint32(w)
+						}
+						queue = append(queue, w)
+					}
+				}
+			}
+			if minID != c {
+				for _, u := range queue {
+					label[u] = minID
+				}
+			}
+		}
+	})
+}
+
+func maxLive(g *graph.Directed, label []uint32) graph.V {
+	best := graph.NoVertex
+	bestDeg := -1
+	for v := 0; v < g.NumVertices(); v++ {
+		if label[v] != graph.NoVertex {
+			continue
+		}
+		if d := g.OutDegree(graph.V(v)) + g.InDegree(graph.V(v)); d > bestDeg {
+			bestDeg = d
+			best = graph.V(v)
+		}
+	}
+	return best
+}

@@ -1,0 +1,249 @@
+// Package ligra reproduces the Ligra comparator rows of Table 2 (Shun &
+// Blelloch, PPoPP'13) as a miniature of the framework itself: VertexSubset
+// frontiers with automatic sparse/dense representation switching, and
+// EdgeMap/VertexMap primitives with Ligra's direction optimization. On top of
+// it sit the two CC implementations the paper measures: plain label
+// propagation (Ligra_LP) and shortcut label propagation (Ligra_SC, after
+// Stergiou et al.).
+package ligra
+
+import (
+	"aquila/internal/graph"
+	"aquila/internal/parallel"
+)
+
+// VertexSubset is Ligra's frontier abstraction: a set of vertices stored
+// sparsely (id list) or densely (flag array) depending on size.
+type VertexSubset struct {
+	n      int
+	sparse []graph.V
+	dense  []bool
+	count  int
+}
+
+// NewSubset returns a sparse subset holding the given vertices.
+func NewSubset(n int, vs ...graph.V) *VertexSubset {
+	return &VertexSubset{n: n, sparse: vs, count: len(vs)}
+}
+
+// All returns the full vertex set (dense).
+func All(n int) *VertexSubset {
+	d := make([]bool, n)
+	for i := range d {
+		d[i] = true
+	}
+	return &VertexSubset{n: n, dense: d, count: n}
+}
+
+// Size returns |subset|.
+func (s *VertexSubset) Size() int { return s.count }
+
+// IsEmpty reports whether the subset is empty.
+func (s *VertexSubset) IsEmpty() bool { return s.count == 0 }
+
+// Contains reports membership.
+func (s *VertexSubset) Contains(v graph.V) bool {
+	if s.dense != nil {
+		return s.dense[v]
+	}
+	for _, u := range s.sparse {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// toDense materializes the flag representation.
+func (s *VertexSubset) toDense() {
+	if s.dense != nil {
+		return
+	}
+	s.dense = make([]bool, s.n)
+	for _, v := range s.sparse {
+		s.dense[v] = true
+	}
+}
+
+// vertices iterates the members into a fresh slice.
+func (s *VertexSubset) vertices() []graph.V {
+	if s.dense == nil {
+		return s.sparse
+	}
+	out := make([]graph.V, 0, s.count)
+	for v := 0; v < s.n; v++ {
+		if s.dense[v] {
+			out = append(out, graph.V(v))
+		}
+	}
+	return out
+}
+
+// Framework bundles a graph with the execution parameters.
+type Framework struct {
+	G       *graph.Undirected
+	Threads int
+	// DenseThreshold: EdgeMap switches to the dense (pull) direction when the
+	// frontier's out-degree sum exceeds |E|/denseFactor, Ligra's heuristic.
+	DenseFactor int64
+}
+
+// New returns a Framework over g.
+func New(g *graph.Undirected, threads int) *Framework {
+	return &Framework{G: g, Threads: parallel.Threads(threads), DenseFactor: 20}
+}
+
+// EdgeMap applies update(u,v) over the edges leaving the frontier, returning
+// the subset of targets for which update returned true and cond(v) held
+// beforehand. update must be atomic/idempotent; it may fire several times per
+// target (Ligra's contract). The traversal direction is chosen by frontier
+// density.
+func (f *Framework) EdgeMap(frontier *VertexSubset, cond func(graph.V) bool, update func(u, v graph.V) bool) *VertexSubset {
+	var mf int64
+	for _, u := range frontier.vertices() {
+		mf += int64(f.G.Degree(u))
+	}
+	if mf > 2*f.G.NumEdges()/f.DenseFactor {
+		return f.edgeMapDense(frontier, cond, update)
+	}
+	return f.edgeMapSparse(frontier, cond, update)
+}
+
+func (f *Framework) edgeMapSparse(frontier *VertexSubset, cond func(graph.V) bool, update func(u, v graph.V) bool) *VertexSubset {
+	vs := frontier.vertices()
+	locals := make([][]graph.V, f.Threads)
+	parallel.ForChunksDynamic(0, len(vs), f.Threads, 32, func(lo, hi, w int) {
+		buf := locals[w]
+		for i := lo; i < hi; i++ {
+			u := vs[i]
+			for _, v := range f.G.Neighbors(u) {
+				if cond != nil && !cond(v) {
+					continue
+				}
+				if update(u, v) {
+					buf = append(buf, v)
+				}
+			}
+		}
+		locals[w] = buf
+	})
+	out := &VertexSubset{n: frontier.n}
+	for _, buf := range locals {
+		out.sparse = append(out.sparse, buf...)
+	}
+	out.count = len(out.sparse)
+	return out
+}
+
+func (f *Framework) edgeMapDense(frontier *VertexSubset, cond func(graph.V) bool, update func(u, v graph.V) bool) *VertexSubset {
+	frontier.toDense()
+	n := f.G.NumVertices()
+	out := &VertexSubset{n: n, dense: make([]bool, n)}
+	var count int64
+	parallel.ForBlocks(0, n, f.Threads, func(lo, hi, _ int) {
+		var local int64
+		for v := lo; v < hi; v++ {
+			vv := graph.V(v)
+			if cond != nil && !cond(vv) {
+				continue
+			}
+			for _, u := range f.G.Neighbors(vv) {
+				if !frontier.dense[u] {
+					continue
+				}
+				if update(u, vv) {
+					if !out.dense[v] {
+						out.dense[v] = true
+						local++
+					}
+				}
+			}
+		}
+		parallel.AddI64(&count, local)
+	})
+	out.count = int(count)
+	return out
+}
+
+// VertexMap applies fn to every member of the subset in parallel.
+func (f *Framework) VertexMap(s *VertexSubset, fn func(graph.V)) {
+	vs := s.vertices()
+	parallel.ForDynamic(0, len(vs), f.Threads, 64, func(i int) { fn(vs[i]) })
+}
+
+// CCLabelProp is Ligra's components app (Ligra_LP): frontier-driven min-label
+// propagation starting from all vertices.
+func (f *Framework) CCLabelProp() []uint32 {
+	n := f.G.NumVertices()
+	label := make([]uint32, n)
+	for i := range label {
+		label[i] = uint32(i)
+	}
+	frontier := All(n)
+	for !frontier.IsEmpty() {
+		frontier = f.EdgeMap(frontier, nil, func(u, v graph.V) bool {
+			return parallel.MinU32(&label[v], parallel.LoadU32(&label[u]))
+		})
+		frontier = dedup(frontier)
+	}
+	return label
+}
+
+// CCShortcut is Ligra_SC: label propagation with pointer-jumping shortcuts
+// between rounds (short-cutting label propagation, WSDM'18). Labels converge
+// to the minimum vertex id per component in far fewer rounds on long paths.
+func (f *Framework) CCShortcut() []uint32 {
+	n := f.G.NumVertices()
+	label := make([]uint32, n)
+	for i := range label {
+		label[i] = uint32(i)
+	}
+	frontier := All(n)
+	for !frontier.IsEmpty() {
+		frontier = f.EdgeMap(frontier, nil, func(u, v graph.V) bool {
+			return parallel.MinU32(&label[v], parallel.LoadU32(&label[u]))
+		})
+		frontier = dedup(frontier)
+		// Shortcut: label[v] <- label[label[v]] until stable (pointer jumping
+		// over the label forest).
+		for {
+			var changed int64
+			parallel.ForBlocks(0, n, f.Threads, func(lo, hi, _ int) {
+				var local int64
+				for v := lo; v < hi; v++ {
+					l := parallel.LoadU32(&label[v])
+					ll := parallel.LoadU32(&label[l])
+					if ll < l {
+						if parallel.MinU32(&label[v], ll) {
+							local++
+						}
+					}
+				}
+				parallel.AddI64(&changed, local)
+			})
+			if changed == 0 {
+				break
+			}
+		}
+	}
+	return label
+}
+
+// dedup removes duplicate ids from a sparse subset (EdgeMap may emit a target
+// several times; Ligra calls this remDuplicates).
+func dedup(s *VertexSubset) *VertexSubset {
+	if s.dense != nil || len(s.sparse) < 2 {
+		return s
+	}
+	seen := make(map[graph.V]struct{}, len(s.sparse))
+	out := s.sparse[:0]
+	for _, v := range s.sparse {
+		if _, ok := seen[v]; !ok {
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+	}
+	s.sparse = out
+	s.count = len(out)
+	return s
+}

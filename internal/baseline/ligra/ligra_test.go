@@ -1,0 +1,93 @@
+package ligra
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"aquila/internal/baseline/serialdfs"
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+	"aquila/internal/parallel"
+	"aquila/internal/verify"
+)
+
+func TestVertexSubsetRepresentations(t *testing.T) {
+	s := NewSubset(10, 3, 7)
+	if s.Size() != 2 || !s.Contains(3) || s.Contains(4) {
+		t.Errorf("sparse subset wrong: size=%d", s.Size())
+	}
+	all := All(5)
+	if all.Size() != 5 || !all.Contains(0) || !all.Contains(4) {
+		t.Errorf("All subset wrong")
+	}
+	empty := NewSubset(4)
+	if !empty.IsEmpty() {
+		t.Errorf("empty subset not empty")
+	}
+}
+
+func TestEdgeMapDirectionSwitch(t *testing.T) {
+	// A dense frontier (All) must take the dense path; a single vertex the
+	// sparse path. Both must produce identical reachability on one step.
+	g := gen.Complete(20)
+	f := New(g, 2)
+
+	visitedSparse := make([]uint32, 20)
+	visitedSparse[0] = 1
+	outSparse := f.EdgeMap(NewSubset(20, 0), nil, func(u, v graph.V) bool {
+		return cas(&visitedSparse[v])
+	})
+	if outSparse.Size() != 19 {
+		t.Errorf("sparse step reached %d, want 19", outSparse.Size())
+	}
+
+	visitedDense := make([]uint32, 20)
+	for i := range visitedDense {
+		visitedDense[i] = 1
+	}
+	outDense := f.EdgeMap(All(20), nil, func(u, v graph.V) bool {
+		return false // everything already visited: no output
+	})
+	if !outDense.IsEmpty() {
+		t.Errorf("dense step emitted %d vertices from a no-op update", outDense.Size())
+	}
+}
+
+func TestDenseThresholdHonored(t *testing.T) {
+	g := gen.Complete(16)
+	f := New(g, 1)
+	f.DenseFactor = 1 // never dense: threshold = 2|E|
+	// With a huge frontier this would be wasteful but must stay correct.
+	label := make([]uint32, 16)
+	for i := range label {
+		label[i] = uint32(i)
+	}
+	frontier := All(16)
+	for !frontier.IsEmpty() {
+		frontier = f.EdgeMap(frontier, nil, func(u, v graph.V) bool {
+			return minU32(&label[v], atomic.LoadUint32(&label[u]))
+		})
+		frontier = dedup(frontier)
+	}
+	for _, l := range label {
+		if l != 0 {
+			t.Fatalf("labels did not converge under forced-sparse EdgeMap: %v", label)
+		}
+	}
+}
+
+func TestCCOnDisconnected(t *testing.T) {
+	g := graph.BuildUndirected(7, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}, {U: 3, V: 4}})
+	want := serialdfs.CC(g)
+	f := New(g, 2)
+	if err := verify.SamePartition(f.CCLabelProp(), want); err != nil {
+		t.Errorf("LP: %v", err)
+	}
+	if err := verify.SamePartition(f.CCShortcut(), want); err != nil {
+		t.Errorf("SC: %v", err)
+	}
+}
+
+func cas(addr *uint32) bool { return atomic.CompareAndSwapUint32(addr, 0, 1) }
+
+func minU32(addr *uint32, v uint32) bool { return parallel.MinU32(addr, v) }

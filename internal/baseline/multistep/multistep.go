@@ -1,0 +1,211 @@
+// Package multistep reproduces the Multistep comparator rows of Table 2
+// (Slota, Rajamanickam, Madduri — IPDPS'14): the state-of-the-art pre-Aquila
+// CC method and a strong SCC baseline. The recipe is fixed: size-1 trim, one
+// direction-optimizing parallel BFS (CC) or FW-BW sweep (SCC) from the
+// max-degree pivot, then coloring-based label propagation for the remainder,
+// finishing with a serial Tarjan pass once the live set is small.
+package multistep
+
+import (
+	"aquila/internal/baseline/serialdfs"
+	"aquila/internal/bfs"
+	"aquila/internal/graph"
+	"aquila/internal/lp"
+	"aquila/internal/parallel"
+	"aquila/internal/trim"
+)
+
+// Engine bundles the graph and thread count.
+type Engine struct {
+	threads int
+	// SerialCutoff: when fewer live vertices remain, finish with serial
+	// Tarjan (Multistep's final step). Defaults to 512.
+	SerialCutoff int
+}
+
+// New returns an Engine with the given thread count.
+func New(threads int) *Engine {
+	return &Engine{threads: parallel.Threads(threads), SerialCutoff: 512}
+}
+
+// CC computes connected components: trim-1, one parallel BFS for the giant
+// component, label propagation for the rest. (Multistep's CC skips the
+// size-2 pair trim and the enhanced-BFS machinery Aquila adds.)
+func (e *Engine) CC(g *graph.Undirected) []uint32 {
+	n := g.NumVertices()
+	label := make([]uint32, n)
+	for i := range label {
+		label[i] = graph.NoVertex
+	}
+	if n == 0 {
+		return label
+	}
+	trim.Orphans(g, label, e.threads)
+
+	master := g.MaxDegreeVertex()
+	if label[master] == graph.NoVertex {
+		visited := bfs.EnhancedReach(bfs.UndirectedAdj(g), master,
+			func(v graph.V) bool { return label[v] == graph.NoVertex },
+			bfs.Options{Threads: e.threads}, bfs.ModeDirOpt)
+		minID := uint32(graph.NoVertex)
+		parallel.ForBlocks(0, n, e.threads, func(lo, hi, _ int) {
+			for v := lo; v < hi; v++ {
+				if visited.Get(graph.V(v)) {
+					parallel.MinU32(&minID, uint32(v))
+					break
+				}
+			}
+		})
+		parallel.ForBlocks(0, n, e.threads, func(lo, hi, _ int) {
+			for v := lo; v < hi; v++ {
+				if visited.Get(graph.V(v)) {
+					label[v] = minID
+				}
+			}
+		})
+	}
+
+	active := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if label[v] == graph.NoVertex {
+			active[v] = true
+			label[v] = uint32(v)
+		}
+	}
+	lp.MinLabelCC(g, label, func(v graph.V) bool { return active[v] }, e.threads)
+	return label
+}
+
+// SCC computes strongly connected components: trim-1, FW-BW for the giant
+// SCC, coloring rounds for the rest, serial Tarjan tail below the cutoff.
+func (e *Engine) SCC(g *graph.Directed) []uint32 {
+	n := g.NumVertices()
+	label := make([]uint32, n)
+	for i := range label {
+		label[i] = graph.NoVertex
+	}
+	if n == 0 {
+		return label
+	}
+	trim.SCCSize1(g, label, e.threads)
+
+	// FW-BW from the max-degree live pivot.
+	pivot := maxLive(g, label)
+	if pivot != graph.NoVertex {
+		unassigned := func(v graph.V) bool { return label[v] == graph.NoVertex }
+		fw := bfs.EnhancedReach(bfs.ForwardAdj(g), pivot, unassigned, bfs.Options{Threads: e.threads}, bfs.ModeDirOpt)
+		bw := bfs.EnhancedReach(bfs.BackwardAdj(g), pivot, unassigned, bfs.Options{Threads: e.threads}, bfs.ModeDirOpt)
+		minID := uint32(graph.NoVertex)
+		for v := 0; v < n; v++ {
+			if fw.Get(graph.V(v)) && bw.Get(graph.V(v)) && uint32(v) < minID {
+				minID = uint32(v)
+			}
+		}
+		for v := 0; v < n; v++ {
+			if fw.Get(graph.V(v)) && bw.Get(graph.V(v)) {
+				label[v] = minID
+			}
+		}
+	}
+
+	// Coloring rounds until the serial cutoff.
+	color := make([]uint32, n)
+	for {
+		live := 0
+		for v := 0; v < n; v++ {
+			if label[v] == graph.NoVertex {
+				live++
+			}
+		}
+		if live == 0 {
+			return label
+		}
+		if live <= e.SerialCutoff {
+			e.serialTail(g, label)
+			return label
+		}
+		trim.SCCSize1(g, label, e.threads)
+		for v := 0; v < n; v++ {
+			color[v] = uint32(v)
+		}
+		lp.MaxColorForward(g, color, func(v graph.V) bool { return label[v] == graph.NoVertex }, e.threads)
+		assignByColor(g, color, label, e.threads)
+	}
+}
+
+// serialTail runs Tarjan on the subgraph induced by live vertices by
+// projecting it out and mapping the labels back.
+func (e *Engine) serialTail(g *graph.Directed, label []uint32) {
+	var live []graph.V
+	idx := make(map[graph.V]uint32)
+	for v := 0; v < g.NumVertices(); v++ {
+		if label[v] == graph.NoVertex {
+			idx[graph.V(v)] = uint32(len(live))
+			live = append(live, graph.V(v))
+		}
+	}
+	var edges []graph.Edge
+	for _, u := range live {
+		for _, v := range g.Out(u) {
+			if label[v] == graph.NoVertex {
+				edges = append(edges, graph.Edge{U: idx[u], V: idx[v]})
+			}
+		}
+	}
+	sub := graph.BuildDirected(len(live), edges)
+	subLabels := serialdfs.SCC(sub)
+	for i, u := range live {
+		label[u] = uint32(live[subLabels[i]])
+	}
+}
+
+func assignByColor(g *graph.Directed, color, label []uint32, threads int) {
+	var roots []graph.V
+	for v := 0; v < g.NumVertices(); v++ {
+		if label[v] == graph.NoVertex && color[v] == uint32(v) {
+			roots = append(roots, graph.V(v))
+		}
+	}
+	parallel.ForChunksDynamic(0, len(roots), threads, 1, func(lo, hi, _ int) {
+		queue := make([]graph.V, 0, 64)
+		for i := lo; i < hi; i++ {
+			r := roots[i]
+			c := uint32(r)
+			minID := uint32(r)
+			queue = append(queue[:0], r)
+			label[r] = c
+			for head := 0; head < len(queue); head++ {
+				u := queue[head]
+				for _, w := range g.In(u) {
+					if color[w] == c && label[w] == graph.NoVertex {
+						label[w] = c
+						if uint32(w) < minID {
+							minID = uint32(w)
+						}
+						queue = append(queue, w)
+					}
+				}
+			}
+			if minID != c {
+				for _, u := range queue {
+					label[u] = minID
+				}
+			}
+		}
+	})
+}
+
+func maxLive(g *graph.Directed, label []uint32) graph.V {
+	best := graph.NoVertex
+	bestDeg := -1
+	for v := 0; v < g.NumVertices(); v++ {
+		if label[v] != graph.NoVertex {
+			continue
+		}
+		if d := g.OutDegree(graph.V(v)) + g.InDegree(graph.V(v)); d > bestDeg {
+			bestDeg = d
+			best = graph.V(v)
+		}
+	}
+	return best
+}

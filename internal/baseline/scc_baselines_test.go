@@ -1,0 +1,79 @@
+// Additional targeted tests for the SCC comparator implementations beyond the
+// shared oracle suite in baselines_test.go.
+package baseline_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aquila/internal/baseline/hong"
+	"aquila/internal/baseline/ispan"
+	"aquila/internal/baseline/multistep"
+	"aquila/internal/baseline/serialdfs"
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+	"aquila/internal/verify"
+)
+
+// TestSCCBaselinesProperty: all three optimized SCC baselines against Tarjan
+// on arbitrary digraphs and thread counts.
+func TestSCCBaselinesProperty(t *testing.T) {
+	f := func(raw []uint16, seed uint8) bool {
+		const n = 32
+		edges := make([]graph.Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, graph.Edge{U: graph.V(raw[i] % n), V: graph.V(raw[i+1] % n)})
+		}
+		g := graph.BuildDirected(n, edges)
+		want := serialdfs.SCC(g)
+		threads := int(seed%4) + 1
+		if verify.SamePartition(multistep.New(threads).SCC(g), want) != nil {
+			return false
+		}
+		if verify.SamePartition(hong.New(threads).SCC(g), want) != nil {
+			return false
+		}
+		return verify.SamePartition(ispan.New(threads).SCC(g), want) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSCCBaselinesGiantCycle: a single giant cycle is the FW-BW sweet spot —
+// one SCC found in one sweep, no coloring needed.
+func TestSCCBaselinesGiantCycle(t *testing.T) {
+	var edges []graph.Edge
+	const n = 5000
+	for i := 0; i < n; i++ {
+		edges = append(edges, graph.Edge{U: graph.V(i), V: graph.V((i + 1) % n)})
+	}
+	g := graph.BuildDirected(n, edges)
+	for name, labels := range map[string][]uint32{
+		"multistep": multistep.New(2).SCC(g),
+		"hong":      hong.New(2).SCC(g),
+		"ispan":     ispan.New(2).SCC(g),
+	} {
+		for v, l := range labels {
+			if l != 0 {
+				t.Fatalf("%s: cycle vertex %d labeled %d, want 0", name, v, l)
+			}
+		}
+	}
+}
+
+// TestSCCBaselinesTrimOnlyGraph: a DAG resolves entirely by trimming in every
+// implementation that has trims.
+func TestSCCBaselinesTrimOnlyGraph(t *testing.T) {
+	g := gen.RMAT(8, 2, 77) // sparse R-MAT: mostly DAG-ish with tiny cycles
+	want := serialdfs.SCC(g)
+	if err := verify.SamePartition(multistep.New(1).SCC(g), want); err != nil {
+		t.Errorf("multistep: %v", err)
+	}
+	if err := verify.SamePartition(hong.New(1).SCC(g), want); err != nil {
+		t.Errorf("hong: %v", err)
+	}
+	if err := verify.SamePartition(ispan.New(1).SCC(g), want); err != nil {
+		t.Errorf("ispan: %v", err)
+	}
+}

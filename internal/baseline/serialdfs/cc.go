@@ -1,0 +1,78 @@
+// Package serialdfs implements the classical serial depth-first-search
+// connectivity algorithms: CC/WCC by graph traversal, Tarjan's SCC,
+// Hopcroft–Tarjan biconnected components and articulation points, and
+// bridge finding. These are the paper's "DFS" comparator rows (Table 2) and
+// double as the ground truth every parallel Aquila result is verified against.
+//
+// All traversals use explicit stacks — the graphs are far deeper than Go's
+// goroutine stacks would like.
+package serialdfs
+
+import "aquila/internal/graph"
+
+// CC labels the connected components of an undirected graph. The returned
+// slice maps each vertex to a component label; labels are the smallest vertex
+// id in the component (a canonical form tests can rely on).
+func CC(g *graph.Undirected) []uint32 {
+	n := g.NumVertices()
+	label := make([]uint32, n)
+	for i := range label {
+		label[i] = graph.NoVertex
+	}
+	stack := make([]graph.V, 0, 1024)
+	for r := 0; r < n; r++ {
+		if label[r] != graph.NoVertex {
+			continue
+		}
+		root := uint32(r)
+		label[r] = root
+		stack = append(stack[:0], graph.V(r))
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range g.Neighbors(u) {
+				if label[v] == graph.NoVertex {
+					label[v] = root
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	return label
+}
+
+// WCC labels the weakly connected components of a directed graph (edges
+// treated as undirected). Labels are the smallest vertex id per component.
+func WCC(g *graph.Directed) []uint32 {
+	n := g.NumVertices()
+	label := make([]uint32, n)
+	for i := range label {
+		label[i] = graph.NoVertex
+	}
+	stack := make([]graph.V, 0, 1024)
+	for r := 0; r < n; r++ {
+		if label[r] != graph.NoVertex {
+			continue
+		}
+		root := uint32(r)
+		label[r] = root
+		stack = append(stack[:0], graph.V(r))
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range g.Out(u) {
+				if label[v] == graph.NoVertex {
+					label[v] = root
+					stack = append(stack, v)
+				}
+			}
+			for _, v := range g.In(u) {
+				if label[v] == graph.NoVertex {
+					label[v] = root
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	return label
+}

@@ -1,0 +1,91 @@
+package serialdfs
+
+import "aquila/internal/graph"
+
+// SCC computes strongly connected components with an iterative Tarjan
+// algorithm. The returned slice maps each vertex to an SCC label; labels are
+// the smallest vertex id in the SCC.
+func SCC(g *graph.Directed) []uint32 {
+	n := g.NumVertices()
+	const unvisited = ^uint32(0)
+	index := make([]uint32, n)
+	low := make([]uint32, n)
+	onStack := make([]bool, n)
+	label := make([]uint32, n)
+	for i := range index {
+		index[i] = unvisited
+		label[i] = graph.NoVertex
+	}
+	var timer uint32
+	sccStack := make([]graph.V, 0, 1024)
+
+	type frame struct {
+		v    graph.V
+		next int // index into Out(v)
+	}
+	frames := make([]frame, 0, 1024)
+
+	for r := 0; r < n; r++ {
+		if index[r] != unvisited {
+			continue
+		}
+		frames = append(frames[:0], frame{v: graph.V(r)})
+		index[r] = timer
+		low[r] = timer
+		timer++
+		sccStack = append(sccStack, graph.V(r))
+		onStack[r] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			out := g.Out(f.v)
+			if f.next < len(out) {
+				w := out[f.next]
+				f.next++
+				if index[w] == unvisited {
+					index[w] = timer
+					low[w] = timer
+					timer++
+					sccStack = append(sccStack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// f.v finished: maybe an SCC root.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				// Pop the SCC and canonicalize its label to the min vertex id.
+				start := len(sccStack)
+				for {
+					start--
+					if sccStack[start] == v {
+						break
+					}
+				}
+				members := sccStack[start:]
+				minID := uint32(v)
+				for _, w := range members {
+					if uint32(w) < minID {
+						minID = uint32(w)
+					}
+				}
+				for _, w := range members {
+					label[w] = minID
+					onStack[w] = false
+				}
+				sccStack = sccStack[:start]
+			}
+		}
+	}
+	return label
+}

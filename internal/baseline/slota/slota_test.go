@@ -1,0 +1,77 @@
+package slota
+
+import (
+	"testing"
+
+	"aquila/internal/baseline/serialdfs"
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+	"aquila/internal/verify"
+)
+
+func TestEdgeUFRepresentativeIsMinLevel(t *testing.T) {
+	level := []int32{0, 1, 2, 3, 1}
+	uf := newEdgeUF(5, level)
+	uf.union(3, 2)
+	if got := uf.find(3); got != 2 {
+		t.Errorf("find(3) = %d, want the level-2 vertex", got)
+	}
+	uf.union(3, 1)
+	if got := uf.find(2); got != 1 {
+		t.Errorf("find(2) = %d, want the level-1 vertex", got)
+	}
+	// Ties break to lower id: vertices 1 and 4 are both level 1.
+	uf.union(4, 3)
+	if got := uf.find(4); got != 1 {
+		t.Errorf("tie-break: find(4) = %d, want 1", got)
+	}
+}
+
+func TestBiCCBFSChecksAreBoundedByVertices(t *testing.T) {
+	g := gen.RandomUndirected(150, 400, 71)
+	res := BiCCBFS(g, 2)
+	if res.ChecksRun > g.NumVertices() {
+		t.Errorf("ChecksRun = %d exceeds |V| = %d", res.ChecksRun, g.NumVertices())
+	}
+	if res.ChecksRun == 0 {
+		t.Errorf("no checks ran")
+	}
+}
+
+func TestBothVariantsOnNestedBlocks(t *testing.T) {
+	// Three triangles chained by shared cut vertices: 0-1-2, 2-3-4, 4-5-6.
+	g := graph.BuildUndirected(7, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0},
+		{U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 2},
+		{U: 4, V: 5}, {U: 5, V: 6}, {U: 6, V: 4},
+	})
+	truth := serialdfs.BiCC(g)
+	for name, res := range map[string]*Result{
+		"BFS": BiCCBFS(g, 2),
+		"LP":  BiCCLP(g, 2),
+	} {
+		if err := verify.SameBoolSet(res.IsAP, truth.IsAP, name+" APs"); err != nil {
+			t.Errorf("%v", err)
+		}
+		if res.NumBlocks != 3 {
+			t.Errorf("%s: NumBlocks = %d, want 3", name, res.NumBlocks)
+		}
+	}
+}
+
+func TestLPOnForest(t *testing.T) {
+	// A forest has no non-tree edges at all: every tree edge is its own block.
+	g := graph.BuildUndirected(7, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}, {U: 4, V: 5},
+	})
+	res := BiCCLP(g, 2)
+	if res.NumBlocks != 4 {
+		t.Errorf("forest blocks = %d, want 4", res.NumBlocks)
+	}
+	bridges := BridgesLP(g, 2)
+	for e, b := range bridges {
+		if !b {
+			t.Errorf("forest edge %d not flagged as bridge", e)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package xstream
+
+import (
+	"testing"
+
+	"aquila/internal/baseline/serialdfs"
+	"aquila/internal/gen"
+	"aquila/internal/verify"
+)
+
+func TestStreamShuffleIsDeterministic(t *testing.T) {
+	g := gen.RMAT(8, 4, 3)
+	a, b := New(g, 2), New(g, 2)
+	if len(a.fwd) != len(b.fwd) {
+		t.Fatalf("stream lengths differ")
+	}
+	for i := range a.fwd {
+		if a.fwd[i] != b.fwd[i] {
+			t.Fatalf("shuffle not deterministic at %d", i)
+		}
+	}
+}
+
+func TestStreamIsShuffled(t *testing.T) {
+	// The stream must not be in CSR order (that would be an unfair cache
+	// layout the real system never sees).
+	g := gen.RMAT(9, 8, 4)
+	e := New(g, 1)
+	sorted := 0
+	for i := 1; i < len(e.fwd); i++ {
+		if e.fwd[i-1].u <= e.fwd[i].u {
+			sorted++
+		}
+	}
+	if frac := float64(sorted) / float64(len(e.fwd)); frac > 0.9 {
+		t.Errorf("stream looks CSR-ordered (%.0f%% non-decreasing sources)", 100*frac)
+	}
+}
+
+func TestCCAndSCCOnTinyShapes(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		g := gen.Random(60, 150, seed)
+		e := New(g, 2)
+		if err := verify.SamePartition(e.CC(), serialdfs.WCC(g)); err != nil {
+			t.Errorf("seed %d CC: %v", seed, err)
+		}
+		if err := verify.SamePartition(e.SCC(), serialdfs.SCC(g)); err != nil {
+			t.Errorf("seed %d SCC: %v", seed, err)
+		}
+	}
+}

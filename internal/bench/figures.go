@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"fmt"
+
+	"aquila/internal/bgcc"
+	"aquila/internal/bicc"
+	"aquila/internal/cc"
+	"aquila/internal/scc"
+)
+
+// Fig6 reproduces Figure 6: the percentage of constrained BFSes removed by
+// trim, by trim+SPO, and the upper bound (checks that find nothing) for BiCC
+// and BgCC on every workload.
+func Fig6(cfg *Config) {
+	cfg.Defaults()
+	fmt.Fprintln(cfg.Out, "Figure 6: Percentage of reduced BFSes for (a) BiCC and (b) BgCC.")
+	header := []string{"Graph", "Trim%", "Trim+SPO%", "UpperBound%"}
+
+	var biccRows, bgccRows [][]string
+	for _, w := range Suite(cfg.Scale) {
+		bres := bicc.Run(w.U, bicc.Options{Threads: cfg.Threads})
+		biccRows = append(biccRows, fig6Row(w.Abbr, bres.Stats.Candidates,
+			bres.Stats.SkippedTrim, bres.Stats.SkippedSPO+bres.Stats.SkippedMarked,
+			bres.Stats.PositiveChecks))
+
+		gres := bgcc.Run(w.U, bgcc.Options{Threads: cfg.Threads, BridgeOnly: true})
+		bridgesFromChecks := gres.Stats.Bridges - gres.Stats.SkippedTrim // core bridges ≈ positive checks
+		if bridgesFromChecks < 0 {
+			bridgesFromChecks = 0
+		}
+		bgccRows = append(bgccRows, fig6Row(w.Abbr, gres.Stats.Candidates,
+			gres.Stats.SkippedTrim, gres.Stats.SkippedSPO+gres.Stats.SkippedMarked,
+			bridgesFromChecks))
+	}
+	fmt.Fprintln(cfg.Out, "\n(a) BiCC")
+	cfg.table(header, biccRows)
+	fmt.Fprintln(cfg.Out, "\n(b) BgCC")
+	cfg.table(header, bgccRows)
+}
+
+func fig6Row(abbr string, candidates, trimSkips, spoSkips, positives int) []string {
+	pct := func(x int) string {
+		if candidates == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.1f%%", 100*float64(x)/float64(candidates))
+	}
+	upper := candidates - positives
+	return []string{abbr, pct(trimSkips), pct(trimSkips + spoSkips), pct(upper)}
+}
+
+// Fig8 reproduces Figure 8: the number of XCCs per size decade for the
+// Twitter-like (TM) and Wikipedia-like (WL) workloads, showing the irregular
+// task distribution (one giant XCC, a power-law tail of tiny ones).
+func Fig8(cfg *Config) {
+	cfg.Defaults()
+	fmt.Fprintln(cfg.Out, "Figure 8: Number of XCCs per size decade (irregular task property).")
+	for _, abbr := range []string{"TM", "WL"} {
+		w := buildWorkload(abbr, cfg.Scale)
+		fmt.Fprintf(cfg.Out, "\n[%s — %s]\n", abbr, w.Name)
+		header := []string{"XCC", "size 1-9", "10-99", "100-999", "1k-9k", "10k-99k", "100k+"}
+		padBins := func(bins []int) []string {
+			row := make([]string, 6)
+			for i := range row {
+				if i < len(bins) {
+					row[i] = fmt.Sprintf("%d", bins[i])
+				} else {
+					row[i] = "0"
+				}
+			}
+			return row
+		}
+		var rows [][]string
+
+		ccRes := cc.Run(w.U, cc.Options{Threads: cfg.Threads})
+		rows = append(rows, append([]string{"(W)CC"}, padBins(histogramBins(ccRes.Sizes))...))
+
+		sccRes := scc.Run(w.G, scc.Options{Threads: cfg.Threads})
+		rows = append(rows, append([]string{"SCC"}, padBins(histogramBins(sccRes.Sizes))...))
+
+		biccRes := bicc.Run(w.U, bicc.Options{Threads: cfg.Threads})
+		blockSizes := make(map[uint32]int) // block id -> edge count (paper: BiCC size in edges)
+		for _, b := range biccRes.BlockOf {
+			blockSizes[uint32(b)]++
+		}
+		rows = append(rows, append([]string{"BiCC"}, padBins(histogramBins(blockSizes))...))
+
+		bgccRes := bgcc.Run(w.U, bgcc.Options{Threads: cfg.Threads})
+		bgSizes := make(map[uint32]int)
+		for _, l := range bgccRes.Label {
+			bgSizes[l]++
+		}
+		rows = append(rows, append([]string{"BgCC"}, padBins(histogramBins(bgSizes))...))
+
+		cfg.table(header, rows)
+	}
+}
+
+// Fig10 reproduces Figure 10: the speedup each technique adds over the
+// parallel-BFS baseline, per algorithm — trim, workload reduction (SPO),
+// adaptive task parallelism, and the enhanced BFS.
+func Fig10(cfg *Config) {
+	cfg.Defaults()
+	fmt.Fprintln(cfg.Out, "Figure 10: Technique benefits — speedup over the parallel-BFS baseline")
+	fmt.Fprintln(cfg.Out, "(cumulative configurations; baseline = no trim, no SPO, no adaptive split,")
+	fmt.Fprintln(cfg.Out, " direction-optimizing BFS; SPO applies to BiCC/BgCC only).")
+
+	allSteps := []fig10Step{
+		{"+Trim", true, false, false, false},
+		{"+SPO", true, true, false, false},
+		{"+Adaptive", true, true, true, false},
+		{"+EnhancedBFS(all)", true, true, true, true},
+	}
+
+	for _, alg := range []string{"CC", "SCC", "BiCC", "BgCC"} {
+		steps := allSteps
+		if alg == "CC" || alg == "SCC" {
+			// SPO is a BiCC/BgCC technique; showing the column for CC/SCC
+			// would just repeat the +Trim configuration.
+			steps = []fig10Step{allSteps[0], allSteps[2], allSteps[3]}
+		}
+		header := []string{"Graph"}
+		for _, st := range steps {
+			header = append(header, st.name)
+		}
+		fmt.Fprintf(cfg.Out, "\n[%s]\n", alg)
+		var rows [][]string
+		for _, w := range Suite(cfg.Scale) {
+			base := cfg.timeMS(fig10Runner(alg, w, cfg.Threads, fig10Step{}))
+			row := []string{w.Abbr}
+			for _, st := range steps {
+				ms := cfg.timeMS(fig10Runner(alg, w, cfg.Threads, st))
+				if ms <= 0 {
+					ms = 0.0001
+				}
+				row = append(row, fmt.Sprintf("%.2fx", base/ms))
+			}
+			rows = append(rows, row)
+		}
+		cfg.table(header, rows)
+	}
+}
+
+// fig10Step is one cumulative technique configuration.
+type fig10Step struct {
+	name                             string
+	trim, spo, adaptive, enhancedBFS bool
+}
+
+func fig10Runner(alg string, w Workload, threads int, st fig10Step) func() {
+	mode := modeFor(st.enhancedBFS)
+	switch alg {
+	case "CC":
+		opt := cc.Options{Threads: threads, NoTrim: !st.trim, NoAdaptive: !st.adaptive, Mode: mode}
+		return func() { cc.Run(w.U, opt) }
+	case "SCC":
+		opt := scc.Options{Threads: threads, NoTrim: !st.trim, NoAdaptive: !st.adaptive, Mode: mode}
+		return func() { scc.Run(w.G, opt) }
+	case "BiCC":
+		opt := bicc.Options{Threads: threads, NoTrim: !st.trim, NoSPO: !st.spo, NoAdaptive: !st.adaptive, Mode: mode}
+		return func() { bicc.Run(w.U, opt) }
+	default:
+		opt := bgcc.Options{Threads: threads, NoTrim: !st.trim, NoSPO: !st.spo, NoAdaptive: !st.adaptive, Mode: mode}
+		return func() { bgcc.Run(w.U, opt) }
+	}
+}

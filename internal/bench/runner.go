@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Config holds the harness-wide knobs.
+type Config struct {
+	// Scale multiplies workload sizes (1.0 = default suite).
+	Scale float64
+	// Threads used by the parallel methods (0 = GOMAXPROCS).
+	Threads int
+	// Runs per cell; the minimum is reported (the paper averages 10 runs; the
+	// minimum is steadier at laptop scale).
+	Runs int
+	// SCCBudget caps the projected work of the trimless streaming SCC
+	// baselines (X-Stream, GraphChi): graphs whose SCC count exceeds it get a
+	// "-" cell, mirroring Table 2's hyphens ("the test cannot complete").
+	SCCBudget int
+	// Out receives the formatted tables.
+	Out io.Writer
+	// CSV switches table output from aligned text to comma-separated values
+	// (for plotting pipelines).
+	CSV bool
+}
+
+// Defaults fills unset fields.
+func (c *Config) Defaults() {
+	if c.Scale == 0 {
+		c.Scale = 1.0
+	}
+	if c.Runs == 0 {
+		c.Runs = 3
+	}
+	if c.SCCBudget == 0 {
+		c.SCCBudget = 300
+	}
+}
+
+// timeMS runs fn Runs times and returns the minimum duration in
+// milliseconds.
+func (c *Config) timeMS(fn func()) float64 {
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < c.Runs; r++ {
+		start := time.Now()
+		fn()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return float64(best) / float64(time.Millisecond)
+}
+
+// cell formats one table entry.
+func cell(ms float64, ok bool) string {
+	if !ok {
+		return "-"
+	}
+	switch {
+	case ms >= 100:
+		return fmt.Sprintf("%.0f", ms)
+	case ms >= 1:
+		return fmt.Sprintf("%.1f", ms)
+	default:
+		return fmt.Sprintf("%.3f", ms)
+	}
+}
+
+// tableCfg renders via the Config's format selection.
+func (c *Config) table(header []string, rows [][]string) {
+	if c.CSV {
+		writeCSV(c.Out, header, rows)
+		return
+	}
+	table(c.Out, header, rows)
+}
+
+func writeCSV(w io.Writer, header []string, rows [][]string) {
+	line := func(cols []string) {
+		for i, col := range cols {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			if strings.ContainsAny(col, ",\"\n") {
+				col = `"` + strings.ReplaceAll(col, `"`, `""`) + `"`
+			}
+			fmt.Fprint(w, col)
+		}
+		fmt.Fprintln(w)
+	}
+	line(header)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+// table renders rows of equal-length string slices with aligned columns.
+func table(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cols []string) {
+		parts := make([]string, len(cols))
+		for i, c := range cols {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(header)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total-2))
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// speedups computes the per-graph ratio other/ours and returns the average
+// over cells where both completed (Table 2's "Avg. speedup" column).
+func speedups(ours, other []float64, ok []bool) (avg float64, counted int) {
+	var sum float64
+	for i := range ours {
+		if ok == nil || ok[i] {
+			if ours[i] > 0 && other[i] > 0 {
+				sum += other[i] / ours[i]
+				counted++
+			}
+		}
+	}
+	if counted == 0 {
+		return 0, 0
+	}
+	return sum / float64(counted), counted
+}
+
+// histogramBins log₁₀-bins component sizes for the Fig. 8 distributions.
+func histogramBins(sizes map[uint32]int) []int {
+	maxBin := 0
+	bins := map[int]int{}
+	for _, s := range sizes {
+		b := 0
+		for t := s; t >= 10; t /= 10 {
+			b++
+		}
+		bins[b]++
+		if b > maxBin {
+			maxBin = b
+		}
+	}
+	out := make([]int, maxBin+1)
+	for b, c := range bins {
+		out[b] = c
+	}
+	return out
+}

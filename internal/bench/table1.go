@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"fmt"
+
+	"aquila/internal/cc"
+)
+
+// Table1 prints the workload census in the shape of the paper's Table 1:
+// vertex/edge counts, directed and undirected edge counts, the number of CCs
+// and the largest-CC percentage for every stand-in graph.
+func Table1(cfg *Config) {
+	cfg.Defaults()
+	fmt.Fprintln(cfg.Out, "Table 1: Graph benchmarks (synthetic stand-ins; see DESIGN.md §5)")
+	header := []string{"Graph", "Abbr.", "#Nodes", "#DirEdges", "#UndEdges", "#CCs", "LargestCC%"}
+	var rows [][]string
+	for _, w := range Suite(cfg.Scale) {
+		res := cc.Run(w.U, cc.Options{Threads: cfg.Threads})
+		pct := 0.0
+		if w.U.NumVertices() > 0 {
+			pct = 100 * float64(res.LargestSize) / float64(w.U.NumVertices())
+		}
+		rows = append(rows, []string{
+			w.Name, w.Abbr,
+			fmt.Sprintf("%d", w.G.NumVertices()),
+			fmt.Sprintf("%d", w.G.NumArcs()),
+			fmt.Sprintf("%d", w.U.NumEdges()),
+			fmt.Sprintf("%d", res.NumComponents),
+			fmt.Sprintf("%.1f%%", pct),
+		})
+	}
+	cfg.table(header, rows)
+}

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"fmt"
+
+	"aquila/internal/baseline/boostlike"
+	"aquila/internal/baseline/galois"
+	"aquila/internal/baseline/graphchi"
+	"aquila/internal/baseline/hong"
+	"aquila/internal/baseline/ispan"
+	"aquila/internal/baseline/ligra"
+	"aquila/internal/baseline/multistep"
+	"aquila/internal/baseline/serialdfs"
+	"aquila/internal/baseline/slota"
+	"aquila/internal/baseline/xstream"
+	"aquila/internal/bgcc"
+	"aquila/internal/bicc"
+	"aquila/internal/cc"
+	"aquila/internal/scc"
+)
+
+// method is one Table 2 row: a named computation over one workload. ok=false
+// marks a "-" cell (cannot complete within the harness budget).
+type method struct {
+	name string
+	run  func(w Workload) (run func(), ok bool)
+}
+
+// Table2 reproduces the paper's Table 2: runtime of Aquila and the compared
+// systems for CC, SCC, BiCC and BgCC over the eleven workloads, plus the
+// average-speedup column (each method vs. Aquila).
+func Table2(cfg *Config, algs []string) {
+	cfg.Defaults()
+	suite := Suite(cfg.Scale)
+
+	// Pre-compute SCC counts to decide the "-" cells of the trimless
+	// streaming baselines (their cost is ~#SCC full edge passes).
+	sccCount := make(map[string]int, len(suite))
+	for _, w := range suite {
+		sccCount[w.Abbr] = scc.Run(w.G, scc.Options{Threads: cfg.Threads}).NumComponents
+	}
+	streamable := func(w Workload) bool { return sccCount[w.Abbr] <= cfg.SCCBudget }
+
+	sections := map[string][]method{
+		"CC": {
+			{"Boost", func(w Workload) (func(), bool) { return func() { boostlike.CC(w.U) }, true }},
+			{"DFS", func(w Workload) (func(), bool) { return func() { serialdfs.CC(w.U) }, true }},
+			{"X-Stream", func(w Workload) (func(), bool) {
+				e := xstream.New(w.G, cfg.Threads)
+				return func() { e.CC() }, true
+			}},
+			{"Galois_Async", func(w Workload) (func(), bool) {
+				e := galois.New(w.U, cfg.Threads)
+				return func() { e.CCAsync() }, true
+			}},
+			{"Galois_LP", func(w Workload) (func(), bool) {
+				e := galois.New(w.U, cfg.Threads)
+				return func() { e.CCLabelProp() }, true
+			}},
+			{"GraphChi_LP", func(w Workload) (func(), bool) {
+				e := graphchi.New(w.G, cfg.Threads, 8)
+				return func() { e.CCLabelProp() }, true
+			}},
+			{"GraphChi_UF", func(w Workload) (func(), bool) {
+				e := graphchi.New(w.G, cfg.Threads, 8)
+				return func() { e.CCUnionFind() }, true
+			}},
+			{"Ligra_LP", func(w Workload) (func(), bool) {
+				f := ligra.New(w.U, cfg.Threads)
+				return func() { f.CCLabelProp() }, true
+			}},
+			{"Ligra_SC", func(w Workload) (func(), bool) {
+				f := ligra.New(w.U, cfg.Threads)
+				return func() { f.CCShortcut() }, true
+			}},
+			{"Multistep", func(w Workload) (func(), bool) {
+				e := multistep.New(cfg.Threads)
+				return func() { e.CC(w.U) }, true
+			}},
+			{"Aquila", func(w Workload) (func(), bool) {
+				return func() { cc.Run(w.U, cc.Options{Threads: cfg.Threads}) }, true
+			}},
+		},
+		"SCC": {
+			{"Boost", func(w Workload) (func(), bool) { return func() { boostlike.SCC(w.G) }, true }},
+			{"DFS", func(w Workload) (func(), bool) { return func() { serialdfs.SCC(w.G) }, true }},
+			{"X-Stream", func(w Workload) (func(), bool) {
+				if !streamable(w) {
+					return nil, false
+				}
+				e := xstream.New(w.G, cfg.Threads)
+				return func() { e.SCC() }, true
+			}},
+			{"GraphChi", func(w Workload) (func(), bool) {
+				if !streamable(w) {
+					return nil, false
+				}
+				e := graphchi.New(w.G, cfg.Threads, 8)
+				return func() { e.SCC() }, true
+			}},
+			{"Multistep", func(w Workload) (func(), bool) {
+				e := multistep.New(cfg.Threads)
+				return func() { e.SCC(w.G) }, true
+			}},
+			{"Hong", func(w Workload) (func(), bool) {
+				e := hong.New(cfg.Threads)
+				return func() { e.SCC(w.G) }, true
+			}},
+			{"iSpan", func(w Workload) (func(), bool) {
+				e := ispan.New(cfg.Threads)
+				return func() { e.SCC(w.G) }, true
+			}},
+			{"Aquila", func(w Workload) (func(), bool) {
+				return func() { scc.Run(w.G, scc.Options{Threads: cfg.Threads}) }, true
+			}},
+		},
+		"BiCC": {
+			{"Boost", func(w Workload) (func(), bool) { return func() { boostlike.BiCC(w.U) }, true }},
+			{"DFS", func(w Workload) (func(), bool) { return func() { serialdfs.BiCC(w.U) }, true }},
+			{"Slota_LP", func(w Workload) (func(), bool) {
+				return func() { slota.BiCCLP(w.U, cfg.Threads) }, true
+			}},
+			{"Slota_BFS", func(w Workload) (func(), bool) {
+				return func() { slota.BiCCBFS(w.U, cfg.Threads) }, true
+			}},
+			{"Aquila", func(w Workload) (func(), bool) {
+				return func() { bicc.Run(w.U, bicc.Options{Threads: cfg.Threads}) }, true
+			}},
+		},
+		"BgCC": {
+			{"DFS", func(w Workload) (func(), bool) { return func() { serialdfs.BgCC(w.U) }, true }},
+			{"Aquila", func(w Workload) (func(), bool) {
+				return func() { bgcc.Run(w.U, bgcc.Options{Threads: cfg.Threads}) }, true
+			}},
+		},
+	}
+	order := []string{"CC", "SCC", "BiCC", "BgCC"}
+	if len(algs) > 0 {
+		order = algs
+	}
+
+	fmt.Fprintln(cfg.Out, "Table 2: Runtime (ms) of Aquila and compared works.")
+	fmt.Fprintln(cfg.Out, "The hyphen denotes the test cannot complete (trimless streaming SCC on many-SCC graphs).")
+	for _, alg := range order {
+		methods := sections[alg]
+		fmt.Fprintf(cfg.Out, "\n[%s]\n", alg)
+		header := append([]string{"Method"}, Abbrs...)
+		header = append(header, "Avg.speedup")
+
+		times := make(map[string][]float64)
+		oks := make(map[string][]bool)
+		for _, m := range methods {
+			times[m.name] = make([]float64, len(suite))
+			oks[m.name] = make([]bool, len(suite))
+			for i, w := range suite {
+				run, ok := m.run(w)
+				if !ok {
+					continue
+				}
+				times[m.name][i] = cfg.timeMS(run)
+				oks[m.name][i] = true
+			}
+		}
+		aquila := times["Aquila"]
+		var rows [][]string
+		for _, m := range methods {
+			row := []string{m.name}
+			for i := range suite {
+				row = append(row, cell(times[m.name][i], oks[m.name][i]))
+			}
+			if m.name == "Aquila" {
+				row = append(row, "")
+			} else {
+				avg, counted := speedups(aquila, times[m.name], oks[m.name])
+				if counted == 0 {
+					row = append(row, "-")
+				} else {
+					row = append(row, fmt.Sprintf("%.1f", avg))
+				}
+			}
+			rows = append(rows, row)
+		}
+		cfg.table(header, rows)
+	}
+}

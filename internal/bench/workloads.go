@@ -1,0 +1,177 @@
+// Package bench regenerates every table and figure of the paper's evaluation
+// (§6): Table 1 (workload census), Table 2 (Aquila vs. ten systems), Fig. 6
+// (workload reduction), Fig. 8 (XCC size distributions), Fig. 10 (technique
+// ablations), Fig. 11 (thread scalability), Fig. 12 (small-XCC queries),
+// Fig. 13 (largest-XCC queries) and Fig. 14 (AP/bridge-only queries).
+//
+// The paper's nine real-world graphs (up to 3.6 B edges) are replaced by
+// seeded synthetic stand-ins that match the shape statistics driving each
+// result — component counts, largest-component share, size skew and
+// trimmable-pattern density (Table 1 columns) — at laptop scale. See
+// DESIGN.md §2 and §5.
+package bench
+
+import (
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+)
+
+// Workload is one benchmark graph with its Table 1 identity.
+type Workload struct {
+	// Name and Abbr mirror Table 1 ("Baidu"/"BD", ...).
+	Name, Abbr string
+	// Kind describes the stand-in generator.
+	Kind string
+	// G is the directed graph; U its undirected view (built once).
+	G *graph.Directed
+	U *graph.Undirected
+}
+
+// Scale multiplies the stand-in sizes; 1.0 is the default laptop-scale suite
+// (~10⁴ vertices per graph).
+func buildWorkload(abbr string, scale float64) Workload {
+	s := func(base int) int {
+		v := int(float64(base) * scale)
+		if v < 4 {
+			v = 4
+		}
+		return v
+	}
+	var d *graph.Directed
+	var name, kind string
+	switch abbr {
+	case "BD": // Baidu: many CCs (98.4% giant), small giant SCC share, many tiny SCCs
+		name, kind = "Baidu", "social"
+		d = gen.Social(gen.SocialConfig{
+			GiantVertices: s(6000), GiantAvgDeg: 5,
+			SmallComps: s(250), SmallMaxSize: 150, Isolated: s(120),
+			MutualFrac: 0.18, Seed: 0xBD,
+		})
+	case "PK": // Pokec: exactly one CC, large SCC share
+		name, kind = "Pokec", "social"
+		d = gen.Social(gen.SocialConfig{
+			GiantVertices: s(8000), GiantAvgDeg: 7,
+			SmallComps: 0, SmallMaxSize: 2, Isolated: 0,
+			MutualFrac: 0.65, Seed: 0x9C,
+		})
+	case "LJ": // LiveJournal: ~2k CCs, 99.9% giant
+		name, kind = "Livejournal", "social"
+		d = gen.Social(gen.SocialConfig{
+			GiantVertices: s(10000), GiantAvgDeg: 6,
+			SmallComps: s(60), SmallMaxSize: 100, Isolated: s(25),
+			MutualFrac: 0.5, Seed: 0x17,
+		})
+	case "WE": // WikiEn: web graph, ~1.4k CCs
+		name, kind = "WikiEn", "web"
+		d = withFringe(gen.Web(gen.WebConfig{
+			Communities: s(40), CommunitySize: 250, IntraDeg: 5,
+			InterEdges: s(2000), PendantFrac: 0.12, Seed: 0x3E,
+		}), s(45), 60, s(20), 0x3E1)
+	case "WL": // WikiLinkEn: denser web graph, ~3k CCs
+		name, kind = "WikiLinkEn", "web"
+		d = withFringe(gen.Web(gen.WebConfig{
+			Communities: s(30), CommunitySize: 400, IntraDeg: 8,
+			InterEdges: s(3500), PendantFrac: 0.08, Seed: 0x31,
+		}), s(90), 80, s(40), 0x311)
+	case "FB": // Facebook: 5 CCs, 99.9% giant
+		name, kind = "Facebook", "social"
+		d = gen.Social(gen.SocialConfig{
+			GiantVertices: s(16000), GiantAvgDeg: 6,
+			SmallComps: 4, SmallMaxSize: 40, Isolated: 0,
+			MutualFrac: 0.55, Seed: 0xFB,
+		})
+	case "TW": // TwitterWww: one CC
+		name, kind = "TwitterWww", "social"
+		d = gen.Social(gen.SocialConfig{
+			GiantVertices: s(18000), GiantAvgDeg: 8,
+			SmallComps: 0, SmallMaxSize: 2, Isolated: 0,
+			MutualFrac: 0.3, Seed: 0x72,
+		})
+	case "TM": // TwitterMpi: ~30k CCs, 99.9% giant
+		name, kind = "TwitterMpi", "social"
+		d = gen.Social(gen.SocialConfig{
+			GiantVertices: s(14000), GiantAvgDeg: 8,
+			SmallComps: s(450), SmallMaxSize: 200, Isolated: s(220),
+			MutualFrac: 0.35, Seed: 0x73,
+		})
+	case "FR": // Friendster: ~320k CCs, 98.7% giant
+		name, kind = "Friendster", "social"
+		d = gen.Social(gen.SocialConfig{
+			GiantVertices: s(12000), GiantAvgDeg: 7,
+			SmallComps: s(900), SmallMaxSize: 120, Isolated: s(450),
+			MutualFrac: 0.45, Seed: 0xF2,
+		})
+	case "RM": // R-MAT: ~half the vertices in trivial CCs (Table 1: 1.9M CCs, 52.1%)
+		name, kind = "RMAT", "rmat"
+		d = gen.RMAT(rmatScale(scale), 16, 0x12)
+	case "RD": // Random: one CC
+		name, kind = "Random", "random"
+		n := s(12000)
+		d = gen.Random(n, 16*n, 0x4D)
+	default:
+		panic("bench: unknown workload " + abbr)
+	}
+	return Workload{Name: name, Abbr: abbr, Kind: kind, G: d, U: graph.Undirect(d)}
+}
+
+func rmatScale(scale float64) int {
+	sc := 13
+	for f := scale; f >= 2; f /= 2 {
+		sc++
+	}
+	for f := scale; f <= 0.5 && sc > 6; f *= 2 {
+		sc--
+	}
+	return sc
+}
+
+// withFringe appends small components and isolated vertices to a directed
+// graph, giving web stand-ins their Table 1 component counts.
+func withFringe(d *graph.Directed, comps, maxSize, isolated int, seed uint64) *graph.Directed {
+	rng := gen.NewRNG(seed)
+	var edges []graph.Edge
+	for u := 0; u < d.NumVertices(); u++ {
+		for _, v := range d.Out(graph.V(u)) {
+			edges = append(edges, graph.Edge{U: graph.V(u), V: v})
+		}
+	}
+	base := d.NumVertices()
+	for c := 0; c < comps; c++ {
+		size := gen.SmallComponentSize(rng, maxSize)
+		for i := 1; i < size; i++ {
+			u := graph.V(base + i)
+			v := graph.V(base + rng.Intn(i))
+			edges = append(edges, graph.Edge{U: u, V: v})
+			if rng.Float64() < 0.5 {
+				edges = append(edges, graph.Edge{U: v, V: u})
+			}
+		}
+		base += size
+	}
+	base += isolated
+	return graph.BuildDirected(base, edges)
+}
+
+// Abbrs lists the Table 1 order.
+var Abbrs = []string{"BD", "PK", "LJ", "WE", "WL", "FB", "TW", "TM", "FR", "RM", "RD"}
+
+// Suite builds all eleven workloads at the given scale.
+func Suite(scale float64) []Workload {
+	out := make([]Workload, 0, len(Abbrs))
+	for _, a := range Abbrs {
+		out = append(out, buildWorkload(a, scale))
+	}
+	return out
+}
+
+// SuiteSubset builds only the named workloads (nil/empty = all).
+func SuiteSubset(scale float64, abbrs []string) []Workload {
+	if len(abbrs) == 0 {
+		return Suite(scale)
+	}
+	out := make([]Workload, 0, len(abbrs))
+	for _, a := range abbrs {
+		out = append(out, buildWorkload(a, scale))
+	}
+	return out
+}

@@ -1,0 +1,320 @@
+package bfs
+
+import (
+	"testing"
+
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+)
+
+// serialLevels computes reference BFS levels with a plain queue.
+func serialLevels(g *graph.Undirected, root graph.V, removed []bool) []int32 {
+	level := make([]int32, g.NumVertices())
+	for i := range level {
+		level[i] = -1
+	}
+	if removed != nil && removed[root] {
+		return level
+	}
+	level[root] = 0
+	queue := []graph.V{root}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range g.Neighbors(u) {
+			if removed != nil && removed[v] {
+				continue
+			}
+			if level[v] == -1 {
+				level[v] = level[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return level
+}
+
+func testGraphs() map[string]*graph.Undirected {
+	return map[string]*graph.Undirected{
+		"paper":   gen.PaperExampleUndirected(),
+		"path":    gen.Path(50),
+		"cycle":   gen.Cycle(64),
+		"star":    gen.Star(40),
+		"barbell": gen.BarbellWithBridge(6),
+		"random":  gen.RandomUndirected(500, 2000, 1),
+		"rmatU":   graph.Undirect(gen.RMAT(9, 8, 2)),
+	}
+}
+
+func TestTreeMatchesSerialBFS(t *testing.T) {
+	for name, g := range testGraphs() {
+		for _, threads := range []int{1, 4} {
+			for _, noBU := range []bool{false, true} {
+				tree := NewTree(g.NumVertices())
+				root := g.MaxDegreeVertex()
+				tree.Run(g, root, nil, Options{Threads: threads, NoBottomUp: noBU})
+				want := serialLevels(g, root, nil)
+				for v := range want {
+					if tree.Level[v] != want[v] {
+						t.Fatalf("%s threads=%d noBU=%v: Level[%d] = %d, want %d",
+							name, threads, noBU, v, tree.Level[v], want[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTreeParentsConsistent(t *testing.T) {
+	g := gen.RandomUndirected(300, 900, 7)
+	tree := NewTree(g.NumVertices())
+	root := g.MaxDegreeVertex()
+	tree.Run(g, root, nil, Options{Threads: 4})
+	for v := 0; v < g.NumVertices(); v++ {
+		lv := tree.Level[v]
+		if lv == -1 {
+			if tree.Parent[v] != graph.NoVertex {
+				t.Errorf("unvisited %d has a parent", v)
+			}
+			continue
+		}
+		p := tree.Parent[v]
+		if lv == 0 {
+			if p != graph.V(v) {
+				t.Errorf("root %d parent = %d", v, p)
+			}
+			continue
+		}
+		if tree.Level[p] != lv-1 {
+			t.Errorf("parent level of %d: got %d, want %d", v, tree.Level[p], lv-1)
+		}
+		if !g.HasEdge(p, graph.V(v)) {
+			t.Errorf("tree edge %d-%d not in graph", p, v)
+		}
+	}
+}
+
+func TestTreeRespectsRemoved(t *testing.T) {
+	g := gen.Path(10)
+	removed := make([]bool, 10)
+	removed[5] = true
+	tree := NewTree(10)
+	tree.Run(g, 0, removed, Options{Threads: 2})
+	for v := 0; v <= 4; v++ {
+		if tree.Level[v] != int32(v) {
+			t.Errorf("Level[%d] = %d, want %d", v, tree.Level[v], v)
+		}
+	}
+	for v := 5; v < 10; v++ {
+		if tree.Level[v] != -1 {
+			t.Errorf("vertex %d past removed cut is visited", v)
+		}
+	}
+}
+
+func TestDirectionSwitchEngages(t *testing.T) {
+	// A dense small-diameter graph must trigger bottom-up steps; a path with
+	// its always-tiny frontier must not.
+	dense := graph.Undirect(gen.RMAT(10, 16, 9))
+	tree := NewTree(dense.NumVertices())
+	tree.Run(dense, dense.MaxDegreeVertex(), nil, Options{Threads: 2})
+	if tree.BottomUpSteps == 0 {
+		t.Errorf("dense graph never switched to bottom-up (topdown=%d)", tree.TopDownSteps)
+	}
+	path := gen.Path(100)
+	ptree := NewTree(100)
+	ptree.Run(path, 0, nil, Options{Threads: 2})
+	if ptree.BottomUpSteps != 0 {
+		t.Errorf("path switched to bottom-up with a frontier of 1")
+	}
+	// NoBottomUp must suppress the switch everywhere.
+	ntree := NewTree(dense.NumVertices())
+	ntree.Run(dense, dense.MaxDegreeVertex(), nil, Options{Threads: 2, NoBottomUp: true})
+	if ntree.BottomUpSteps != 0 {
+		t.Errorf("NoBottomUp ignored")
+	}
+}
+
+func TestRunForestCoversEverything(t *testing.T) {
+	g := gen.PaperExampleUndirected()
+	tree := NewTree(g.NumVertices())
+	tree.RunForest(g, g.MaxDegreeVertex(), nil, Options{Threads: 2})
+	if tree.Visited != g.NumVertices() {
+		t.Fatalf("Visited = %d, want %d", tree.Visited, g.NumVertices())
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if tree.Level[v] == -1 {
+			t.Errorf("vertex %d unvisited after RunForest", v)
+		}
+	}
+}
+
+func TestEnhancedReachEqualsComponent(t *testing.T) {
+	for name, g := range testGraphs() {
+		root := g.MaxDegreeVertex()
+		want := serialLevels(g, root, nil)
+		for _, mode := range []Mode{ModePlain, ModeDirOpt, ModeEnhanced} {
+			vis := EnhancedReach(UndirectedAdj(g), root, nil, Options{Threads: 4}, mode)
+			for v := 0; v < g.NumVertices(); v++ {
+				inComp := want[v] != -1
+				if vis.Get(graph.V(v)) != inComp {
+					t.Fatalf("%s mode=%d: visited[%d] = %v, want %v",
+						name, mode, v, vis.Get(graph.V(v)), inComp)
+				}
+			}
+		}
+	}
+}
+
+func serialReach(g *graph.Directed, root graph.V, forward bool) []bool {
+	seen := make([]bool, g.NumVertices())
+	seen[root] = true
+	queue := []graph.V{root}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		var ns []graph.V
+		if forward {
+			ns = g.Out(u)
+		} else {
+			ns = g.In(u)
+		}
+		for _, v := range ns {
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return seen
+}
+
+func TestEnhancedReachDirected(t *testing.T) {
+	g := gen.RMAT(9, 8, 3)
+	root := g.MaxOutDegreeVertex()
+	for _, mode := range []Mode{ModePlain, ModeDirOpt, ModeEnhanced} {
+		fwd := EnhancedReach(ForwardAdj(g), root, nil, Options{Threads: 3}, mode)
+		wantF := serialReach(g, root, true)
+		bwd := EnhancedReach(BackwardAdj(g), root, nil, Options{Threads: 3}, mode)
+		wantB := serialReach(g, root, false)
+		for v := 0; v < g.NumVertices(); v++ {
+			if fwd.Get(graph.V(v)) != wantF[v] {
+				t.Fatalf("mode=%d: fwd[%d] = %v, want %v", mode, v, fwd.Get(graph.V(v)), wantF[v])
+			}
+			if bwd.Get(graph.V(v)) != wantB[v] {
+				t.Fatalf("mode=%d: bwd[%d] = %v, want %v", mode, v, bwd.Get(graph.V(v)), wantB[v])
+			}
+		}
+	}
+}
+
+func TestEnhancedReachCandidateFilter(t *testing.T) {
+	g := gen.Path(10)
+	// Restrict to vertices < 5: reach from 0 must stop at 4.
+	vis := EnhancedReach(UndirectedAdj(g), 0, func(v graph.V) bool { return v < 5 },
+		Options{Threads: 2}, ModeEnhanced)
+	for v := 0; v < 10; v++ {
+		want := v < 5
+		if vis.Get(graph.V(v)) != want {
+			t.Errorf("visited[%d] = %v, want %v", v, vis.Get(graph.V(v)), want)
+		}
+	}
+}
+
+func TestConstrainedAPCheck(t *testing.T) {
+	g := gen.PaperExampleUndirected()
+	tree := NewTree(g.NumVertices())
+	tree.RunForest(g, 5, nil, Options{Threads: 1})
+	s := NewScratch(g.NumVertices())
+
+	// Vertex 1's parent is 5 (1 is only adjacent to 5). Removing 5 strands 1:
+	// the check must NOT reach level[5] and must report region {1}.
+	if tree.Parent[1] != 5 {
+		t.Fatalf("unexpected tree: parent[1] = %d", tree.Parent[1])
+	}
+	reached, region := s.Run(g, Constraint{
+		Start: 1, BannedVertex: 5, BannedEdge: -1,
+		Bound: tree.Level[5], Level: tree.Level,
+	})
+	if reached {
+		t.Errorf("check from 1 avoiding 5 should fail to reach level 0")
+	}
+	if len(region) != 1 || region[0] != 1 {
+		t.Errorf("region = %v, want [1]", region)
+	}
+
+	// Vertex 0 is on the cycle 0-2-6-5: avoiding 5, vertex 0 still reaches it
+	// via 2-6... but the bound is level[parent[0]]; parent[0] = 5 (root).
+	reached, _ = s.Run(g, Constraint{
+		Start: 0, BannedVertex: 5, BannedEdge: -1,
+		Bound: tree.Level[5], Level: tree.Level,
+	})
+	if reached {
+		t.Errorf("no other level-0 vertex exists in this component; must not 'reach'")
+	}
+}
+
+func TestConstrainedBridgeCheck(t *testing.T) {
+	g := gen.Cycle(6)
+	tree := NewTree(6)
+	tree.Run(g, 0, nil, Options{Threads: 1})
+	s := NewScratch(6)
+	// On a cycle no edge is a bridge: from child 1 avoiding edge (0,1) the BFS
+	// walks around and reaches 0 (level 0 <= bound 0).
+	e01 := g.EdgeIDOf(0, 1)
+	reached, _ := s.Run(g, Constraint{
+		Start: 1, BannedVertex: graph.NoVertex, BannedEdge: e01,
+		Bound: 0, Level: tree.Level,
+	})
+	if !reached {
+		t.Errorf("cycle edge flagged as bridge")
+	}
+
+	// On a path every edge is a bridge.
+	pg := gen.Path(6)
+	ptree := NewTree(6)
+	ptree.Run(pg, 0, nil, Options{Threads: 1})
+	ps := NewScratch(6)
+	reached, region := ps.Run(pg, Constraint{
+		Start: 3, BannedVertex: graph.NoVertex, BannedEdge: pg.EdgeIDOf(2, 3),
+		Bound: ptree.Level[2], Level: ptree.Level,
+	})
+	if reached {
+		t.Errorf("path edge not detected as bridge")
+	}
+	if len(region) != 3 {
+		t.Errorf("region size = %d, want 3 ({3,4,5})", len(region))
+	}
+}
+
+func TestConstrainedBlockedEdges(t *testing.T) {
+	g := gen.Cycle(6)
+	tree := NewTree(6)
+	tree.Run(g, 0, nil, Options{Threads: 1})
+	s := NewScratch(6)
+	blockedID := g.EdgeIDOf(3, 4)
+	reached, _ := s.Run(g, Constraint{
+		Start: 1, BannedVertex: 0, BannedEdge: -1,
+		Bound: 0, Level: tree.Level,
+		Blocked: func(e int64) bool { return e == blockedID },
+	})
+	// Avoiding vertex 0 and with edge 3-4 blocked, vertex 1 explores 1-2-3 and
+	// never reaches level 0.
+	if reached {
+		t.Errorf("blocked edge was traversed")
+	}
+}
+
+func TestScratchEpochReuse(t *testing.T) {
+	g := gen.Path(4)
+	tree := NewTree(4)
+	tree.Run(g, 0, nil, Options{Threads: 1})
+	s := NewScratch(4)
+	for i := 0; i < 100; i++ {
+		reached, region := s.Run(g, Constraint{
+			Start: 2, BannedVertex: graph.NoVertex, BannedEdge: g.EdgeIDOf(1, 2),
+			Bound: tree.Level[1], Level: tree.Level,
+		})
+		if reached || len(region) != 2 {
+			t.Fatalf("iteration %d: reached=%v region=%v", i, reached, region)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package bfs
+
+import (
+	"runtime"
+	"sync"
+
+	"aquila/internal/bitmap"
+	"aquila/internal/graph"
+	"aquila/internal/parallel"
+)
+
+// Mode selects how much of the paper's enhanced-BFS machinery is active —
+// the ablation knob behind Fig. 10's "enhanced parallel BFS" bars.
+type Mode int
+
+const (
+	// ModePlain is a single-pivot, synchronous, top-down-only parallel BFS.
+	ModePlain Mode = iota
+	// ModeDirOpt adds direction-optimized traversal (bottom-up phases).
+	ModeDirOpt
+	// ModeEnhanced adds multi-pivot sampling and the relaxed-synchronization
+	// schedule (Sync top-down → Rsync bottom-up → Async top-down, §5.3).
+	ModeEnhanced
+)
+
+// Adjacency abstracts the two traversal directions so the same enhanced
+// traversal serves undirected CC and directed forward/backward reachability.
+// Fwd(u) lists the vertices reachable from u in one hop; Rev(v) lists the
+// vertices that reach v in one hop (equal for undirected graphs).
+type Adjacency struct {
+	N   int
+	Fwd func(graph.V) []graph.V
+	Rev func(graph.V) []graph.V
+	// TotalArcs is the number of (directed) arcs, used by the direction
+	// switch heuristic.
+	TotalArcs int64
+}
+
+// UndirectedAdj adapts an undirected graph.
+func UndirectedAdj(g *graph.Undirected) Adjacency {
+	return Adjacency{
+		N:         g.NumVertices(),
+		Fwd:       g.Neighbors,
+		Rev:       g.Neighbors,
+		TotalArcs: 2 * g.NumEdges(),
+	}
+}
+
+// ForwardAdj adapts a directed graph for forward reachability.
+func ForwardAdj(g *graph.Directed) Adjacency {
+	return Adjacency{N: g.NumVertices(), Fwd: g.Out, Rev: g.In, TotalArcs: g.NumArcs()}
+}
+
+// BackwardAdj adapts a directed graph for backward reachability.
+func BackwardAdj(g *graph.Directed) Adjacency {
+	return Adjacency{N: g.NumVertices(), Fwd: g.In, Rev: g.Out, TotalArcs: g.NumArcs()}
+}
+
+// EnhancedReach computes the set of vertices reachable from master (over adj,
+// restricted to vertices where candidate returns true; candidate may be nil).
+// In ModeEnhanced it seeds additional pivots from master's forward neighbors —
+// all trivially reachable, so the visited set is unchanged while the first
+// levels fan out across threads (multi-pivot sampling, §5.3) — and runs the
+// relaxed-synchronization schedule. Connectivity needs no BFS levels, which is
+// exactly why the relaxation is sound.
+func EnhancedReach(adj Adjacency, master graph.V, candidate func(graph.V) bool, opt Options, mode Mode) *bitmap.Atomic {
+	visited := bitmap.NewAtomic(adj.N)
+	if candidate != nil && !candidate(master) {
+		return visited
+	}
+	p := parallel.Threads(opt.Threads)
+	visited.Set(master)
+	frontier := []graph.V{master}
+	if mode == ModeEnhanced {
+		// Multi-pivot sampling: up to p of master's neighbors join the seed
+		// frontier so the first expansion is already parallel.
+		for _, v := range adj.Fwd(master) {
+			if len(frontier) > p {
+				break
+			}
+			if (candidate == nil || candidate(v)) && visited.TrySet(v) {
+				frontier = append(frontier, v)
+			}
+		}
+	}
+
+	useBottomUp := mode != ModePlain && !opt.NoBottomUp
+	bottomUp := false
+	n := adj.N
+	for {
+		if useBottomUp && !bottomUp {
+			var mf int64
+			for _, u := range frontier {
+				mf += int64(len(adj.Fwd(u)))
+			}
+			if mf > adj.TotalArcs/opt.alpha() && len(frontier) > p {
+				bottomUp = true
+			}
+		}
+		if bottomUp {
+			produced := reachBottomUp(adj, visited, candidate, p, mode)
+			if produced == 0 {
+				return visited
+			}
+			if produced < int64(n)/opt.beta() {
+				bottomUp = false
+				frontier = collectRecent(adj, visited, candidate, p)
+				if len(frontier) == 0 {
+					return visited
+				}
+			}
+			continue
+		}
+		if len(frontier) == 0 {
+			return visited
+		}
+		if mode == ModeEnhanced {
+			frontier = asyncTopDown(adj, visited, candidate, frontier, p)
+			return visited
+		}
+		frontier = reachTopDown(adj, visited, candidate, frontier, p)
+	}
+}
+
+// reachTopDown is one synchronous top-down expansion step.
+func reachTopDown(adj Adjacency, visited *bitmap.Atomic, candidate func(graph.V) bool, frontier []graph.V, p int) []graph.V {
+	locals := make([][]graph.V, p)
+	parallel.ForChunksDynamic(0, len(frontier), p, 64, func(lo, hi, w int) {
+		buf := locals[w]
+		for i := lo; i < hi; i++ {
+			for _, v := range adj.Fwd(frontier[i]) {
+				if candidate != nil && !candidate(v) {
+					continue
+				}
+				if visited.TrySet(v) {
+					buf = append(buf, v)
+				}
+			}
+		}
+		locals[w] = buf
+	})
+	next := frontier[:0]
+	for _, buf := range locals {
+		next = append(next, buf...)
+	}
+	return next
+}
+
+// reachBottomUp is one bottom-up pass: every unvisited candidate checks its
+// reverse neighbors for a visited one. In ModeEnhanced the pass is relaxed
+// (Rsync): bits set earlier in the same pass are observed, letting reachability
+// race ahead of strict level order — harmless for connectivity and fewer
+// passes overall.
+func reachBottomUp(adj Adjacency, visited *bitmap.Atomic, candidate func(graph.V) bool, p int, mode Mode) int64 {
+	var produced int64
+	parallel.ForBlocks(0, adj.N, p, func(lo, hi, _ int) {
+		var local int64
+		for v := lo; v < hi; v++ {
+			vv := graph.V(v)
+			if visited.Get(vv) || (candidate != nil && !candidate(vv)) {
+				continue
+			}
+			for _, u := range adj.Rev(vv) {
+				if visited.Get(u) {
+					visited.Set(vv)
+					local++
+					break
+				}
+			}
+		}
+		parallel.AddI64(&produced, local)
+	})
+	_ = mode // Rsync is inherent: Get observes same-pass Sets.
+	return produced
+}
+
+// collectRecent rebuilds an explicit frontier after bottom-up phases: the
+// visited vertices that still have an unvisited candidate forward-neighbor.
+func collectRecent(adj Adjacency, visited *bitmap.Atomic, candidate func(graph.V) bool, p int) []graph.V {
+	locals := make([][]graph.V, p)
+	parallel.ForBlocks(0, adj.N, p, func(lo, hi, w int) {
+		buf := locals[w]
+		for v := lo; v < hi; v++ {
+			vv := graph.V(v)
+			if !visited.Get(vv) {
+				continue
+			}
+			for _, u := range adj.Fwd(vv) {
+				if !visited.Get(u) && (candidate == nil || candidate(u)) {
+					buf = append(buf, vv)
+					break
+				}
+			}
+		}
+		locals[w] = buf
+	})
+	var out []graph.V
+	for _, buf := range locals {
+		out = append(out, buf...)
+	}
+	return out
+}
+
+// asyncTopDown drains the remaining traversal without level barriers: workers
+// pull chunks from a shared queue and push what they discover, terminating
+// when the queue is empty and no work is in flight. This is the paper's final
+// "Async top-down" phase.
+func asyncTopDown(adj Adjacency, visited *bitmap.Atomic, candidate func(graph.V) bool, seed []graph.V, p int) []graph.V {
+	if p == 1 {
+		// Single worker: the shared queue and in-flight accounting would be
+		// pure overhead; drain with a plain local queue.
+		queue := append([]graph.V(nil), seed...)
+		for head := 0; head < len(queue); head++ {
+			for _, v := range adj.Fwd(queue[head]) {
+				if candidate != nil && !candidate(v) {
+					continue
+				}
+				if visited.TrySet(v) {
+					queue = append(queue, v)
+				}
+			}
+		}
+		return nil
+	}
+	var (
+		mu      sync.Mutex
+		queue   = append([]graph.V(nil), seed...)
+		pending = int64(len(seed))
+	)
+	parallel.Run(p, func(_ int) {
+		local := make([]graph.V, 0, 256)
+		for {
+			mu.Lock()
+			if len(queue) == 0 {
+				if parallel.AddI64(&pending, 0) == 0 {
+					mu.Unlock()
+					return
+				}
+				mu.Unlock()
+				runtime.Gosched() // other workers still own in-flight items
+				continue
+			}
+			take := len(queue)
+			if take > 128 {
+				take = 128
+			}
+			batch := queue[len(queue)-take:]
+			local = append(local[:0], batch...)
+			queue = queue[:len(queue)-take]
+			mu.Unlock()
+
+			discovered := make([]graph.V, 0, 256)
+			for i := 0; i < len(local); i++ {
+				u := local[i]
+				for _, v := range adj.Fwd(u) {
+					if candidate != nil && !candidate(v) {
+						continue
+					}
+					if visited.TrySet(v) {
+						// Keep expanding locally up to a bound, then share.
+						if len(local) < 4096 {
+							local = append(local, v)
+							parallel.AddI64(&pending, 1)
+						} else {
+							discovered = append(discovered, v)
+						}
+					}
+				}
+				parallel.AddI64(&pending, -1)
+			}
+			if len(discovered) > 0 {
+				mu.Lock()
+				queue = append(queue, discovered...)
+				mu.Unlock()
+				parallel.AddI64(&pending, int64(len(discovered)))
+			}
+		}
+	})
+	return nil
+}

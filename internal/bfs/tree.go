@@ -1,0 +1,223 @@
+// Package bfs implements the parallel breadth-first-search machinery behind
+// every Aquila algorithm (paper §2.2 and §5.3):
+//
+//   - Tree: level-synchronous, direction-optimizing BFS that records levels
+//     and parents — the scaffold BiCC/BgCC build on.
+//   - EnhancedReach: the paper's enhanced traversal for the few large tasks —
+//     multi-pivot sampling plus the Sync top-down → Rsync bottom-up → Async
+//     top-down schedule, valid because connectivity does not need correct BFS
+//     levels.
+//   - Scratch.Run: the small constrained BFS (vertex- or edge-avoiding, early
+//     exit at a level bound) that BiCC/BgCC run once per surviving check,
+//     task-parallel.
+package bfs
+
+import (
+	"sync/atomic"
+
+	"aquila/internal/graph"
+	"aquila/internal/parallel"
+)
+
+// Options tunes the parallel traversals.
+type Options struct {
+	// Threads is the worker count (0 = GOMAXPROCS).
+	Threads int
+	// NoBottomUp disables the bottom-up direction (ablation switch).
+	NoBottomUp bool
+	// Alpha and Beta are the Beamer direction-switch parameters; zero means
+	// the defaults (15 and 20).
+	Alpha, Beta int
+}
+
+func (o Options) alpha() int64 {
+	if o.Alpha <= 0 {
+		return 15
+	}
+	return int64(o.Alpha)
+}
+
+func (o Options) beta() int64 {
+	if o.Beta <= 0 {
+		return 20
+	}
+	return int64(o.Beta)
+}
+
+// Tree holds a BFS forest: levels and parents per vertex. Unvisited vertices
+// have Level -1 and Parent NoVertex. A Tree can accumulate several Run calls
+// with different roots to cover multiple components.
+type Tree struct {
+	Level  []int32
+	Parent []graph.V
+	// MaxLevel is the deepest level over all Run calls so far.
+	MaxLevel int32
+	// Visited counts visited vertices over all Run calls so far.
+	Visited int
+	// TopDownSteps and BottomUpSteps count the direction decisions taken —
+	// observable evidence that the Beamer switch actually engages.
+	TopDownSteps, BottomUpSteps int
+}
+
+// NewTree allocates a Tree for n vertices with everything unvisited.
+func NewTree(n int) *Tree {
+	t := &Tree{Level: make([]int32, n), Parent: make([]graph.V, n)}
+	for i := range t.Level {
+		t.Level[i] = -1
+		t.Parent[i] = graph.NoVertex
+	}
+	return t
+}
+
+// Run performs a level-synchronous, direction-optimizing parallel BFS from
+// root over the subgraph of non-removed vertices (removed may be nil). It
+// fills in Level and Parent for the reached component.
+func (t *Tree) Run(g *graph.Undirected, root graph.V, removed []bool, opt Options) {
+	if removed != nil && removed[root] {
+		return
+	}
+	if t.Level[root] != -1 {
+		return
+	}
+	n := g.NumVertices()
+	p := parallel.Threads(opt.Threads)
+	t.Level[root] = 0
+	t.Parent[root] = root
+	t.Visited++
+	frontier := []graph.V{root}
+	cur := int32(0)
+	totalDeg := 2 * g.NumEdges()
+	bottomUp := false
+
+	for len(frontier) > 0 || bottomUp {
+		if !bottomUp && !opt.NoBottomUp {
+			// Estimate frontier out-edges; switch when the frontier is dense.
+			var mf int64
+			for _, u := range frontier {
+				mf += int64(g.Degree(u))
+			}
+			if mf > totalDeg/opt.alpha() && len(frontier) > p {
+				bottomUp = true
+			}
+		}
+		var produced int64
+		if bottomUp {
+			t.BottomUpSteps++
+			produced = t.stepBottomUp(g, cur, removed, p)
+			if produced < int64(n)/opt.beta() {
+				// Shrinking frontier: return to top-down; rebuild the
+				// explicit frontier by scanning the new level.
+				bottomUp = false
+				frontier = t.collectLevel(g, cur+1, p)
+			}
+		} else {
+			t.TopDownSteps++
+			frontier = t.stepTopDown(g, frontier, cur, removed, p)
+			produced = int64(len(frontier))
+		}
+		if produced == 0 {
+			break
+		}
+		cur++
+		t.Visited += int(produced)
+	}
+	if cur > t.MaxLevel {
+		t.MaxLevel = cur
+	}
+}
+
+// stepTopDown expands the explicit frontier at level cur, claiming unvisited
+// neighbors with CAS-like writes guarded by the atomic level transition.
+func (t *Tree) stepTopDown(g *graph.Undirected, frontier []graph.V, cur int32, removed []bool, p int) []graph.V {
+	locals := make([][]graph.V, p)
+	parallel.ForChunksDynamic(0, len(frontier), p, 64, func(lo, hi, w int) {
+		buf := locals[w]
+		for i := lo; i < hi; i++ {
+			u := frontier[i]
+			for _, v := range g.Neighbors(u) {
+				if removed != nil && removed[v] {
+					continue
+				}
+				if claimLevel(&t.Level[v], cur+1) {
+					t.Parent[v] = u
+					buf = append(buf, v)
+				}
+			}
+		}
+		locals[w] = buf
+	})
+	next := frontier[:0]
+	for _, buf := range locals {
+		next = append(next, buf...)
+	}
+	return next
+}
+
+// stepBottomUp scans every unvisited vertex for a neighbor at level cur; only
+// the owner writes its level, so no atomics are needed.
+func (t *Tree) stepBottomUp(g *graph.Undirected, cur int32, removed []bool, p int) int64 {
+	var produced int64
+	parallel.ForBlocks(0, g.NumVertices(), p, func(lo, hi, _ int) {
+		var local int64
+		for v := lo; v < hi; v++ {
+			if t.Level[v] != -1 || (removed != nil && removed[v]) {
+				continue
+			}
+			for _, u := range g.Neighbors(graph.V(v)) {
+				// Atomic load: other workers are concurrently storing the
+				// levels of their own vertices. A fresh cur+1 value can never
+				// be mistaken for cur, so races are benign but must still be
+				// data-race-free.
+				if atomic.LoadInt32(&t.Level[u]) == cur {
+					atomic.StoreInt32(&t.Level[v], cur+1)
+					t.Parent[v] = u
+					local++
+					break
+				}
+			}
+		}
+		parallel.AddI64(&produced, local)
+	})
+	return produced
+}
+
+// collectLevel gathers the vertices at the given level into a frontier slice.
+func (t *Tree) collectLevel(g *graph.Undirected, level int32, p int) []graph.V {
+	locals := make([][]graph.V, p)
+	parallel.ForBlocks(0, g.NumVertices(), p, func(lo, hi, w int) {
+		buf := locals[w]
+		for v := lo; v < hi; v++ {
+			if t.Level[v] == level {
+				buf = append(buf, graph.V(v))
+			}
+		}
+		locals[w] = buf
+	})
+	var out []graph.V
+	for _, buf := range locals {
+		out = append(out, buf...)
+	}
+	return out
+}
+
+// RunForest runs Run from every not-yet-visited, non-removed vertex, building
+// a spanning forest. Roots are chosen in a fixed order: the supplied primary
+// root first (typically the max-degree vertex), then ascending vertex id.
+func (t *Tree) RunForest(g *graph.Undirected, primary graph.V, removed []bool, opt Options) {
+	t.Run(g, primary, removed, opt)
+	small := opt
+	// Small leftover components do not profit from bottom-up scans over the
+	// whole vertex array.
+	small.NoBottomUp = true
+	for v := 0; v < g.NumVertices(); v++ {
+		if t.Level[v] == -1 && (removed == nil || !removed[v]) {
+			t.Run(g, graph.V(v), removed, small)
+		}
+	}
+}
+
+// claimLevel atomically transitions a level slot from -1 to lvl, reporting
+// whether this call won.
+func claimLevel(addr *int32, lvl int32) bool {
+	return atomic.CompareAndSwapInt32(addr, -1, lvl)
+}

@@ -1,0 +1,153 @@
+package bgcc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aquila/internal/baseline/serialdfs"
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+	"aquila/internal/verify"
+)
+
+func suite() map[string]*graph.Undirected {
+	return map[string]*graph.Undirected{
+		"paper":    gen.PaperExampleUndirected(),
+		"path":     gen.Path(20),
+		"cycle":    gen.Cycle(15),
+		"star":     gen.Star(12),
+		"barbell":  gen.BarbellWithBridge(5),
+		"complete": gen.Complete(7),
+		"random1":  gen.RandomUndirected(120, 200, 21),
+		"sparse":   gen.RandomUndirected(150, 120, 22),
+		"social":   graph.Undirect(gen.Social(gen.SocialConfig{GiantVertices: 400, GiantAvgDeg: 4, SmallComps: 25, SmallMaxSize: 5, Isolated: 10, MutualFrac: 0.3, Seed: 23})),
+	}
+}
+
+func allOptions() []Options {
+	return []Options{
+		{Threads: 1},
+		{Threads: 4},
+		{Threads: 4, NoTrim: true},
+		{Threads: 4, NoSPO: true},
+		{Threads: 4, NoTrim: true, NoSPO: true},
+		{Threads: 4, NoAdaptive: true},
+		{Threads: 3, NoTrim: true, NoSPO: true, NoAdaptive: true},
+	}
+}
+
+func TestBridgesMatchSerialAllConfigs(t *testing.T) {
+	for name, g := range suite() {
+		want := serialdfs.Bridges(g)
+		for _, opt := range allOptions() {
+			res := Run(g, opt)
+			if err := verify.BridgeSetEqual(res.IsBridge, want); err != nil {
+				t.Fatalf("%s %+v: %v", name, opt, err)
+			}
+		}
+	}
+}
+
+func TestLabelsMatchSerialAllConfigs(t *testing.T) {
+	for name, g := range suite() {
+		want := serialdfs.BgCC(g)
+		for _, opt := range allOptions() {
+			res := Run(g, opt)
+			if err := verify.SamePartition(res.Label, want); err != nil {
+				t.Fatalf("%s %+v: %v", name, opt, err)
+			}
+		}
+	}
+}
+
+func TestPaperExampleCensus(t *testing.T) {
+	g := gen.PaperExampleUndirected()
+	res := Run(g, Options{Threads: 2})
+	if res.NumComponents != 6 {
+		t.Fatalf("NumComponents = %d, want 6", res.NumComponents)
+	}
+	if res.Stats.Bridges != 3 {
+		t.Errorf("Bridges = %d, want 3", res.Stats.Bridges)
+	}
+	if res.LargestSize != 7 {
+		t.Errorf("LargestSize = %d, want 7 ({0,2,3,4,5,6,7})", res.LargestSize)
+	}
+}
+
+func TestBridgeOnlySkipsLabels(t *testing.T) {
+	g := gen.PaperExampleUndirected()
+	res := Run(g, Options{Threads: 2, BridgeOnly: true})
+	if res.Label != nil {
+		t.Errorf("BridgeOnly still labeled components")
+	}
+	want := serialdfs.Bridges(g)
+	if err := verify.BridgeSetEqual(res.IsBridge, want); err != nil {
+		t.Errorf("%v", err)
+	}
+}
+
+func TestWorkloadReductionStats(t *testing.T) {
+	g := suite()["social"]
+	res := Run(g, Options{Threads: 4})
+	st := res.Stats
+	if st.SkippedTrim+st.SkippedSPO == 0 {
+		t.Errorf("no workload reduction: %+v", st)
+	}
+	resNo := Run(g, Options{Threads: 4, NoSPO: true, NoTrim: true})
+	if resNo.Stats.Ran <= st.Ran {
+		t.Errorf("disabling reductions did not increase checks: %d <= %d", resNo.Stats.Ran, st.Ran)
+	}
+	if resNo.Stats.Candidates != resNo.Stats.Ran+resNo.Stats.SkippedMarked {
+		t.Errorf("with reductions off, every unmarked candidate must run: %+v", resNo.Stats)
+	}
+}
+
+func TestLabelsAreCanonicalMinID(t *testing.T) {
+	for name, g := range suite() {
+		want := serialdfs.BgCC(g)
+		res := Run(g, Options{Threads: 2})
+		for v := range want {
+			if res.Label[v] != want[v] {
+				t.Fatalf("%s: Label[%d] = %d, want %d", name, v, res.Label[v], want[v])
+			}
+		}
+	}
+}
+
+func TestEmptyAndTiny(t *testing.T) {
+	empty := graph.BuildUndirected(0, nil)
+	res := Run(empty, Options{Threads: 2})
+	if res.NumComponents != 0 {
+		t.Errorf("empty graph: %+v", res)
+	}
+	edge := graph.BuildUndirected(2, []graph.Edge{{U: 0, V: 1}})
+	res = Run(edge, Options{Threads: 2})
+	if res.Stats.Bridges != 1 || res.NumComponents != 2 {
+		t.Errorf("single edge: bridges=%d comps=%d, want 1/2", res.Stats.Bridges, res.NumComponents)
+	}
+}
+
+// Property: arbitrary graphs, all configs match the serial oracle.
+func TestRunProperty(t *testing.T) {
+	f := func(raw []uint16, seed uint16) bool {
+		const n = 32
+		edges := make([]graph.Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, graph.Edge{U: graph.V(raw[i] % n), V: graph.V(raw[i+1] % n)})
+		}
+		g := graph.BuildUndirected(n, edges)
+		opt := Options{
+			Threads: int(seed%4) + 1,
+			NoTrim:  seed%2 == 0,
+			NoSPO:   seed%3 == 0,
+		}
+		res := Run(g, opt)
+		if verify.BridgeSetEqual(res.IsBridge, serialdfs.Bridges(g)) != nil {
+			return false
+		}
+		return verify.SamePartition(res.Label, serialdfs.BgCC(g)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,36 @@
+package bicc
+
+import (
+	"testing"
+
+	"aquila/internal/baseline/serialdfs"
+	"aquila/internal/graph"
+	"aquila/internal/verify"
+)
+
+// FuzzBiCCMatchesOracle decodes arbitrary bytes into an edge list and checks
+// that the parallel decomposition always matches Hopcroft–Tarjan.
+func FuzzBiCCMatchesOracle(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 2, 0}, uint8(2))
+	f.Add([]byte{0, 1, 1, 2, 2, 3, 3, 4}, uint8(1))
+	f.Add([]byte{}, uint8(4))
+	f.Fuzz(func(t *testing.T, raw []byte, threads uint8) {
+		const n = 24
+		edges := make([]graph.Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, graph.Edge{U: graph.V(raw[i] % n), V: graph.V(raw[i+1] % n)})
+		}
+		g := graph.BuildUndirected(n, edges)
+		truth := serialdfs.BiCC(g)
+		res := Run(g, Options{Threads: int(threads%4) + 1})
+		if err := verify.SameBoolSet(res.IsAP, truth.IsAP, "aps"); err != nil {
+			t.Fatal(err)
+		}
+		if res.NumBlocks != truth.NumBlocks {
+			t.Fatalf("NumBlocks = %d, want %d", res.NumBlocks, truth.NumBlocks)
+		}
+		if err := verify.SameEdgePartition(res.BlockOf, truth.BlockOf); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,115 @@
+package bitmap
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitmapBasics(t *testing.T) {
+	b := New(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	for _, i := range []uint32{0, 1, 63, 64, 127, 129} {
+		if b.Get(i) {
+			t.Errorf("bit %d set before Set", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Errorf("bit %d not set after Set", i)
+		}
+	}
+	if got := b.Count(); got != 6 {
+		t.Errorf("Count = %d, want 6", got)
+	}
+	b.Clear(63)
+	if b.Get(63) {
+		t.Errorf("bit 63 set after Clear")
+	}
+	b.Reset()
+	if got := b.Count(); got != 0 {
+		t.Errorf("Count after Reset = %d", got)
+	}
+}
+
+func TestAtomicBasics(t *testing.T) {
+	b := NewAtomic(200)
+	if b.Get(100) {
+		t.Errorf("fresh bit set")
+	}
+	b.Set(100)
+	if !b.Get(100) {
+		t.Errorf("bit not set")
+	}
+	if b.TrySet(100) {
+		t.Errorf("TrySet on a set bit should report false")
+	}
+	if !b.TrySet(101) {
+		t.Errorf("TrySet on a clear bit should report true")
+	}
+	if got := b.Count(); got != 2 {
+		t.Errorf("Count = %d, want 2", got)
+	}
+}
+
+func TestAtomicTrySetExactlyOneWinner(t *testing.T) {
+	const n = 4096
+	b := NewAtomic(n)
+	var wins int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := uint32(0); i < n; i++ {
+				if b.TrySet(i) {
+					atomic.AddInt64(&wins, 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if wins != n {
+		t.Errorf("total wins = %d, want %d (each bit claimed exactly once)", wins, n)
+	}
+	if b.Count() != n {
+		t.Errorf("Count = %d, want %d", b.Count(), n)
+	}
+}
+
+func TestPopcountMatchesNaive(t *testing.T) {
+	f := func(x uint64) bool {
+		naive := 0
+		for v := x; v != 0; v >>= 1 {
+			naive += int(v & 1)
+		}
+		return popcount(x) == naive
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Bitmap and Atomic agree for any set of indices.
+func TestBitmapAtomicEquivalence(t *testing.T) {
+	f := func(idx []uint16) bool {
+		const n = 1 << 16
+		b := New(n)
+		a := NewAtomic(n)
+		for _, i := range idx {
+			b.Set(uint32(i))
+			a.Set(uint32(i))
+		}
+		for _, i := range idx {
+			if b.Get(uint32(i)) != a.Get(uint32(i)) {
+				return false
+			}
+		}
+		return b.Count() == a.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

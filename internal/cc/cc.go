@@ -1,0 +1,175 @@
+// Package cc implements Aquila's connected-components computation (paper
+// §6.2): trim the trivial patterns, compute the single large component with
+// the enhanced data-parallel BFS, and sweep the many small components with
+// task-parallel label propagation. WCC is the same computation over the
+// undirected view of a directed graph (graph.Undirect).
+package cc
+
+import (
+	"aquila/internal/bfs"
+	"aquila/internal/graph"
+	"aquila/internal/lp"
+	"aquila/internal/parallel"
+	"aquila/internal/trim"
+)
+
+// Options selects threads and the ablation toggles measured in Fig. 10.
+type Options struct {
+	// Threads is the worker count (0 = GOMAXPROCS).
+	Threads int
+	// NoTrim disables the Fig. 7a/7b trims.
+	NoTrim bool
+	// NoAdaptive disables the adaptive large/small split: every component is
+	// computed by BFS (the paper's parallel-BFS baseline in Fig. 10).
+	NoAdaptive bool
+	// Mode selects the parallel-BFS flavour for the large component.
+	Mode bfs.Mode
+}
+
+// Stats reports where the work went.
+type Stats struct {
+	// TrimmedOrphans and TrimmedPairs are vertices resolved by trimming.
+	TrimmedOrphans, TrimmedPairs int
+	// LargestByBFS is the size of the component computed data-parallel.
+	LargestByBFS int
+	// SmallByLP is the number of vertices swept by label propagation.
+	SmallByLP int
+}
+
+// Result is a component labeling: every vertex in a component shares the
+// label, and the label is the smallest vertex id in the component.
+type Result struct {
+	Label []uint32
+	// NumComponents is the number of distinct components.
+	NumComponents int
+	// LargestLabel and LargestSize identify the biggest component.
+	LargestLabel uint32
+	LargestSize  int
+	// Sizes maps each component label to its vertex count.
+	Sizes map[uint32]int
+	Stats Stats
+}
+
+// Run computes the connected components of g under opt.
+func Run(g *graph.Undirected, opt Options) *Result {
+	n := g.NumVertices()
+	res := &Result{Label: make([]uint32, n)}
+	for i := range res.Label {
+		res.Label[i] = graph.NoVertex
+	}
+	if n == 0 {
+		res.Sizes = map[uint32]int{}
+		return res
+	}
+	p := parallel.Threads(opt.Threads)
+
+	if !opt.NoTrim {
+		res.Stats.TrimmedOrphans = trim.Orphans(g, res.Label, p)
+		res.Stats.TrimmedPairs = trim.Pairs(g, res.Label, p)
+	}
+
+	// Data-parallel phase: enhanced BFS from the max-degree master pivot,
+	// which heuristically sits in the single large component (§5.3).
+	master := g.MaxDegreeVertex()
+	if res.Label[master] == graph.NoVertex {
+		visited := bfs.EnhancedReach(bfs.UndirectedAdj(g), master,
+			func(v graph.V) bool { return res.Label[v] == graph.NoVertex },
+			bfs.Options{Threads: p}, opt.Mode)
+		minID := minVisited(visited.Get, n, p)
+		parallel.ForBlocks(0, n, p, func(lo, hi, _ int) {
+			for v := lo; v < hi; v++ {
+				if visited.Get(graph.V(v)) {
+					res.Label[v] = minID
+				}
+			}
+		})
+		res.Stats.LargestByBFS = visited.Count()
+	}
+
+	if opt.NoAdaptive {
+		runBFSOnly(g, res, p, opt.Mode)
+	} else {
+		res.Stats.SmallByLP = lpSweep(g, res.Label, p)
+	}
+
+	res.summarize(n, p)
+	return res
+}
+
+// lpSweep labels every still-unassigned vertex by min-label propagation over
+// the unassigned subgraph. It returns the number of vertices swept.
+func lpSweep(g *graph.Undirected, label []uint32, p int) int {
+	n := g.NumVertices()
+	active := make([]bool, n)
+	swept := 0
+	for v := 0; v < n; v++ {
+		if label[v] == graph.NoVertex {
+			active[v] = true
+			label[v] = uint32(v)
+			swept++
+		}
+	}
+	if swept == 0 {
+		return 0
+	}
+	lp.MinLabelCC(g, label, func(v graph.V) bool { return active[v] }, p)
+	return swept
+}
+
+// runBFSOnly is the non-adaptive fallback: one (parallel) BFS per remaining
+// component. Iterating vertex ids ascending makes each new root the minimum
+// id of its component, so labels stay canonical.
+func runBFSOnly(g *graph.Undirected, res *Result, p int, mode bfs.Mode) {
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		if res.Label[v] != graph.NoVertex {
+			continue
+		}
+		visited := bfs.EnhancedReach(bfs.UndirectedAdj(g), graph.V(v),
+			func(u graph.V) bool { return res.Label[u] == graph.NoVertex },
+			bfs.Options{Threads: p}, mode)
+		parallel.ForBlocks(0, n, p, func(lo, hi, _ int) {
+			for u := lo; u < hi; u++ {
+				if visited.Get(graph.V(u)) {
+					res.Label[u] = uint32(v)
+				}
+			}
+		})
+	}
+}
+
+// summarize fills the component census fields from the label array.
+func (r *Result) summarize(n, p int) {
+	counts := make([]int32, n)
+	parallel.ForBlocks(0, n, p, func(lo, hi, _ int) {
+		for v := lo; v < hi; v++ {
+			l := r.Label[v]
+			parallel.AddI32(&counts[l], 1)
+		}
+	})
+	r.Sizes = make(map[uint32]int)
+	for l, c := range counts {
+		if c > 0 {
+			r.Sizes[uint32(l)] = int(c)
+			r.NumComponents++
+			if int(c) > r.LargestSize {
+				r.LargestSize = int(c)
+				r.LargestLabel = uint32(l)
+			}
+		}
+	}
+}
+
+// minVisited finds the smallest vertex id for which in() is true.
+func minVisited(in func(graph.V) bool, n, p int) uint32 {
+	min := uint32(graph.NoVertex)
+	parallel.ForBlocks(0, n, p, func(lo, hi, _ int) {
+		for v := lo; v < hi; v++ {
+			if in(graph.V(v)) {
+				parallel.MinU32(&min, uint32(v))
+				break
+			}
+		}
+	})
+	return min
+}

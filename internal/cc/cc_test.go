@@ -1,0 +1,149 @@
+package cc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aquila/internal/baseline/serialdfs"
+	"aquila/internal/bfs"
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+	"aquila/internal/verify"
+)
+
+func suite() map[string]*graph.Undirected {
+	return map[string]*graph.Undirected{
+		"paper":    gen.PaperExampleUndirected(),
+		"path":     gen.Path(40),
+		"cycle":    gen.Cycle(33),
+		"star":     gen.Star(25),
+		"barbell":  gen.BarbellWithBridge(5),
+		"single":   gen.Path(1),
+		"twoIso":   graph.BuildUndirected(2, nil),
+		"random":   gen.RandomUndirected(500, 1000, 4),
+		"social":   graph.Undirect(gen.Social(gen.SocialConfig{GiantVertices: 800, GiantAvgDeg: 4, SmallComps: 40, SmallMaxSize: 5, Isolated: 25, MutualFrac: 0.3, Seed: 8})),
+		"rmatU":    graph.Undirect(gen.RMAT(9, 4, 5)),
+		"gridBlob": gen.Grid([][]bool{{true, true, false}, {false, true, false}, {true, false, true}}),
+	}
+}
+
+func TestRunMatchesSerialAllConfigs(t *testing.T) {
+	for name, g := range suite() {
+		want := serialdfs.CC(g)
+		for _, opt := range []Options{
+			{Threads: 1},
+			{Threads: 4},
+			{Threads: 4, NoTrim: true},
+			{Threads: 4, NoAdaptive: true},
+			{Threads: 4, Mode: bfs.ModePlain},
+			{Threads: 4, Mode: bfs.ModeDirOpt},
+			{Threads: 4, Mode: bfs.ModeEnhanced},
+			{Threads: 2, NoTrim: true, NoAdaptive: true, Mode: bfs.ModeEnhanced},
+		} {
+			res := Run(g, opt)
+			if err := verify.SamePartition(res.Label, want); err != nil {
+				t.Fatalf("%s %+v: %v", name, opt, err)
+			}
+			if err := verify.CheckCCInvariants(g, res.Label); err != nil {
+				t.Fatalf("%s %+v: invariants: %v", name, opt, err)
+			}
+		}
+	}
+}
+
+func TestLabelsAreCanonicalMinID(t *testing.T) {
+	// Labels must equal the serial oracle exactly (not just as a partition):
+	// both canonicalize to minimum vertex id.
+	for name, g := range suite() {
+		want := serialdfs.CC(g)
+		res := Run(g, Options{Threads: 3, Mode: bfs.ModeEnhanced})
+		for v := range want {
+			if res.Label[v] != want[v] {
+				t.Fatalf("%s: Label[%d] = %d, want %d", name, v, res.Label[v], want[v])
+			}
+		}
+		_ = name
+	}
+}
+
+func TestCensusPaperExample(t *testing.T) {
+	g := gen.PaperExampleUndirected()
+	res := Run(g, Options{Threads: 2})
+	if res.NumComponents != 3 {
+		t.Fatalf("NumComponents = %d, want 3", res.NumComponents)
+	}
+	if res.LargestSize != 8 {
+		t.Errorf("LargestSize = %d, want 8 (CC A)", res.LargestSize)
+	}
+	if res.LargestLabel != 0 {
+		t.Errorf("LargestLabel = %d, want 0", res.LargestLabel)
+	}
+	if res.Sizes[12] != 2 {
+		t.Errorf("Sizes[12] = %d, want 2", res.Sizes[12])
+	}
+}
+
+func TestTrimStats(t *testing.T) {
+	// 2 isolated + pair + triangle.
+	g := graph.BuildUndirected(7, []graph.Edge{
+		{U: 2, V: 3},
+		{U: 4, V: 5}, {U: 5, V: 6}, {U: 6, V: 4},
+	})
+	res := Run(g, Options{Threads: 2})
+	if res.Stats.TrimmedOrphans != 2 {
+		t.Errorf("TrimmedOrphans = %d, want 2", res.Stats.TrimmedOrphans)
+	}
+	if res.Stats.TrimmedPairs != 2 {
+		t.Errorf("TrimmedPairs = %d, want 2", res.Stats.TrimmedPairs)
+	}
+	if res.NumComponents != 4 {
+		t.Errorf("NumComponents = %d, want 4", res.NumComponents)
+	}
+}
+
+func TestAdaptiveSplitStats(t *testing.T) {
+	g := suite()["social"]
+	res := Run(g, Options{Threads: 4})
+	if res.Stats.LargestByBFS == 0 {
+		t.Errorf("giant component not computed by BFS")
+	}
+	if res.Stats.LargestByBFS < res.LargestSize {
+		t.Errorf("BFS phase covered %d < largest %d", res.Stats.LargestByBFS, res.LargestSize)
+	}
+	if res.Stats.SmallByLP == 0 {
+		t.Errorf("no vertices left for the LP sweep on a many-component graph")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.BuildUndirected(0, nil)
+	res := Run(g, Options{Threads: 2})
+	if res.NumComponents != 0 || len(res.Label) != 0 {
+		t.Errorf("empty graph mishandled: %+v", res)
+	}
+}
+
+// Property: on arbitrary random graphs every option combination yields the
+// serial partition.
+func TestRunProperty(t *testing.T) {
+	f := func(raw []uint16, seed uint16) bool {
+		const n = 48
+		edges := make([]graph.Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, graph.Edge{U: graph.V(raw[i] % n), V: graph.V(raw[i+1] % n)})
+		}
+		g := graph.BuildUndirected(n, edges)
+		want := serialdfs.CC(g)
+		opt := Options{
+			Threads:    int(seed%4) + 1,
+			NoTrim:     seed%2 == 0,
+			NoAdaptive: seed%3 == 0,
+			Mode:       bfs.Mode(seed % 3),
+		}
+		res := Run(g, opt)
+		return verify.SamePartition(res.Label, want) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,85 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"aquila"
+	"aquila/internal/gen"
+)
+
+func paperEngine() *aquila.Engine {
+	return aquila.NewDirectedEngine(gen.PaperExample(), aquila.Options{Threads: 2})
+}
+
+func TestAnswerAllQueries(t *testing.T) {
+	eng := paperEngine()
+	want := map[string]string{
+		"connected":          "false",
+		"strongly-connected": "false",
+		"num-cc":             "3 connected components",
+		"num-scc":            "6 strongly connected components",
+		"num-bicc":           "6 biconnected components",
+		"num-bgcc":           "6 bridgeless connected components",
+		"largest-scc":        "largest SCC: 7 vertices",
+		"in-largest-cc=5":    "true",
+		"in-largest-cc=13":   "false",
+	}
+	for q, expect := range want {
+		got, err := Answer(eng, q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if got != expect {
+			t.Errorf("%s = %q, want %q", q, got, expect)
+		}
+	}
+}
+
+func TestAnswerLargestCC(t *testing.T) {
+	got, err := Answer(paperEngine(), "largest-cc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "8 vertices") || !strings.Contains(got, "partial") {
+		t.Errorf("largest-cc = %q", got)
+	}
+}
+
+func TestAnswerAPsAndBridges(t *testing.T) {
+	eng := paperEngine()
+	got, _ := Answer(eng, "aps")
+	if !strings.HasPrefix(got, "2 articulation points") {
+		t.Errorf("aps = %q", got)
+	}
+	got, _ = Answer(eng, "bridges")
+	if !strings.HasPrefix(got, "3 bridges") {
+		t.Errorf("bridges = %q", got)
+	}
+}
+
+func TestAnswerHistogram(t *testing.T) {
+	got, err := Answer(paperEngine(), "histogram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"3 distinct sizes", "size        2", "size        4", "size        8"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("histogram missing %q:\n%s", frag, got)
+		}
+	}
+}
+
+func TestAnswerErrors(t *testing.T) {
+	eng := paperEngine()
+	for _, q := range []string{"nonsense", "in-largest-cc=abc", "in-largest-cc=999"} {
+		if _, err := Answer(eng, q); err == nil {
+			t.Errorf("query %q: want error", q)
+		}
+	}
+	// SCC queries on an undirected engine propagate ErrNotDirected.
+	und := aquila.NewEngine(gen.PaperExampleUndirected(), aquila.Options{})
+	if _, err := Answer(und, "num-scc"); err == nil {
+		t.Errorf("num-scc on undirected engine: want error")
+	}
+}

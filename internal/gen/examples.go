@@ -1,0 +1,104 @@
+package gen
+
+import "aquila/internal/graph"
+
+// PaperExample returns a 14-vertex directed graph reproducing every
+// connectivity property the paper states for its running example (Fig. 1 and
+// Fig. 4): 3 WCCs/CCs, 6 SCCs, 2 articulation points {5, 9} with AP 5 in three
+// different BiCCs, 3 bridges {1-5, 9-11, 12-13}, 6 BiCCs and 6 BgCCs, and a
+// trivially trimmable component {12, 13}.
+//
+// Layout:
+//
+//	CC A (0..7):  cycle 0→2→6→5→0 and cycle 5→3→7→4→5 (one big SCC through 5),
+//	              plus pendant 1→5 (bridge {1,5}).
+//	CC B (8..11): cycle 8→9→10→8, plus pendant 9→11 (bridge {9,11}).
+//	CC C (12,13): single arc 12→13 (bridge {12,13}).
+func PaperExample() *graph.Directed {
+	edges := []graph.Edge{
+		// CC A
+		{U: 0, V: 2}, {U: 2, V: 6}, {U: 6, V: 5}, {U: 5, V: 0},
+		{U: 5, V: 3}, {U: 3, V: 7}, {U: 7, V: 4}, {U: 4, V: 5},
+		{U: 1, V: 5},
+		// CC B
+		{U: 8, V: 9}, {U: 9, V: 10}, {U: 10, V: 8},
+		{U: 9, V: 11},
+		// CC C
+		{U: 12, V: 13},
+	}
+	return graph.BuildDirected(14, edges)
+}
+
+// PaperExampleUndirected is the undirected view of PaperExample, the form the
+// CC/BiCC/BgCC discussions in the paper use.
+func PaperExampleUndirected() *graph.Undirected {
+	return graph.Undirect(PaperExample())
+}
+
+// Path returns an undirected path 0-1-…-(n-1). Every internal vertex is an
+// articulation point and every edge is a bridge — the SPO worst case the
+// paper's §8 mentions can never cover a whole real graph.
+func Path(n int) *graph.Undirected {
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, graph.Edge{U: graph.V(i), V: graph.V(i + 1)})
+	}
+	return graph.BuildUndirected(n, edges)
+}
+
+// Cycle returns an undirected cycle over n vertices: one CC, one BiCC, one
+// BgCC, no APs, no bridges.
+func Cycle(n int) *graph.Undirected {
+	edges := make([]graph.Edge, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, graph.Edge{U: graph.V(i), V: graph.V((i + 1) % n)})
+	}
+	return graph.BuildUndirected(n, edges)
+}
+
+// Complete returns the undirected complete graph K_n.
+func Complete(n int) *graph.Undirected {
+	var edges []graph.Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, graph.Edge{U: graph.V(i), V: graph.V(j)})
+		}
+	}
+	return graph.BuildUndirected(n, edges)
+}
+
+// Star returns an undirected star with center 0 and n-1 leaves: the center is
+// the lone AP (for n ≥ 3) and every edge is a bridge.
+func Star(n int) *graph.Undirected {
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, graph.Edge{U: 0, V: graph.V(i)})
+	}
+	return graph.BuildUndirected(n, edges)
+}
+
+// BarbellWithBridge returns two K_k cliques joined by a single bridge edge —
+// the canonical two-blocks-one-bridge shape (APs at both bridge endpoints).
+func BarbellWithBridge(k int) *graph.Undirected {
+	var edges []graph.Edge
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			edges = append(edges,
+				graph.Edge{U: graph.V(i), V: graph.V(j)},
+				graph.Edge{U: graph.V(k + i), V: graph.V(k + j)})
+		}
+	}
+	edges = append(edges, graph.Edge{U: graph.V(k - 1), V: graph.V(k)})
+	return graph.BuildUndirected(2*k, edges)
+}
+
+// RandomUndirected generates an Erdős–Rényi-style undirected graph with n
+// vertices and about m distinct edges.
+func RandomUndirected(n, m int, seed uint64) *graph.Undirected {
+	rng := NewRNG(seed)
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		edges = append(edges, graph.Edge{U: graph.V(rng.Intn(n)), V: graph.V(rng.Intn(n))})
+	}
+	return graph.BuildUndirected(n, edges)
+}

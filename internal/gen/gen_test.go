@@ -1,0 +1,201 @@
+package gen
+
+import (
+	"testing"
+
+	"aquila/internal/baseline/serialdfs"
+	"aquila/internal/graph"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Errorf("different seeds produced identical streams")
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Next() == 0 && r.Next() == 0 {
+		t.Errorf("zero seed stuck at zero")
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(9)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRMATShape(t *testing.T) {
+	g := RMAT(10, 8, 1)
+	if g.NumVertices() != 1024 {
+		t.Fatalf("NumVertices = %d", g.NumVertices())
+	}
+	if g.NumArcs() == 0 || g.NumArcs() > 1024*8 {
+		t.Fatalf("NumArcs = %d out of range", g.NumArcs())
+	}
+	// R-MAT skew: the max degree should far exceed the average.
+	maxDeg := 0
+	for u := 0; u < g.NumVertices(); u++ {
+		if d := g.OutDegree(graph.V(u)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := int(g.NumArcs()) / g.NumVertices()
+	if maxDeg < 4*avg {
+		t.Errorf("max degree %d not skewed vs average %d", maxDeg, avg)
+	}
+	// Determinism.
+	g2 := RMAT(10, 8, 1)
+	if g2.NumArcs() != g.NumArcs() {
+		t.Errorf("same seed produced different graphs")
+	}
+}
+
+func TestRandomShape(t *testing.T) {
+	g := Random(1000, 5000, 3)
+	if g.NumVertices() != 1000 {
+		t.Fatalf("NumVertices = %d", g.NumVertices())
+	}
+	if g.NumArcs() < 4000 {
+		t.Errorf("NumArcs = %d, expected near 5000 after dedup", g.NumArcs())
+	}
+}
+
+func TestSocialShape(t *testing.T) {
+	cfg := SocialConfig{
+		GiantVertices: 2000, GiantAvgDeg: 4,
+		SmallComps: 50, SmallMaxSize: 6,
+		Isolated: 30, MutualFrac: 0.4, Seed: 11,
+	}
+	g := Social(cfg)
+	u := graph.Undirect(g)
+	labels := serialdfs.CC(u)
+	sizes := make(map[uint32]int)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	// Expect: 1 giant + 50 small + 30 isolated = 81 components.
+	if len(sizes) != 81 {
+		t.Fatalf("CC count = %d, want 81", len(sizes))
+	}
+	largest := 0
+	for _, s := range sizes {
+		if s > largest {
+			largest = s
+		}
+	}
+	if largest < 1900 {
+		t.Errorf("giant CC size = %d, want ~2000", largest)
+	}
+	// Isolated vertices really have no edges.
+	iso := 0
+	for v := 0; v < u.NumVertices(); v++ {
+		if u.Degree(graph.V(v)) == 0 {
+			iso++
+		}
+	}
+	if iso != 30 {
+		t.Errorf("isolated vertices = %d, want 30", iso)
+	}
+}
+
+func TestWebShape(t *testing.T) {
+	cfg := WebConfig{Communities: 10, CommunitySize: 50, IntraDeg: 3, InterEdges: 30, PendantFrac: 0.1, Seed: 5}
+	g := Web(cfg)
+	want := 10*50 + 50 // core + pendants
+	if g.NumVertices() != want {
+		t.Fatalf("NumVertices = %d, want %d", g.NumVertices(), want)
+	}
+	// Pendants exist and are degree-1 in the undirected view.
+	u := graph.Undirect(g)
+	pendants := 0
+	for v := 500; v < u.NumVertices(); v++ {
+		if u.Degree(graph.V(v)) == 1 {
+			pendants++
+		}
+	}
+	if pendants != 50 {
+		t.Errorf("pendant count = %d, want 50", pendants)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	mask := [][]bool{
+		{true, true, false},
+		{false, true, false},
+		{false, false, true},
+	}
+	g := Grid(mask)
+	if g.NumVertices() != 9 {
+		t.Fatalf("NumVertices = %d", g.NumVertices())
+	}
+	labels := serialdfs.CC(g)
+	// Foreground components: {(0,0),(0,1),(1,1)} and {(2,2)}; background
+	// pixels are isolated singletons.
+	if labels[0] != labels[1] || labels[1] != labels[4] {
+		t.Errorf("L-shaped blob not connected")
+	}
+	if labels[8] == labels[0] {
+		t.Errorf("diagonal pixel merged (4-connectivity must not join diagonals)")
+	}
+}
+
+func TestPaperExampleInvariants(t *testing.T) {
+	g := PaperExample()
+	if g.NumVertices() != 14 {
+		t.Fatalf("NumVertices = %d, want 14", g.NumVertices())
+	}
+	u := PaperExampleUndirected()
+	if u.NumEdges() != 14 {
+		t.Errorf("undirected edges = %d, want 14", u.NumEdges())
+	}
+}
+
+func TestFixtureShapes(t *testing.T) {
+	if g := Path(5); g.NumEdges() != 4 {
+		t.Errorf("Path(5) edges = %d", g.NumEdges())
+	}
+	if g := Cycle(5); g.NumEdges() != 5 {
+		t.Errorf("Cycle(5) edges = %d", g.NumEdges())
+	}
+	if g := Complete(5); g.NumEdges() != 10 {
+		t.Errorf("K5 edges = %d", g.NumEdges())
+	}
+	if g := Star(5); g.NumEdges() != 4 {
+		t.Errorf("Star(5) edges = %d", g.NumEdges())
+	}
+	if g := BarbellWithBridge(4); g.NumEdges() != 13 {
+		t.Errorf("Barbell(4) edges = %d, want 2*6+1", g.NumEdges())
+	}
+}

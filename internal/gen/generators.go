@@ -1,0 +1,257 @@
+package gen
+
+import "aquila/internal/graph"
+
+// RMAT generates a directed R-MAT graph (Chakrabarti et al., the paper's RM
+// input) with 2^scale vertices and edgeFactor * 2^scale edges, using the
+// classic (a,b,c,d) = (0.57, 0.19, 0.19, 0.05) skew. Duplicate edges and
+// self-loops are dropped by the CSR builder, so the realized edge count is
+// slightly below the nominal one — same as the original generator.
+func RMAT(scale int, edgeFactor int, seed uint64) *graph.Directed {
+	n := 1 << scale
+	m := n * edgeFactor
+	rng := NewRNG(seed)
+	const a, b, c = 0.57, 0.19, 0.19
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		u, v := 0, 0
+		for bit := n >> 1; bit > 0; bit >>= 1 {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left quadrant: nothing to add
+			case r < a+b:
+				v |= bit
+			case r < a+b+c:
+				u |= bit
+			default:
+				u |= bit
+				v |= bit
+			}
+		}
+		edges = append(edges, graph.Edge{U: graph.V(u), V: graph.V(v)})
+	}
+	return graph.BuildDirected(n, edges)
+}
+
+// Random generates a directed uniform-random graph (GTgraph's random model,
+// the paper's RD input): m edges with both endpoints uniform in [0, n).
+func Random(n, m int, seed uint64) *graph.Directed {
+	rng := NewRNG(seed)
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		edges = append(edges, graph.Edge{U: graph.V(rng.Intn(n)), V: graph.V(rng.Intn(n))})
+	}
+	return graph.BuildDirected(n, edges)
+}
+
+// SocialConfig shapes a Social graph: a scale-free giant component plus a
+// power-law tail of small components plus isolated vertices — the structure
+// the paper's Table 1 and Fig. 8 report for real social networks.
+type SocialConfig struct {
+	GiantVertices int     // vertices in the giant component
+	GiantAvgDeg   int     // average (out-)degree inside the giant component
+	SmallComps    int     // number of small extra components
+	SmallMaxSize  int     // small component sizes are 2..SmallMaxSize (skewed low)
+	Isolated      int     // isolated (size-1, trimmable) vertices
+	MutualFrac    float64 // fraction of giant edges that get a reciprocal edge (drives SCC size)
+	Seed          uint64
+}
+
+// Social generates a directed scale-free graph per cfg: preferential
+// attachment inside the giant component (so a clear max-degree master pivot
+// exists), reciprocal edges with probability MutualFrac (so the giant SCC is a
+// tunable share of the giant WCC), and a trimmable fringe.
+func Social(cfg SocialConfig) *graph.Directed {
+	rng := NewRNG(cfg.Seed)
+	n := cfg.GiantVertices + smallTotal(cfg) + cfg.Isolated
+	edges := make([]graph.Edge, 0, cfg.GiantVertices*cfg.GiantAvgDeg*2)
+
+	// Giant component: preferential attachment via the repeated-endpoint
+	// trick (sampling an endpoint of an existing edge is degree-biased).
+	gv := cfg.GiantVertices
+	if gv > 0 {
+		// Seed star so early samples have targets and the component is connected.
+		for u := 1; u < gv && u <= cfg.GiantAvgDeg; u++ {
+			edges = append(edges, graph.Edge{U: graph.V(u), V: 0})
+		}
+		type arc struct{ u, v graph.V }
+		pool := make([]arc, 0, gv*cfg.GiantAvgDeg)
+		for _, e := range edges {
+			pool = append(pool, arc{e.U, e.V})
+		}
+		for u := 1; u < gv; u++ {
+			// Attach u to a degree-biased target, then add extra edges.
+			k := 1 + rng.Intn(cfg.GiantAvgDeg*2-1) // average ~GiantAvgDeg
+			for j := 0; j < k; j++ {
+				var t graph.V
+				if len(pool) == 0 || rng.Float64() < 0.15 {
+					t = graph.V(rng.Intn(gv))
+				} else {
+					p := pool[rng.Intn(len(pool))]
+					if rng.Next()&1 == 0 {
+						t = p.u
+					} else {
+						t = p.v
+					}
+				}
+				if t == graph.V(u) {
+					continue
+				}
+				edges = append(edges, graph.Edge{U: graph.V(u), V: t})
+				pool = append(pool, arc{graph.V(u), t})
+				if rng.Float64() < cfg.MutualFrac {
+					edges = append(edges, graph.Edge{U: t, V: graph.V(u)})
+				}
+			}
+		}
+	}
+
+	// Small components: paths, cycles and tiny trees with Pareto-distributed
+	// sizes in [2, SmallMaxSize] — the power-law tail of Fig. 8. Sizes come
+	// from an independent stream shared with smallTotal so the vertex budget
+	// is exact.
+	srng := NewRNG(cfg.Seed ^ 0xabcdef12345678)
+	base := gv
+	for c := 0; c < cfg.SmallComps; c++ {
+		size := drawSmallSize(srng, cfg.SmallMaxSize)
+		shape := rng.Intn(3)
+		for i := 1; i < size; i++ {
+			u := graph.V(base + i)
+			var v graph.V
+			switch shape {
+			case 0: // path
+				v = graph.V(base + i - 1)
+			case 1: // star
+				v = graph.V(base)
+			default: // random tree
+				v = graph.V(base + rng.Intn(i))
+			}
+			edges = append(edges, graph.Edge{U: u, V: v})
+			if rng.Float64() < 0.5 {
+				edges = append(edges, graph.Edge{U: v, V: u})
+			}
+		}
+		if shape == 0 && size > 2 && rng.Float64() < 0.3 {
+			// Occasionally close the path into a cycle (a small SCC).
+			edges = append(edges,
+				graph.Edge{U: graph.V(base), V: graph.V(base + size - 1)},
+				graph.Edge{U: graph.V(base + size - 1), V: graph.V(base)})
+		}
+		base += size
+	}
+	// Isolated vertices occupy ids [base, n) with no edges.
+	return graph.BuildDirected(n, edges)
+}
+
+func smallTotal(cfg SocialConfig) int {
+	// Exact vertex count consumed by small components: re-runs the dedicated
+	// size stream that Social itself uses.
+	total := 0
+	srng := NewRNG(cfg.Seed ^ 0xabcdef12345678)
+	for c := 0; c < cfg.SmallComps; c++ {
+		total += drawSmallSize(srng, cfg.SmallMaxSize)
+	}
+	return total
+}
+
+// SmallComponentSize samples a fringe-component size from the same Pareto law
+// Social uses — exported for workload builders that attach fringes to other
+// generators.
+func SmallComponentSize(rng *RNG, max int) int { return drawSmallSize(rng, max) }
+
+// drawSmallSize samples a component size from a discrete Pareto-ish law
+// (P(size ≥ s) ∝ s^-1.5), clamped to [2, max]; most draws are 2–4 with a
+// genuine heavy tail up to max.
+func drawSmallSize(rng *RNG, max int) int {
+	if max < 2 {
+		return 2
+	}
+	u := rng.Float64()
+	if u < 1e-9 {
+		u = 1e-9
+	}
+	// Inverse-CDF of a Pareto with alpha = 1.5 and minimum 2.
+	size := 2
+	x := 2.0
+	for x*x*x < 8.0/(u*u) && size < max { // x^3 < 8/u^2  ⇔  x < 2·u^(-2/3)
+		x++
+		size++
+	}
+	return size
+}
+
+// WebConfig shapes a Web graph stand-in: tighter communities connected by a
+// sparser backbone, with pendant chains that exercise the BiCC/BgCC trims.
+type WebConfig struct {
+	Communities   int
+	CommunitySize int
+	IntraDeg      int     // average within-community out-degree
+	InterEdges    int     // backbone edges between communities
+	PendantFrac   float64 // fraction of community vertices that get a pendant child
+	Seed          uint64
+}
+
+// Web generates a directed community-structured graph per cfg.
+func Web(cfg WebConfig) *graph.Directed {
+	rng := NewRNG(cfg.Seed)
+	core := cfg.Communities * cfg.CommunitySize
+	pendants := int(float64(core) * cfg.PendantFrac)
+	n := core + pendants
+	edges := make([]graph.Edge, 0, core*cfg.IntraDeg+cfg.InterEdges+pendants)
+	for c := 0; c < cfg.Communities; c++ {
+		lo := c * cfg.CommunitySize
+		// Ring so each community is internally connected.
+		for i := 0; i < cfg.CommunitySize; i++ {
+			u := graph.V(lo + i)
+			v := graph.V(lo + (i+1)%cfg.CommunitySize)
+			edges = append(edges, graph.Edge{U: u, V: v})
+		}
+		for i := 0; i < cfg.CommunitySize*(cfg.IntraDeg-1); i++ {
+			u := graph.V(lo + rng.Intn(cfg.CommunitySize))
+			v := graph.V(lo + rng.Intn(cfg.CommunitySize))
+			edges = append(edges, graph.Edge{U: u, V: v})
+		}
+	}
+	for i := 0; i < cfg.InterEdges; i++ {
+		cu := rng.Intn(cfg.Communities)
+		cv := rng.Intn(cfg.Communities)
+		u := graph.V(cu*cfg.CommunitySize + rng.Intn(cfg.CommunitySize))
+		v := graph.V(cv*cfg.CommunitySize + rng.Intn(cfg.CommunitySize))
+		edges = append(edges, graph.Edge{U: u, V: v})
+	}
+	for p := 0; p < pendants; p++ {
+		parent := graph.V(rng.Intn(core))
+		child := graph.V(core + p)
+		edges = append(edges, graph.Edge{U: parent, V: child})
+	}
+	return graph.BuildDirected(n, edges)
+}
+
+// Grid returns the undirected 4-connectivity graph of an h×w pixel mask:
+// vertices are all pixels, edges join orthogonally adjacent foreground (true)
+// pixels. Background pixels become isolated vertices. This backs the
+// connected-component-labeling example (paper §2.1 application 3).
+func Grid(mask [][]bool) *graph.Undirected {
+	h := len(mask)
+	w := 0
+	if h > 0 {
+		w = len(mask[0])
+	}
+	var edges []graph.Edge
+	id := func(r, c int) graph.V { return graph.V(r*w + c) }
+	for r := 0; r < h; r++ {
+		for c := 0; c < w; c++ {
+			if !mask[r][c] {
+				continue
+			}
+			if c+1 < w && mask[r][c+1] {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r, c+1)})
+			}
+			if r+1 < h && mask[r+1][c] {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r+1, c)})
+			}
+		}
+	}
+	return graph.BuildUndirected(h*w, edges)
+}

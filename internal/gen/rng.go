@@ -1,0 +1,61 @@
+// Package gen generates the synthetic workloads used by the benchmark
+// harness: R-MAT and uniform-random graphs (the paper's RM and RD inputs,
+// §6.1) plus shape-matched stand-ins for the paper's real-world graphs, small
+// handcrafted graphs from the paper's figures, and pixel grids for the
+// connected-component-labeling example.
+//
+// All generators are driven by a seeded xorshift RNG so every workload is
+// reproducible bit-for-bit.
+package gen
+
+// RNG is a small, fast, deterministic xorshift64* generator. It is not
+// cryptographic; it exists so the benchmark inputs are stable across runs and
+// machines without importing math/rand's global state.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed (0 is remapped to a fixed
+// nonzero constant, since xorshift has an all-zero fixed point).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RNG{state: seed}
+}
+
+// Next returns the next 64 random bits.
+func (r *RNG) Next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a uniform integer in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("gen: Intn with non-positive n")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Next()>>11) / (1 << 53)
+}
+
+// Perm returns a random permutation of [0, n), Fisher–Yates shuffled.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,179 @@
+package graph
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Edge is one directed edge (or one undirected edge given as an ordered pair)
+// in a builder's edge list.
+type Edge struct {
+	U, V V
+}
+
+// BuildDirected constructs a Directed graph over n vertices from an edge
+// list. Self-loops are dropped and parallel edges deduplicated; adjacency
+// lists come out sorted. Endpoints must be < n.
+func BuildDirected(n int, edges []Edge) *Directed {
+	outOff, outAdj := buildCSR(n, edges, false)
+	inOff, inAdj := buildCSR(n, edges, true)
+	return &Directed{n: n, outOff: outOff, outAdj: outAdj, inOff: inOff, inAdj: inAdj}
+}
+
+// BuildUndirected constructs an Undirected graph over n vertices. Each input
+// edge {u,v} is stored in both adjacency lists regardless of the order given;
+// duplicates (including a pair given in both orders) collapse to one edge.
+// Self-loops are dropped.
+func BuildUndirected(n int, edges []Edge) *Undirected {
+	sym := make([]Edge, 0, 2*len(edges))
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		sym = append(sym, e, Edge{e.V, e.U})
+	}
+	off, adj := buildCSR(n, sym, false)
+	return finishUndirected(n, off, adj)
+}
+
+// Undirect converts a directed graph to the undirected graph used by CC,
+// BiCC and BgCC, per paper §6.1: create a reverse edge for any vertex pair
+// that shares only one directed edge, keeping the vertex count unchanged.
+func Undirect(g *Directed) *Undirected {
+	edges := make([]Edge, 0, 2*len(g.outAdj))
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.Out(V(u)) {
+			if V(u) == v {
+				continue
+			}
+			edges = append(edges, Edge{V(u), v}, Edge{v, V(u)})
+		}
+	}
+	off, adj := buildCSR(g.n, edges, false)
+	return finishUndirected(g.n, off, adj)
+}
+
+// buildCSR counts, sorts and dedups an edge list into CSR arrays. If reverse
+// is true the edges are interpreted as (V -> U), producing the in-CSR.
+func buildCSR(n int, edges []Edge, reverse bool) ([]int64, []V) {
+	deg := make([]int64, n+1)
+	src := func(e Edge) V { return e.U }
+	dst := func(e Edge) V { return e.V }
+	if reverse {
+		src, dst = dst, src
+	}
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		deg[src(e)+1]++
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	off := deg // now prefix sums; off[u+1] still the insertion cursor start
+	adj := make([]V, off[n])
+	cursor := make([]int64, n)
+	copy(cursor, off[:n])
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		s := src(e)
+		adj[cursor[s]] = dst(e)
+		cursor[s]++
+	}
+	// Sort each adjacency list in parallel (the builder's dominant cost on
+	// large inputs), then dedup and compact serially.
+	sortSegments(n, off, adj)
+	newOff := make([]int64, n+1)
+	w := int64(0)
+	for u := 0; u < n; u++ {
+		lo, hi := off[u], off[u+1]
+		seg := adj[lo:hi]
+		newOff[u] = w
+		var prev V
+		first := true
+		for _, v := range seg {
+			if first || v != prev {
+				adj[w] = v
+				w++
+				prev = v
+				first = false
+			}
+		}
+	}
+	newOff[n] = w
+	return newOff, adj[:w:w]
+}
+
+// sortSegments sorts every vertex's adjacency segment, fanning the segments
+// out over the available CPUs. The graph package avoids a dependency on the
+// parallel package (which sits above it), so the worker loop is inlined.
+func sortSegments(n int, off []int64, adj []V) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 1024 {
+		for u := 0; u < n; u++ {
+			seg := adj[off[u]:off[u+1]]
+			sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo := w * n / workers
+			hi := (w + 1) * n / workers
+			for u := lo; u < hi; u++ {
+				seg := adj[off[u]:off[u+1]]
+				sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// finishUndirected computes the mate-slot and dense-edge-id indexes for a
+// symmetric, sorted, deduplicated CSR.
+func finishUndirected(n int, off []int64, adj []V) *Undirected {
+	mate := make([]int64, len(adj))
+	eid := make([]int64, len(adj))
+	var m int64
+	for u := 0; u < n; u++ {
+		for s := off[u]; s < off[u+1]; s++ {
+			v := adj[s]
+			if V(u) < v {
+				// Find the reverse slot by binary search in v's list.
+				r := searchSlot(off, adj, v, V(u))
+				mate[s] = r
+				mate[r] = s
+				eid[s] = m
+				eid[r] = m
+				m++
+			}
+		}
+	}
+	return &Undirected{n: n, off: off, adj: adj, mate: mate, eid: eid, m: m}
+}
+
+func searchSlot(off []int64, adj []V, u, target V) int64 {
+	lo, hi := off[u], off[u+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case adj[mid] < target:
+			lo = mid + 1
+		case adj[mid] > target:
+			hi = mid
+		default:
+			return mid
+		}
+	}
+	panic("graph: asymmetric CSR — reverse edge missing")
+}

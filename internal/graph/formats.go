@@ -1,0 +1,172 @@
+package graph
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadMatrixMarket parses a MatrixMarket coordinate-format file
+// ("%%MatrixMarket matrix coordinate ..." header, 1-indexed entries) as a
+// directed edge list. Values (for weighted/real matrices) are ignored —
+// connectivity only cares about structure. Returns the edges and the vertex
+// count from the size line.
+func ReadMatrixMarket(r io.Reader) (edges []Edge, n int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, 0, fmt.Errorf("graph: empty MatrixMarket input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 3 || header[0] != "%%matrixmarket" || header[1] != "matrix" || header[2] != "coordinate" {
+		return nil, 0, fmt.Errorf("graph: not a MatrixMarket coordinate header: %q", sc.Text())
+	}
+	symmetric := false
+	for _, f := range header {
+		if f == "symmetric" {
+			symmetric = true
+		}
+	}
+	// Skip comments; first non-comment line is "rows cols entries".
+	var rows, cols, entries int64 = -1, -1, -1
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 3 {
+			return nil, 0, fmt.Errorf("graph: bad MatrixMarket size line: %q", line)
+		}
+		var err error
+		if rows, err = strconv.ParseInt(f[0], 10, 64); err != nil {
+			return nil, 0, fmt.Errorf("graph: bad row count: %v", err)
+		}
+		if cols, err = strconv.ParseInt(f[1], 10, 64); err != nil {
+			return nil, 0, fmt.Errorf("graph: bad column count: %v", err)
+		}
+		if entries, err = strconv.ParseInt(f[2], 10, 64); err != nil {
+			return nil, 0, fmt.Errorf("graph: bad entry count: %v", err)
+		}
+		break
+	}
+	if rows < 0 {
+		return nil, 0, fmt.Errorf("graph: missing MatrixMarket size line")
+	}
+	dim := rows
+	if cols > dim {
+		dim = cols
+	}
+	if dim >= int64(NoVertex) {
+		return nil, 0, fmt.Errorf("graph: matrix dimension %d too large", dim)
+	}
+	edges = make([]Edge, 0, entries)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return nil, 0, fmt.Errorf("graph: bad MatrixMarket entry: %q", line)
+		}
+		u, err := strconv.ParseInt(f[0], 10, 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("graph: bad entry row: %v", err)
+		}
+		v, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("graph: bad entry column: %v", err)
+		}
+		if u < 1 || v < 1 || u > dim || v > dim {
+			return nil, 0, fmt.Errorf("graph: entry (%d,%d) outside %dx%d matrix", u, v, rows, cols)
+		}
+		edges = append(edges, Edge{V(u - 1), V(v - 1)})
+		if symmetric && u != v {
+			edges = append(edges, Edge{V(v - 1), V(u - 1)})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	return edges, int(dim), nil
+}
+
+// ReadMETIS parses the METIS graph format: a header line "n m [fmt [ncon]]"
+// followed by one line per vertex listing its (1-indexed) neighbors. Edge
+// weights (fmt containing a weight flag) are not supported. The adjacency is
+// interpreted as undirected, as METIS defines it: every edge is expected to
+// appear from both endpoints.
+func ReadMETIS(r io.Reader) (edges []Edge, n int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	var header []string
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '%' {
+			continue
+		}
+		header = strings.Fields(text)
+		break
+	}
+	if len(header) < 2 {
+		return nil, 0, fmt.Errorf("graph: missing METIS header")
+	}
+	nv, err := strconv.ParseInt(header[0], 10, 64)
+	if err != nil || nv < 0 || nv >= int64(NoVertex) {
+		return nil, 0, fmt.Errorf("graph: bad METIS vertex count %q", header[0])
+	}
+	if len(header) >= 3 && header[2] != "0" && header[2] != "00" && header[2] != "000" {
+		return nil, 0, fmt.Errorf("graph: weighted METIS format %q not supported", header[2])
+	}
+	vertex := int64(0)
+	for sc.Scan() && vertex < nv {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text != "" && text[0] == '%' {
+			continue
+		}
+		vertex++
+		for _, f := range strings.Fields(text) {
+			u, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, 0, fmt.Errorf("graph: line %d: bad neighbor %q", line, f)
+			}
+			if u < 1 || u > nv {
+				return nil, 0, fmt.Errorf("graph: line %d: neighbor %d out of [1,%d]", line, u, nv)
+			}
+			edges = append(edges, Edge{V(vertex - 1), V(u - 1)})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	if vertex != nv {
+		return nil, 0, fmt.Errorf("graph: METIS header promises %d vertices, file has %d adjacency lines", nv, vertex)
+	}
+	return edges, int(nv), nil
+}
+
+// gzipMagic are the two fixed leading bytes of a gzip stream.
+var gzipMagic = []byte{0x1f, 0x8b}
+
+// MaybeGunzip wraps r with a gzip reader when the stream starts with the
+// gzip magic, so loaders accept .gz dumps (SNAP distributes them that way)
+// transparently.
+func MaybeGunzip(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(2)
+	if err != nil {
+		// Too short to be gzip; hand the buffered reader through untouched.
+		return br, nil
+	}
+	if head[0] == gzipMagic[0] && head[1] == gzipMagic[1] {
+		return gzip.NewReader(br)
+	}
+	return br, nil
+}

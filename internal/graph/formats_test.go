@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"bytes"
+	"compress/gzip"
+	"strings"
+	"testing"
+)
+
+func TestReadMatrixMarketGeneral(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% a comment
+3 3 3
+1 2 0.5
+2 3 1.0
+3 1 2.5
+`
+	edges, n, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || len(edges) != 3 {
+		t.Fatalf("n=%d edges=%d, want 3/3", n, len(edges))
+	}
+	if edges[0] != (Edge{0, 1}) {
+		t.Errorf("first edge = %v, want 0->1 (0-indexed)", edges[0])
+	}
+}
+
+func TestReadMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern symmetric
+2 2 1
+2 1
+`
+	edges, n, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || len(edges) != 2 {
+		t.Fatalf("n=%d edges=%d, want 2/2 (mirrored)", n, len(edges))
+	}
+	g := BuildDirected(n, edges)
+	if g.OutDegree(0) != 1 || g.OutDegree(1) != 1 {
+		t.Errorf("symmetric entry not mirrored")
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"not a header\n1 1 1\n",
+		"%%MatrixMarket matrix array real general\n2 2 4\n",
+		"%%MatrixMarket matrix coordinate real general\n",
+		"%%MatrixMarket matrix coordinate real general\nx y z\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1\n",
+	}
+	for _, in := range bad {
+		if _, _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted bad input %q", in)
+		}
+	}
+}
+
+func TestReadMETIS(t *testing.T) {
+	// Triangle plus a pendant: 4 vertices, 4 undirected edges, METIS lists
+	// each edge from both sides.
+	in := `% comment
+4 4
+2 3
+1 3 4
+1 2
+2
+`
+	edges, n, err := ReadMETIS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("n = %d, want 4", n)
+	}
+	g := BuildUndirected(n, edges)
+	if g.NumEdges() != 4 {
+		t.Errorf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	if !g.HasEdge(1, 3) || !g.HasEdge(0, 2) {
+		t.Errorf("adjacency wrong")
+	}
+}
+
+func TestReadMETISErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"2\n",             // header too short
+		"2 1 011\n1\n2\n", // weighted format
+		"2 1\n5\n1\n",     // neighbor out of range
+		"3 2\n2\n1\n",     // fewer adjacency lines than promised
+		"2 1\nbogus\n1\n", // non-numeric neighbor
+	}
+	for _, in := range bad {
+		if _, _, err := ReadMETIS(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted bad input %q", in)
+		}
+	}
+}
+
+func TestMaybeGunzip(t *testing.T) {
+	plain := "0 1\n1 2\n"
+	r, err := MaybeGunzip(strings.NewReader(plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges, _, err := ReadEdgeList(r)
+	if err != nil || len(edges) != 2 {
+		t.Fatalf("plain passthrough failed: %v, %d edges", err, len(edges))
+	}
+
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write([]byte(plain)); err != nil {
+		t.Fatal(err)
+	}
+	zw.Close()
+	r, err = MaybeGunzip(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges, _, err = ReadEdgeList(r)
+	if err != nil || len(edges) != 2 {
+		t.Fatalf("gzip path failed: %v, %d edges", err, len(edges))
+	}
+
+	// Tiny non-gzip input must pass through, not error.
+	r, err = MaybeGunzip(strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]byte, 1)
+	if _, err := r.Read(b); err != nil || b[0] != 'x' {
+		t.Errorf("short passthrough failed")
+	}
+}

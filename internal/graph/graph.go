@@ -1,0 +1,150 @@
+// Package graph provides the compressed-sparse-row (CSR) graph representation
+// used throughout Aquila (paper §6.1): a begin-position array of length |V|+1
+// and an adjacency array of length |E|. Directed graphs carry both the out-CSR
+// and the in-CSR (SCC needs backward traversals); undirected graphs carry a
+// mate-slot index so per-undirected-edge state (block labels, bridge flags)
+// can be stored once per edge even though CSR stores each edge twice.
+package graph
+
+// V is a vertex identifier. Aquila targets laptop-scale graphs, so 32 bits of
+// vertex id and 64 bits of edge offset are ample.
+type V = uint32
+
+// NoVertex is the sentinel "no such vertex" value (used for BFS parents of
+// unvisited vertices and component labels of removed vertices).
+const NoVertex V = ^V(0)
+
+// Directed is an immutable directed graph in CSR form with both edge
+// directions materialized.
+type Directed struct {
+	n      int
+	outOff []int64
+	outAdj []V
+	inOff  []int64
+	inAdj  []V
+}
+
+// NumVertices returns |V|.
+func (g *Directed) NumVertices() int { return g.n }
+
+// NumArcs returns the number of directed edges.
+func (g *Directed) NumArcs() int64 { return int64(len(g.outAdj)) }
+
+// OutDegree returns the out-degree of u.
+func (g *Directed) OutDegree(u V) int { return int(g.outOff[u+1] - g.outOff[u]) }
+
+// InDegree returns the in-degree of u.
+func (g *Directed) InDegree(u V) int { return int(g.inOff[u+1] - g.inOff[u]) }
+
+// Out returns u's out-neighbors as a shared slice view; callers must not
+// modify it.
+func (g *Directed) Out(u V) []V { return g.outAdj[g.outOff[u]:g.outOff[u+1]] }
+
+// In returns u's in-neighbors as a shared slice view; callers must not
+// modify it.
+func (g *Directed) In(u V) []V { return g.inAdj[g.inOff[u]:g.inOff[u+1]] }
+
+// MaxOutDegreeVertex returns the vertex with the highest out+in degree — the
+// paper's heuristic master pivot, "always in the single large task" (§5.3).
+func (g *Directed) MaxOutDegreeVertex() V {
+	best := V(0)
+	bestDeg := -1
+	for u := 0; u < g.n; u++ {
+		d := g.OutDegree(V(u)) + g.InDegree(V(u))
+		if d > bestDeg {
+			bestDeg = d
+			best = V(u)
+		}
+	}
+	return best
+}
+
+// Undirected is an immutable undirected graph in symmetric CSR form. Every
+// undirected edge {u,v} occupies two adjacency slots; mate maps each slot to
+// its reverse slot and eid maps each slot to a dense undirected edge id in
+// [0, NumEdges()).
+type Undirected struct {
+	n    int
+	off  []int64
+	adj  []V
+	mate []int64
+	eid  []int64
+	m    int64 // number of undirected edges
+}
+
+// NumVertices returns |V|.
+func (g *Undirected) NumVertices() int { return g.n }
+
+// NumEdges returns the number of undirected edges (half the adjacency slots).
+func (g *Undirected) NumEdges() int64 { return g.m }
+
+// Degree returns the degree of u.
+func (g *Undirected) Degree(u V) int { return int(g.off[u+1] - g.off[u]) }
+
+// Neighbors returns u's neighbors as a shared slice view; callers must not
+// modify it.
+func (g *Undirected) Neighbors(u V) []V { return g.adj[g.off[u]:g.off[u+1]] }
+
+// SlotRange returns the half-open adjacency slot range of u, for callers that
+// need the slot index (and hence the edge id) of each incident edge.
+func (g *Undirected) SlotRange(u V) (lo, hi int64) { return g.off[u], g.off[u+1] }
+
+// SlotTarget returns the neighbor stored at adjacency slot s.
+func (g *Undirected) SlotTarget(s int64) V { return g.adj[s] }
+
+// EdgeID returns the dense undirected edge id of the edge at adjacency slot s.
+// The edge {u,v} has the same id seen from either endpoint.
+func (g *Undirected) EdgeID(s int64) int64 { return g.eid[s] }
+
+// MateSlot returns the adjacency slot of the reverse copy of the edge at slot s.
+func (g *Undirected) MateSlot(s int64) int64 { return g.mate[s] }
+
+// EdgeIDOf returns the dense edge id of edge {u,v}, or -1 if no such edge
+// exists. It binary-searches u's sorted adjacency list.
+func (g *Undirected) EdgeIDOf(u, v V) int64 {
+	lo, hi := g.off[u], g.off[u+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case g.adj[mid] < v:
+			lo = mid + 1
+		case g.adj[mid] > v:
+			hi = mid
+		default:
+			return g.eid[mid]
+		}
+	}
+	return -1
+}
+
+// HasEdge reports whether edge {u,v} exists.
+func (g *Undirected) HasEdge(u, v V) bool { return g.EdgeIDOf(u, v) >= 0 }
+
+// EdgeEndpoints returns one (u,v) pair for every dense edge id, with u < v.
+// It is O(|E|) and intended for result reporting, not hot paths.
+func (g *Undirected) EdgeEndpoints() [][2]V {
+	out := make([][2]V, g.m)
+	for u := 0; u < g.n; u++ {
+		for s := g.off[u]; s < g.off[u+1]; s++ {
+			v := g.adj[s]
+			if V(u) < v {
+				out[g.eid[s]] = [2]V{V(u), v}
+			}
+		}
+	}
+	return out
+}
+
+// MaxDegreeVertex returns the vertex with the highest degree — the master
+// pivot heuristic (§5.3).
+func (g *Undirected) MaxDegreeVertex() V {
+	best := V(0)
+	bestDeg := -1
+	for u := 0; u < g.n; u++ {
+		if d := g.Degree(V(u)); d > bestDeg {
+			bestDeg = d
+			best = V(u)
+		}
+	}
+	return best
+}

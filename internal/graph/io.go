@@ -1,0 +1,172 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge list ("u v" per line;
+// '#'- or '%'-prefixed lines are comments, matching SNAP and KONECT dumps).
+// It returns the edge list and the implied vertex count (max id + 1).
+func ReadEdgeList(r io.Reader) (edges []Edge, n int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	maxID := int64(-1)
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, 0, fmt.Errorf("graph: line %d: want at least 2 fields, got %q", line, text)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("graph: line %d: bad source id: %v", line, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("graph: line %d: bad target id: %v", line, err)
+		}
+		if u < 0 || v < 0 || u > int64(NoVertex)-1 || v > int64(NoVertex)-1 {
+			return nil, 0, fmt.Errorf("graph: line %d: vertex id out of range", line)
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		edges = append(edges, Edge{V(u), V(v)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	return edges, int(maxID + 1), nil
+}
+
+// WriteEdgeList writes a directed graph as a plain "u v" edge list.
+func WriteEdgeList(w io.Writer, g *Directed) error {
+	bw := bufio.NewWriter(w)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.Out(V(u)) {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+const binMagic = 0x41515543 // "AQUC"
+
+// WriteBinary serializes a directed graph in a compact little-endian format
+// (magic, n, arc count, out-CSR). The in-CSR is reconstructed on load.
+func WriteBinary(w io.Writer, g *Directed) error {
+	bw := bufio.NewWriter(w)
+	hdr := []int64{binMagic, int64(g.n), int64(len(g.outAdj))}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.outOff); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.outAdj); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a directed graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*Directed, error) {
+	br := bufio.NewReader(r)
+	var magic, n, m int64
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != binMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, err
+	}
+	if n < 0 || m < 0 || n >= int64(NoVertex) {
+		return nil, fmt.Errorf("graph: implausible size in header (n=%d, m=%d)", n, m)
+	}
+	// Grow the arrays chunk by chunk so a corrupt header claiming absurd
+	// sizes fails on missing data instead of attempting the full allocation.
+	off, err := readInt64s(br, n+1)
+	if err != nil {
+		return nil, err
+	}
+	adj, err := readU32s(br, m)
+	if err != nil {
+		return nil, err
+	}
+	// Rebuild the edge list to regenerate both CSRs through the validated
+	// builder path (also re-checks sortedness and bounds).
+	if len(off) == 0 || off[0] != 0 {
+		return nil, fmt.Errorf("graph: corrupt offset array (must start at 0)")
+	}
+	edges := make([]Edge, 0, m)
+	for u := int64(0); u < n; u++ {
+		if off[u] > off[u+1] || off[u+1] > m {
+			return nil, fmt.Errorf("graph: corrupt offset array")
+		}
+		for s := off[u]; s < off[u+1]; s++ {
+			if int64(adj[s]) >= n {
+				return nil, fmt.Errorf("graph: adjacency target out of range")
+			}
+			edges = append(edges, Edge{V(u), adj[s]})
+		}
+	}
+	return BuildDirected(int(n), edges), nil
+}
+
+// chunked readers: allocation tracks delivered bytes, not header claims.
+const readChunk = 1 << 16
+
+func readInt64s(r io.Reader, count int64) ([]int64, error) {
+	out := make([]int64, 0, min64(count, readChunk))
+	for int64(len(out)) < count {
+		c := min64(count-int64(len(out)), readChunk)
+		chunk := make([]int64, c)
+		if err := binary.Read(r, binary.LittleEndian, chunk); err != nil {
+			return nil, fmt.Errorf("graph: truncated offsets: %w", err)
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+func readU32s(r io.Reader, count int64) ([]V, error) {
+	out := make([]V, 0, min64(count, readChunk))
+	for int64(len(out)) < count {
+		c := min64(count-int64(len(out)), readChunk)
+		chunk := make([]V, c)
+		if err := binary.Read(r, binary.LittleEndian, chunk); err != nil {
+			return nil, fmt.Errorf("graph: truncated adjacency: %w", err)
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,120 @@
+// Package lp implements parallel label propagation (paper §2.2, Fig. 3f–i):
+// the task-parallel method Aquila applies to the large number of small
+// components, where it keeps every thread busy in a single run — unlike one
+// BFS per component, which strands most threads on tiny frontiers (§5.2).
+package lp
+
+import (
+	"aquila/internal/graph"
+	"aquila/internal/parallel"
+)
+
+// MinLabelCC propagates minimum labels over an undirected graph until a fixed
+// point, restricted to vertices where active reports true (nil = all).
+// label[v] must be pre-initialized (normally to v's own id, paper Fig. 3f);
+// on return, every active vertex holds the minimum initial label of its
+// active-subgraph component — a canonical component id.
+func MinLabelCC(g *graph.Undirected, label []uint32, active func(graph.V) bool, threads int) {
+	p := parallel.Threads(threads)
+	// Initial frontier: all active vertices.
+	frontier := make([]graph.V, 0, g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		if active == nil || active(graph.V(v)) {
+			frontier = append(frontier, graph.V(v))
+		}
+	}
+	inNext := make([]uint32, g.NumVertices()) // epoch stamps for dedup
+	epoch := uint32(0)
+	for len(frontier) > 0 {
+		epoch++
+		locals := make([][]graph.V, p)
+		parallel.ForChunksDynamic(0, len(frontier), p, 64, func(lo, hi, w int) {
+			buf := locals[w]
+			for i := lo; i < hi; i++ {
+				u := frontier[i]
+				lu := parallel.LoadU32(&label[u])
+				for _, v := range g.Neighbors(u) {
+					if active != nil && !active(v) {
+						continue
+					}
+					if parallel.MinU32(&label[v], lu) {
+						// A vertex may be lowered by several updaters in one
+						// round; the epoch stamp enqueues it exactly once.
+						if claimEpoch(&inNext[v], epoch) {
+							buf = append(buf, v)
+						}
+					}
+				}
+			}
+			locals[w] = buf
+		})
+		frontier = frontier[:0]
+		for _, buf := range locals {
+			frontier = append(frontier, buf...)
+		}
+	}
+}
+
+// claimEpoch stamps slot to epoch, reporting whether this call performed the
+// transition (exactly one caller per epoch wins).
+func claimEpoch(slot *uint32, epoch uint32) bool {
+	for {
+		old := parallel.LoadU32(slot)
+		if old == epoch {
+			return false
+		}
+		if parallel.CASU32(slot, old, epoch) {
+			return true
+		}
+	}
+}
+
+// MaxColorForward propagates maximum labels along out-edges of a directed
+// graph until a fixed point, restricted to active vertices. This is the
+// coloring half of the Multistep/coloring SCC step: after convergence,
+// color[v] is the largest vertex id that reaches v within the active
+// subgraph.
+func MaxColorForward(g *graph.Directed, color []uint32, active func(graph.V) bool, threads int) {
+	frontier := make([]graph.V, 0, g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		if active == nil || active(graph.V(v)) {
+			frontier = append(frontier, graph.V(v))
+		}
+	}
+	MaxColorForwardList(g, color, active, frontier, threads)
+}
+
+// MaxColorForwardList is MaxColorForward with an explicit initial frontier —
+// callers that already track the live vertex set avoid the O(|V|) scan.
+// The frontier slice is consumed (reused as scratch).
+func MaxColorForwardList(g *graph.Directed, color []uint32, active func(graph.V) bool, frontier []graph.V, threads int) {
+	p := parallel.Threads(threads)
+	inNext := make([]uint32, g.NumVertices())
+	epoch := uint32(0)
+	for len(frontier) > 0 {
+		epoch++
+		locals := make([][]graph.V, p)
+		parallel.ForChunksDynamic(0, len(frontier), p, 64, func(lo, hi, w int) {
+			buf := locals[w]
+			for i := lo; i < hi; i++ {
+				u := frontier[i]
+				cu := parallel.LoadU32(&color[u])
+				for _, v := range g.Out(u) {
+					if active != nil && !active(v) {
+						continue
+					}
+					if parallel.MaxU32(&color[v], cu) {
+						if claimEpoch(&inNext[v], epoch) {
+							buf = append(buf, v)
+						}
+					}
+				}
+			}
+			locals[w] = buf
+		})
+		frontier = frontier[:0]
+		for _, buf := range locals {
+			frontier = append(frontier, buf...)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package lp
+
+import (
+	"testing"
+
+	"aquila/internal/baseline/serialdfs"
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+)
+
+func initLabels(n int) []uint32 {
+	l := make([]uint32, n)
+	for i := range l {
+		l[i] = uint32(i)
+	}
+	return l
+}
+
+func TestMinLabelCCMatchesSerial(t *testing.T) {
+	graphs := map[string]*graph.Undirected{
+		"paper":  gen.PaperExampleUndirected(),
+		"path":   gen.Path(30),
+		"star":   gen.Star(30),
+		"random": gen.RandomUndirected(400, 1200, 9),
+	}
+	for name, g := range graphs {
+		for _, threads := range []int{1, 4} {
+			label := initLabels(g.NumVertices())
+			MinLabelCC(g, label, nil, threads)
+			want := serialdfs.CC(g)
+			for v := range label {
+				if label[v] != want[v] {
+					t.Fatalf("%s threads=%d: label[%d] = %d, want %d",
+						name, threads, v, label[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestMinLabelCCActiveFilter(t *testing.T) {
+	// Path 0-1-2-3-4 with vertex 2 inactive: {0,1} and {3,4} stay separate.
+	g := gen.Path(5)
+	label := initLabels(5)
+	MinLabelCC(g, label, func(v graph.V) bool { return v != 2 }, 2)
+	if label[0] != 0 || label[1] != 0 {
+		t.Errorf("left half labels = %v", label[:2])
+	}
+	if label[3] != 3 || label[4] != 3 {
+		t.Errorf("right half labels = %v", label[3:])
+	}
+	if label[2] != 2 {
+		t.Errorf("inactive vertex label changed to %d", label[2])
+	}
+}
+
+func TestMaxColorForward(t *testing.T) {
+	// 0 → 1 → 2, 3 → 2: color[2] must become max reaching id.
+	g := graph.BuildDirected(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 2}})
+	color := initLabels(4)
+	MaxColorForward(g, color, nil, 2)
+	if color[0] != 0 || color[1] != 1 {
+		t.Errorf("upstream colors changed: %v", color)
+	}
+	if color[2] != 3 {
+		t.Errorf("color[2] = %d, want 3", color[2])
+	}
+}
+
+func TestMaxColorForwardCycle(t *testing.T) {
+	// Cycle 0→1→2→0: every vertex converges to the max id 2.
+	g := graph.BuildDirected(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	color := initLabels(3)
+	MaxColorForward(g, color, nil, 3)
+	for v, c := range color {
+		if c != 2 {
+			t.Errorf("color[%d] = %d, want 2", v, c)
+		}
+	}
+}
+
+func TestMaxColorForwardActive(t *testing.T) {
+	g := graph.BuildDirected(3, []graph.Edge{{U: 2, V: 1}, {U: 1, V: 0}})
+	color := initLabels(3)
+	MaxColorForward(g, color, func(v graph.V) bool { return v != 1 }, 2)
+	if color[0] != 0 {
+		t.Errorf("color crossed an inactive vertex: %v", color)
+	}
+}

@@ -1,0 +1,252 @@
+// Package parallel provides the shared-memory parallel building blocks used by
+// every Aquila algorithm: parallel-for over index ranges with static or dynamic
+// (guarded self-scheduling) chunking, a reusable worker pool, and atomic
+// min/max helpers.
+//
+// All entry points take an explicit thread count so the benchmark harness can
+// sweep it (paper Fig. 11); a count of 0 means runtime.GOMAXPROCS(0).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Threads normalizes a requested thread count: values < 1 mean "use
+// GOMAXPROCS", everything else is returned unchanged.
+func Threads(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// For runs body(i) for every i in [begin, end) using p workers with static
+// (block) partitioning. It blocks until all iterations complete.
+//
+// Static partitioning is the right choice for uniform per-iteration work
+// (initialization sweeps, bottom-up BFS scans).
+func For(begin, end int, p int, body func(i int)) {
+	n := end - begin
+	if n <= 0 {
+		return
+	}
+	p = Threads(p)
+	if p == 1 || n == 1 {
+		for i := begin; i < end; i++ {
+			body(i)
+		}
+		return
+	}
+	if p > n {
+		p = n
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	chunk := n / p
+	rem := n % p
+	lo := begin
+	for w := 0; w < p; w++ {
+		hi := lo + chunk
+		if w < rem {
+			hi++
+		}
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// ForDynamic runs body(i) for i in [begin, end) using p workers that grab
+// chunks of the given grain size from a shared atomic counter. It suits
+// irregular per-iteration work (top-down frontier expansion, per-vertex
+// constrained BFSes).
+func ForDynamic(begin, end, p, grain int, body func(i int)) {
+	n := end - begin
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	p = Threads(p)
+	if p == 1 || n <= grain {
+		for i := begin; i < end; i++ {
+			body(i)
+		}
+		return
+	}
+	if p > (n+grain-1)/grain {
+		p = (n + grain - 1) / grain
+	}
+	var next int64 = int64(begin)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(atomic.AddInt64(&next, int64(grain))) - grain
+				if lo >= end {
+					return
+				}
+				hi := lo + grain
+				if hi > end {
+					hi = end
+				}
+				for i := lo; i < hi; i++ {
+					body(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForBlocks runs body(lo, hi, worker) over contiguous blocks of [begin, end)
+// with static partitioning, exposing the worker index so callers can keep
+// per-worker scratch (local next-frontier queues, counters) without sharing.
+func ForBlocks(begin, end, p int, body func(lo, hi, worker int)) {
+	n := end - begin
+	if n <= 0 {
+		return
+	}
+	p = Threads(p)
+	if p > n {
+		p = n
+	}
+	if p == 1 {
+		body(begin, end, 0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	chunk := n / p
+	rem := n % p
+	lo := begin
+	for w := 0; w < p; w++ {
+		hi := lo + chunk
+		if w < rem {
+			hi++
+		}
+		go func(lo, hi, w int) {
+			defer wg.Done()
+			body(lo, hi, w)
+		}(lo, hi, w)
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// ForChunksDynamic is the dynamic-scheduling variant of ForBlocks: workers
+// repeatedly claim [lo, hi) chunks of the given grain until the range drains.
+func ForChunksDynamic(begin, end, p, grain int, body func(lo, hi, worker int)) {
+	n := end - begin
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	p = Threads(p)
+	if p == 1 || n <= grain {
+		body(begin, end, 0)
+		return
+	}
+	maxWorkers := (n + grain - 1) / grain
+	if p > maxWorkers {
+		p = maxWorkers
+	}
+	var next int64 = int64(begin)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				lo := int(atomic.AddInt64(&next, int64(grain))) - grain
+				if lo >= end {
+					return
+				}
+				hi := lo + grain
+				if hi > end {
+					hi = end
+				}
+				body(lo, hi, w)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Run executes p copies of body concurrently, passing each its worker index,
+// and waits for all of them. It is the primitive behind the task-parallel
+// concurrent-BFS pool.
+func Run(p int, body func(worker int)) {
+	p = Threads(p)
+	if p == 1 {
+		body(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			body(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// MinU32 atomically lowers *addr to v if v is smaller. It reports whether the
+// stored value changed. This is the core write of min-label propagation.
+func MinU32(addr *uint32, v uint32) bool {
+	for {
+		old := atomic.LoadUint32(addr)
+		if old <= v {
+			return false
+		}
+		if atomic.CompareAndSwapUint32(addr, old, v) {
+			return true
+		}
+	}
+}
+
+// MaxU32 atomically raises *addr to v if v is larger, reporting whether the
+// stored value changed. Used by the SCC coloring step (max-color propagation).
+func MaxU32(addr *uint32, v uint32) bool {
+	for {
+		old := atomic.LoadUint32(addr)
+		if old >= v {
+			return false
+		}
+		if atomic.CompareAndSwapUint32(addr, old, v) {
+			return true
+		}
+	}
+}
+
+// AddI64 is a tiny convenience wrapper so callers do not import sync/atomic
+// just for one counter.
+func AddI64(addr *int64, delta int64) int64 { return atomic.AddInt64(addr, delta) }
+
+// AddI32 wraps atomic.AddInt32.
+func AddI32(addr *int32, delta int32) int32 { return atomic.AddInt32(addr, delta) }
+
+// CASU32 wraps atomic.CompareAndSwapUint32.
+func CASU32(addr *uint32, old, new uint32) bool {
+	return atomic.CompareAndSwapUint32(addr, old, new)
+}
+
+// LoadU32 wraps atomic.LoadUint32.
+func LoadU32(addr *uint32) uint32 { return atomic.LoadUint32(addr) }
+
+// StoreU32 wraps atomic.StoreUint32.
+func StoreU32(addr *uint32, v uint32) { atomic.StoreUint32(addr, v) }

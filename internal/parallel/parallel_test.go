@@ -1,0 +1,182 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversRangeOnce(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 7} {
+		n := 1000
+		hits := make([]int32, n)
+		For(0, n, p, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("p=%d: index %d hit %d times", p, i, h)
+			}
+		}
+	}
+}
+
+func TestForEmptyAndSingle(t *testing.T) {
+	calls := 0
+	For(5, 5, 4, func(i int) { calls++ })
+	if calls != 0 {
+		t.Errorf("empty range ran %d iterations", calls)
+	}
+	For(3, 4, 4, func(i int) {
+		if i != 3 {
+			t.Errorf("got index %d, want 3", i)
+		}
+		calls++
+	})
+	if calls != 1 {
+		t.Errorf("single range ran %d iterations", calls)
+	}
+}
+
+func TestForDynamicCoversRangeOnce(t *testing.T) {
+	for _, p := range []int{1, 3, 8} {
+		for _, grain := range []int{1, 7, 64} {
+			n := 513
+			hits := make([]int32, n)
+			ForDynamic(0, n, p, grain, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("p=%d grain=%d: index %d hit %d times", p, grain, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForBlocksPartition(t *testing.T) {
+	n := 100
+	var total int64
+	seen := make([]int32, n)
+	ForBlocks(0, n, 7, func(lo, hi, w int) {
+		if lo >= hi {
+			t.Errorf("empty block [%d,%d)", lo, hi)
+		}
+		atomic.AddInt64(&total, int64(hi-lo))
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+	})
+	if total != int64(n) {
+		t.Errorf("blocks cover %d elements, want %d", total, n)
+	}
+	for i, s := range seen {
+		if s != 1 {
+			t.Errorf("index %d covered %d times", i, s)
+		}
+	}
+}
+
+func TestForChunksDynamic(t *testing.T) {
+	n := 1000
+	seen := make([]int32, n)
+	workers := make(map[int]bool)
+	var mu int32
+	ForChunksDynamic(0, n, 4, 37, func(lo, hi, w int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+		for !atomic.CompareAndSwapInt32(&mu, 0, 1) {
+		}
+		workers[w] = true
+		atomic.StoreInt32(&mu, 0)
+	})
+	for i, s := range seen {
+		if s != 1 {
+			t.Fatalf("index %d covered %d times", i, s)
+		}
+	}
+	if len(workers) == 0 {
+		t.Errorf("no workers ran")
+	}
+}
+
+func TestRun(t *testing.T) {
+	var count int64
+	ids := make([]int32, 5)
+	Run(5, func(w int) {
+		atomic.AddInt64(&count, 1)
+		atomic.AddInt32(&ids[w], 1)
+	})
+	if count != 5 {
+		t.Errorf("ran %d workers, want 5", count)
+	}
+	for w, c := range ids {
+		if c != 1 {
+			t.Errorf("worker %d ran %d times", w, c)
+		}
+	}
+}
+
+func TestThreads(t *testing.T) {
+	if Threads(0) < 1 {
+		t.Errorf("Threads(0) < 1")
+	}
+	if got := Threads(7); got != 7 {
+		t.Errorf("Threads(7) = %d", got)
+	}
+	if Threads(-3) < 1 {
+		t.Errorf("Threads(-3) < 1")
+	}
+}
+
+func TestMinU32(t *testing.T) {
+	x := uint32(10)
+	if !MinU32(&x, 5) || x != 5 {
+		t.Errorf("MinU32 lower failed: x=%d", x)
+	}
+	if MinU32(&x, 7) || x != 5 {
+		t.Errorf("MinU32 should not raise: x=%d", x)
+	}
+	if MinU32(&x, 5) {
+		t.Errorf("MinU32 equal should report false")
+	}
+}
+
+func TestMaxU32(t *testing.T) {
+	x := uint32(10)
+	if !MaxU32(&x, 20) || x != 20 {
+		t.Errorf("MaxU32 raise failed: x=%d", x)
+	}
+	if MaxU32(&x, 7) || x != 20 {
+		t.Errorf("MaxU32 should not lower: x=%d", x)
+	}
+}
+
+func TestMinU32Concurrent(t *testing.T) {
+	x := uint32(1 << 30)
+	Run(8, func(w int) {
+		for i := 0; i < 1000; i++ {
+			MinU32(&x, uint32(w*1000+i))
+		}
+	})
+	if x != 0 {
+		t.Errorf("concurrent min = %d, want 0", x)
+	}
+}
+
+// Property: parallel sum over any slice matches the serial sum for any thread
+// count.
+func TestParallelSumProperty(t *testing.T) {
+	f := func(vals []int32, p uint8) bool {
+		want := int64(0)
+		for _, v := range vals {
+			want += int64(v)
+		}
+		var got int64
+		For(0, len(vals), int(p%8)+1, func(i int) {
+			atomic.AddInt64(&got, int64(vals[i]))
+		})
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,243 @@
+// Package scc implements Aquila's strongly-connected-components computation
+// (paper §6.2): iterated size-1/size-2 trims, one forward–backward (FW-BW)
+// sweep with the enhanced parallel BFS for the giant SCC, and the coloring
+// method (forward max-label propagation + one backward BFS per color root)
+// for the long tail of small SCCs.
+package scc
+
+import (
+	"aquila/internal/bfs"
+	"aquila/internal/graph"
+	"aquila/internal/lp"
+	"aquila/internal/parallel"
+	"aquila/internal/trim"
+)
+
+// Options selects threads and the Fig. 10 ablation toggles.
+type Options struct {
+	// Threads is the worker count (0 = GOMAXPROCS).
+	Threads int
+	// NoTrim disables the size-1/size-2 trims (Fig. 7c).
+	NoTrim bool
+	// NoAdaptive replaces the coloring sweep for small SCCs with repeated
+	// FW-BW from pivots — the paper's BFS-only baseline.
+	NoAdaptive bool
+	// Mode selects the parallel-BFS flavour for the FW-BW reachability sweeps.
+	Mode bfs.Mode
+}
+
+// Stats reports where the work went.
+type Stats struct {
+	// TrimmedSize1 and TrimmedSize2 are vertices resolved by trimming.
+	TrimmedSize1, TrimmedSize2 int
+	// GiantSize is the size of the SCC found by the first FW-BW sweep.
+	GiantSize int
+	// ColoringRounds counts outer iterations of the coloring sweep.
+	ColoringRounds int
+}
+
+// Result is an SCC labeling: vertices share a label iff they are strongly
+// connected; the label is the smallest vertex id in the SCC.
+type Result struct {
+	Label         []uint32
+	NumComponents int
+	LargestLabel  uint32
+	LargestSize   int
+	// Sizes maps each SCC label to its vertex count.
+	Sizes map[uint32]int
+	Stats Stats
+}
+
+// Run computes the strongly connected components of g under opt.
+func Run(g *graph.Directed, opt Options) *Result {
+	n := g.NumVertices()
+	res := &Result{Label: make([]uint32, n)}
+	for i := range res.Label {
+		res.Label[i] = graph.NoVertex
+	}
+	if n == 0 {
+		res.Sizes = map[uint32]int{}
+		return res
+	}
+	p := parallel.Threads(opt.Threads)
+	unassigned := func(v graph.V) bool { return res.Label[v] == graph.NoVertex }
+
+	if !opt.NoTrim {
+		res.Stats.TrimmedSize1 = trim.SCCSize1(g, res.Label, p)
+		res.Stats.TrimmedSize2 = trim.SCCSize2(g, res.Label, p)
+	}
+
+	// FW-BW for the giant SCC: forward and backward reachability from the
+	// max-degree pivot; the intersection is its SCC.
+	master := maxLiveDegree(g, res.Label)
+	if master != graph.NoVertex {
+		res.Stats.GiantSize = fwbwAssign(g, master, res.Label, p, opt.Mode)
+	}
+
+	if opt.NoAdaptive {
+		// BFS-only baseline: repeated FW-BW from the highest-degree live pivot.
+		for {
+			pivot := maxLiveDegree(g, res.Label)
+			if pivot == graph.NoVertex {
+				break
+			}
+			fwbwAssign(g, pivot, res.Label, p, opt.Mode)
+		}
+	} else {
+		// Coloring sweep for the remaining small SCCs. All per-round work is
+		// proportional to the shrinking live set, not |V|.
+		color := make([]uint32, n)
+		live := make([]graph.V, 0, n)
+		for v := 0; v < n; v++ {
+			if res.Label[v] == graph.NoVertex {
+				live = append(live, graph.V(v))
+			}
+		}
+		scratch := make([]graph.V, 0, 1024)
+		for {
+			if !opt.NoTrim {
+				// Peeling the giant SCC exposes new trimmable chains; the
+				// iterated size-1/size-2 trims collapse them instead of
+				// costing one coloring round per DAG layer.
+				var t1, t2 int
+				t1, t2, live = trim.SCCLive(g, res.Label, live, p)
+				res.Stats.TrimmedSize1 += t1
+				res.Stats.TrimmedSize2 += t2
+			}
+			if len(live) == 0 {
+				break
+			}
+			res.Stats.ColoringRounds++
+			for _, v := range live {
+				color[v] = uint32(v)
+			}
+			scratch = append(scratch[:0], live...)
+			lp.MaxColorForwardList(g, color, unassigned, scratch, p)
+			assignColorSCCs(g, color, res.Label, live, p)
+			next := live[:0]
+			for _, v := range live {
+				if res.Label[v] == graph.NoVertex {
+					next = append(next, v)
+				}
+			}
+			live = next
+		}
+	}
+
+	res.summarize(n, p)
+	return res
+}
+
+// fwbwAssign labels the SCC of pivot (forward ∩ backward reachability among
+// unassigned vertices) and returns its size.
+func fwbwAssign(g *graph.Directed, pivot graph.V, label []uint32, p int, mode bfs.Mode) int {
+	unassigned := func(v graph.V) bool { return label[v] == graph.NoVertex }
+	fw := bfs.EnhancedReach(bfs.ForwardAdj(g), pivot, unassigned, bfs.Options{Threads: p}, mode)
+	bw := bfs.EnhancedReach(bfs.BackwardAdj(g), pivot, unassigned, bfs.Options{Threads: p}, mode)
+	n := g.NumVertices()
+	inSCC := func(v graph.V) bool { return fw.Get(v) && bw.Get(v) }
+	minID := uint32(graph.NoVertex)
+	parallel.ForBlocks(0, n, p, func(lo, hi, _ int) {
+		for v := lo; v < hi; v++ {
+			if inSCC(graph.V(v)) {
+				parallel.MinU32(&minID, uint32(v))
+				break
+			}
+		}
+	})
+	var size int64
+	parallel.ForBlocks(0, n, p, func(lo, hi, _ int) {
+		var local int64
+		for v := lo; v < hi; v++ {
+			if inSCC(graph.V(v)) {
+				label[v] = minID
+				local++
+			}
+		}
+		parallel.AddI64(&size, local)
+	})
+	return int(size)
+}
+
+// assignColorSCCs extracts one SCC per color root: the vertices of color c
+// that reach the root backward within color class c. Distinct color classes
+// are vertex-disjoint, so roots are processed task-parallel with per-worker
+// scratch and no atomics on the label array.
+func assignColorSCCs(g *graph.Directed, color, label []uint32, live []graph.V, p int) {
+	// Gather roots: live vertices whose color equals their own id.
+	var roots []graph.V
+	for _, v := range live {
+		if label[v] == graph.NoVertex && color[v] == uint32(v) {
+			roots = append(roots, v)
+		}
+	}
+	parallel.ForChunksDynamic(0, len(roots), p, 1, func(lo, hi, _ int) {
+		queue := make([]graph.V, 0, 64)
+		for i := lo; i < hi; i++ {
+			r := roots[i]
+			c := uint32(r)
+			// Backward BFS within the color class; label doubles as the
+			// visited marker (the class is private to this root).
+			minID := uint32(r)
+			queue = append(queue[:0], r)
+			label[r] = c
+			for head := 0; head < len(queue); head++ {
+				u := queue[head]
+				for _, w := range g.In(u) {
+					if color[w] == c && label[w] == graph.NoVertex {
+						label[w] = c
+						if uint32(w) < minID {
+							minID = uint32(w)
+						}
+						queue = append(queue, w)
+					}
+				}
+			}
+			if minID != c {
+				// Canonicalize to the smallest member id.
+				for _, u := range queue {
+					label[u] = minID
+				}
+			}
+		}
+	})
+}
+
+// maxLiveDegree returns the unassigned vertex with the largest in+out degree,
+// or graph.NoVertex if none remain.
+func maxLiveDegree(g *graph.Directed, label []uint32) graph.V {
+	best := graph.NoVertex
+	bestDeg := -1
+	for v := 0; v < g.NumVertices(); v++ {
+		if label[v] != graph.NoVertex {
+			continue
+		}
+		d := g.OutDegree(graph.V(v)) + g.InDegree(graph.V(v))
+		if d > bestDeg {
+			bestDeg = d
+			best = graph.V(v)
+		}
+	}
+	return best
+}
+
+// summarize fills the SCC census fields from the label array.
+func (r *Result) summarize(n, p int) {
+	counts := make([]int32, n)
+	parallel.ForBlocks(0, n, p, func(lo, hi, _ int) {
+		for v := lo; v < hi; v++ {
+			parallel.AddI32(&counts[r.Label[v]], 1)
+		}
+	})
+	r.Sizes = make(map[uint32]int)
+	for l, c := range counts {
+		if c > 0 {
+			r.Sizes[uint32(l)] = int(c)
+			r.NumComponents++
+			if int(c) > r.LargestSize {
+				r.LargestSize = int(c)
+				r.LargestLabel = uint32(l)
+			}
+		}
+	}
+}

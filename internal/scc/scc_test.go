@@ -1,0 +1,129 @@
+package scc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aquila/internal/baseline/serialdfs"
+	"aquila/internal/bfs"
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+	"aquila/internal/verify"
+)
+
+func suite() map[string]*graph.Directed {
+	return map[string]*graph.Directed{
+		"paper":  gen.PaperExample(),
+		"cycle3": graph.BuildDirected(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}}),
+		"dag":    graph.BuildDirected(6, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 0, V: 4}, {U: 4, V: 5}}),
+		"mutual": graph.BuildDirected(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 0}, {U: 2, V: 3}, {U: 3, V: 2}}),
+		"empty":  graph.BuildDirected(5, nil),
+		"random": gen.Random(300, 900, 6),
+		"rmat":   gen.RMAT(9, 6, 7),
+		"social": gen.Social(gen.SocialConfig{GiantVertices: 600, GiantAvgDeg: 5, SmallComps: 30, SmallMaxSize: 5, Isolated: 15, MutualFrac: 0.6, Seed: 9}),
+	}
+}
+
+func TestRunMatchesSerialAllConfigs(t *testing.T) {
+	for name, g := range suite() {
+		want := serialdfs.SCC(g)
+		for _, opt := range []Options{
+			{Threads: 1},
+			{Threads: 4},
+			{Threads: 4, NoTrim: true},
+			{Threads: 4, NoAdaptive: true},
+			{Threads: 3, Mode: bfs.ModePlain},
+			{Threads: 3, Mode: bfs.ModeDirOpt},
+			{Threads: 3, Mode: bfs.ModeEnhanced},
+			{Threads: 2, NoTrim: true, NoAdaptive: true},
+		} {
+			res := Run(g, opt)
+			if err := verify.SamePartition(res.Label, want); err != nil {
+				t.Fatalf("%s %+v: %v", name, opt, err)
+			}
+		}
+	}
+}
+
+func TestLabelsAreCanonicalMinID(t *testing.T) {
+	for name, g := range suite() {
+		want := serialdfs.SCC(g)
+		res := Run(g, Options{Threads: 2})
+		for v := range want {
+			if res.Label[v] != want[v] {
+				t.Fatalf("%s: Label[%d] = %d, want %d (canonical min id)", name, v, res.Label[v], want[v])
+			}
+		}
+	}
+}
+
+func TestCensusPaperExample(t *testing.T) {
+	g := gen.PaperExample()
+	res := Run(g, Options{Threads: 2})
+	if res.NumComponents != 6 {
+		t.Fatalf("NumComponents = %d, want 6", res.NumComponents)
+	}
+	if res.LargestSize != 7 {
+		t.Errorf("LargestSize = %d, want 7", res.LargestSize)
+	}
+	if res.Sizes[res.LargestLabel] != 7 {
+		t.Errorf("Sizes[largest] inconsistent")
+	}
+}
+
+func TestGiantFoundByFWBW(t *testing.T) {
+	g := suite()["social"]
+	res := Run(g, Options{Threads: 4})
+	if res.Stats.GiantSize == 0 {
+		t.Errorf("FW-BW found no giant SCC on a mutual-rich social graph")
+	}
+	if res.Stats.GiantSize > res.LargestSize {
+		t.Errorf("giant %d exceeds largest %d", res.Stats.GiantSize, res.LargestSize)
+	}
+}
+
+func TestTrimStatsDAG(t *testing.T) {
+	g := suite()["dag"]
+	res := Run(g, Options{Threads: 2})
+	if res.Stats.TrimmedSize1 != 6 {
+		t.Errorf("TrimmedSize1 = %d, want 6 (whole DAG trims)", res.Stats.TrimmedSize1)
+	}
+	if res.NumComponents != 6 {
+		t.Errorf("NumComponents = %d, want 6", res.NumComponents)
+	}
+}
+
+func TestColoringRoundsBounded(t *testing.T) {
+	g := suite()["random"]
+	res := Run(g, Options{Threads: 2, NoTrim: true})
+	if res.Stats.ColoringRounds == 0 {
+		t.Errorf("coloring never ran with trim disabled on a random graph")
+	}
+	if res.Stats.ColoringRounds > 64 {
+		t.Errorf("coloring did not converge quickly: %d rounds", res.Stats.ColoringRounds)
+	}
+}
+
+// Property: arbitrary digraphs, every config matches Tarjan.
+func TestRunProperty(t *testing.T) {
+	f := func(raw []uint16, seed uint16) bool {
+		const n = 40
+		edges := make([]graph.Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, graph.Edge{U: graph.V(raw[i] % n), V: graph.V(raw[i+1] % n)})
+		}
+		g := graph.BuildDirected(n, edges)
+		want := serialdfs.SCC(g)
+		opt := Options{
+			Threads:    int(seed%4) + 1,
+			NoTrim:     seed%2 == 0,
+			NoAdaptive: seed%5 == 0,
+			Mode:       bfs.Mode(seed % 3),
+		}
+		res := Run(g, opt)
+		return verify.SamePartition(res.Label, want) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+// Package spo implements the paper's single-parent-only technique (§4,
+// Lemmas 1–2, Fig. 5): after the BFS tree is built, a child vertex v whose
+// check could never reveal an articulation point or bridge is pruned from the
+// constrained-BFS workload.
+//
+// A vertex has a *second parent* when it can reach the root without its tree
+// parent p:
+//
+//   - direct second parent: a neighbor u ≠ p at level[p] — u's tree path to
+//     the root stays strictly above level[p] except at u itself, and p cannot
+//     be an ancestor of u, so v→u→root avoids p (Fig. 5a);
+//   - sibling-induced second parent: a neighbor u at v's own level with
+//     parent[u] ≠ p — u's tree ancestor at level[p] is parent[u], not p
+//     (Fig. 5b).
+//
+// For bridges the rule is simpler and stronger: any neighbor u ≠ p with
+// level[u] ≤ level[v] gives a path to the root that avoids the tree edge
+// (p,v) — including a same-parent sibling, since its path descends through p
+// but not through the edge (p,v).
+package spo
+
+import (
+	"aquila/internal/graph"
+	"aquila/internal/parallel"
+)
+
+// Flags holds the per-vertex SPO pruning decisions.
+type Flags struct {
+	// SkipAP[v]: the constrained AP check rooted at v can be skipped.
+	SkipAP []bool
+	// SkipBridge[v]: the constrained bridge check for tree edge
+	// (parent[v], v) can be skipped.
+	SkipBridge []bool
+	// CheckedAP / CheckedBridge count the vertices that were candidates
+	// (visited, non-root, not removed) — the Fig. 6 denominators.
+	CheckedAP, CheckedBridge int
+	// SkippedAP / SkippedBridge count the pruned candidates.
+	SkippedAP, SkippedBridge int
+}
+
+// Compute scans every non-root vertex of the BFS forest once, in parallel,
+// and fills in both pruning flag sets. removed may be nil.
+func Compute(g *graph.Undirected, level []int32, parent []graph.V, removed []bool, threads int) *Flags {
+	n := g.NumVertices()
+	f := &Flags{
+		SkipAP:     make([]bool, n),
+		SkipBridge: make([]bool, n),
+	}
+	var checked, skippedAP, skippedBridge int64
+	parallel.ForBlocks(0, n, threads, func(lo, hi, _ int) {
+		var localChecked, localAP, localBr int64
+		for v := lo; v < hi; v++ {
+			vv := graph.V(v)
+			if level[v] <= 0 || (removed != nil && removed[v]) {
+				continue
+			}
+			localChecked++
+			p := parent[v]
+			lv := level[v]
+			hasSecondParent := false
+			hasAltPath := false
+			for _, u := range g.Neighbors(vv) {
+				if u == p || (removed != nil && removed[u]) {
+					continue
+				}
+				lu := level[u]
+				if lu == -1 {
+					continue
+				}
+				if lu <= lv {
+					hasAltPath = true // bridge rule
+					if lu == lv-1 {
+						hasSecondParent = true // direct second parent
+					} else if lu == lv && parent[u] != p {
+						hasSecondParent = true // sibling-induced second parent
+					}
+				}
+				if hasSecondParent {
+					break
+				}
+			}
+			if hasSecondParent {
+				f.SkipAP[v] = true
+				localAP++
+			}
+			if hasAltPath {
+				f.SkipBridge[v] = true
+				localBr++
+			}
+		}
+		parallel.AddI64(&checked, localChecked)
+		parallel.AddI64(&skippedAP, localAP)
+		parallel.AddI64(&skippedBridge, localBr)
+	})
+	f.CheckedAP = int(checked)
+	f.CheckedBridge = int(checked)
+	f.SkippedAP = int(skippedAP)
+	f.SkippedBridge = int(skippedBridge)
+	return f
+}

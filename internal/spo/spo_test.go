@@ -1,0 +1,140 @@
+package spo
+
+import (
+	"testing"
+
+	"aquila/internal/baseline/serialdfs"
+	"aquila/internal/bfs"
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+)
+
+// runCheckAP is a reference constrained AP check: is parent[v] an AP from
+// v's view (v cannot reach a non-parent vertex at level ≤ level[parent])?
+func runCheckAP(g *graph.Undirected, tree *bfs.Tree, v graph.V, s *bfs.Scratch) bool {
+	p := tree.Parent[v]
+	reached, _ := s.Run(g, bfs.Constraint{
+		Start: v, BannedVertex: p, BannedEdge: -1,
+		Bound: tree.Level[p], Level: tree.Level,
+	})
+	return !reached
+}
+
+func runCheckBridge(g *graph.Undirected, tree *bfs.Tree, v graph.V, s *bfs.Scratch) bool {
+	p := tree.Parent[v]
+	reached, _ := s.Run(g, bfs.Constraint{
+		Start: v, BannedVertex: graph.NoVertex, BannedEdge: g.EdgeIDOf(p, v),
+		Bound: tree.Level[p], Level: tree.Level,
+	})
+	return !reached
+}
+
+// TestSPONeverSkipsAPositiveCheck is the Lemma 2 soundness property: a
+// skipped check must be one that would have found nothing.
+func TestSPONeverSkipsAPositiveCheck(t *testing.T) {
+	graphs := map[string]*graph.Undirected{
+		"paper":   gen.PaperExampleUndirected(),
+		"barbell": gen.BarbellWithBridge(5),
+		"cycle":   gen.Cycle(12),
+		"path":    gen.Path(12),
+	}
+	for seed := uint64(1); seed <= 8; seed++ {
+		graphs["rand"+string(rune('0'+seed))] = gen.RandomUndirected(60, 90, seed)
+	}
+	for name, g := range graphs {
+		tree := bfs.NewTree(g.NumVertices())
+		tree.RunForest(g, g.MaxDegreeVertex(), nil, bfs.Options{Threads: 2})
+		flags := Compute(g, tree.Level, tree.Parent, nil, 2)
+		s := bfs.NewScratch(g.NumVertices())
+		for v := 0; v < g.NumVertices(); v++ {
+			if tree.Level[v] <= 0 {
+				continue
+			}
+			vv := graph.V(v)
+			if flags.SkipAP[v] && runCheckAP(g, tree, vv, s) {
+				t.Fatalf("%s: SPO skipped vertex %d whose AP check is positive", name, v)
+			}
+			if flags.SkipBridge[v] && runCheckBridge(g, tree, vv, s) {
+				t.Fatalf("%s: SPO skipped vertex %d whose bridge check is positive", name, v)
+			}
+		}
+	}
+}
+
+// TestSPOSkipsOnCycle: on a cycle rooted anywhere, (almost) every vertex has
+// an alternative path, so the bridge checks are all skippable.
+func TestSPOSkipsOnCycle(t *testing.T) {
+	g := gen.Cycle(10)
+	tree := bfs.NewTree(10)
+	tree.Run(g, 0, nil, bfs.Options{Threads: 1})
+	flags := Compute(g, tree.Level, tree.Parent, nil, 1)
+	// The two level-5 vertices see each other (same level, different parents):
+	// both AP-skippable; every vertex with a same-level or upper non-parent
+	// neighbor is bridge-skippable. On an even cycle that is the deepest pair.
+	if flags.SkippedBridge == 0 {
+		t.Errorf("no bridge check skipped on a cycle")
+	}
+	if flags.SkippedAP == 0 {
+		t.Errorf("no AP check skipped on a cycle")
+	}
+}
+
+// TestSPOPathSkipsNothing: on a path no vertex has a second parent; every
+// check must survive (and indeed every internal vertex is an AP).
+func TestSPOPathSkipsNothing(t *testing.T) {
+	g := gen.Path(10)
+	tree := bfs.NewTree(10)
+	tree.Run(g, 0, nil, bfs.Options{Threads: 1})
+	flags := Compute(g, tree.Level, tree.Parent, nil, 1)
+	if flags.SkippedAP != 0 || flags.SkippedBridge != 0 {
+		t.Errorf("path: skipped AP=%d bridge=%d, want 0/0",
+			flags.SkippedAP, flags.SkippedBridge)
+	}
+	if flags.CheckedAP != 9 {
+		t.Errorf("CheckedAP = %d, want 9", flags.CheckedAP)
+	}
+}
+
+// TestSPOCompleteGraphSkipsAll: in K_n every non-root vertex has a direct
+// second parent (all level-1 siblings share the root but see each other...
+// they are covered by the direct rule: neighbors at level[parent] exist for
+// the level-1 vertices only via other roots — verify against the oracle
+// instead of hand reasoning).
+func TestSPOCompleteGraphSkipsAll(t *testing.T) {
+	g := gen.Complete(6)
+	tree := bfs.NewTree(6)
+	tree.Run(g, 0, nil, bfs.Options{Threads: 1})
+	flags := Compute(g, tree.Level, tree.Parent, nil, 1)
+	// K6: all non-root vertices at level 1; each sees 4 same-level vertices
+	// with the same parent (root). Sibling rule requires a different parent,
+	// so SkipAP stays false; but the bridge rule (any neighbor ≤ own level)
+	// fires for all.
+	if flags.SkippedBridge != 5 {
+		t.Errorf("SkippedBridge = %d, want 5", flags.SkippedBridge)
+	}
+	// Sanity: no APs exist, so the unskipped AP checks all come back negative.
+	aps := serialdfs.APs(g)
+	for v, ap := range aps {
+		if ap {
+			t.Fatalf("K6 has no APs, oracle says %d is one", v)
+		}
+	}
+}
+
+// TestSPOReductionIsSubstantialOnRealisticShape mirrors Fig. 6: on a
+// social-like graph most checks are pruned.
+func TestSPOReductionIsSubstantialOnRealisticShape(t *testing.T) {
+	d := gen.Social(gen.SocialConfig{
+		GiantVertices: 3000, GiantAvgDeg: 6,
+		SmallComps: 20, SmallMaxSize: 5, Isolated: 10,
+		MutualFrac: 0.5, Seed: 3,
+	})
+	g := graph.Undirect(d)
+	tree := bfs.NewTree(g.NumVertices())
+	tree.RunForest(g, g.MaxDegreeVertex(), nil, bfs.Options{Threads: 2})
+	flags := Compute(g, tree.Level, tree.Parent, nil, 2)
+	frac := float64(flags.SkippedBridge) / float64(flags.CheckedBridge)
+	if frac < 0.5 {
+		t.Errorf("bridge SPO pruned only %.0f%% on a dense social shape", 100*frac)
+	}
+}

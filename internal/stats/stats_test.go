@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+)
+
+func TestDegreeStats(t *testing.T) {
+	d := DegreeStats(gen.Star(11)) // center degree 10, leaves 1
+	if d.Min != 1 || d.Max != 10 {
+		t.Errorf("min/max = %d/%d, want 1/10", d.Min, d.Max)
+	}
+	if d.P50 != 1 {
+		t.Errorf("P50 = %d, want 1", d.P50)
+	}
+	wantMean := 20.0 / 11.0
+	if d.Mean < wantMean-1e-9 || d.Mean > wantMean+1e-9 {
+		t.Errorf("Mean = %v, want %v", d.Mean, wantMean)
+	}
+	if got := DegreeStats(graph.BuildUndirected(0, nil)); got.Max != 0 {
+		t.Errorf("empty graph stats nonzero: %+v", got)
+	}
+}
+
+func TestReciprocity(t *testing.T) {
+	sym := graph.BuildDirected(2, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 0}})
+	if got := Reciprocity(sym); got != 1 {
+		t.Errorf("symmetric reciprocity = %v, want 1", got)
+	}
+	oneWay := graph.BuildDirected(2, []graph.Edge{{U: 0, V: 1}})
+	if got := Reciprocity(oneWay); got != 0 {
+		t.Errorf("one-way reciprocity = %v, want 0", got)
+	}
+	half := graph.BuildDirected(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 0}, {U: 1, V: 2}, {U: 2, V: 0}})
+	if got := Reciprocity(half); got != 0.5 {
+		t.Errorf("reciprocity = %v, want 0.5", got)
+	}
+}
+
+func TestApproxDiameter(t *testing.T) {
+	// On a path the double sweep is exact.
+	if got := ApproxDiameter(gen.Path(10), 2); got != 9 {
+		t.Errorf("path diameter = %d, want 9", got)
+	}
+	// On an even cycle it is exact too.
+	if got := ApproxDiameter(gen.Cycle(10), 2); got != 5 {
+		t.Errorf("cycle diameter = %d, want 5", got)
+	}
+	// Lower bound property on random graphs: estimate >= eccentricity of the
+	// second sweep root and >= 1 for any graph with an edge.
+	g := gen.RandomUndirected(100, 300, 5)
+	if got := ApproxDiameter(g, 2); got < 1 {
+		t.Errorf("diameter estimate %d < 1", got)
+	}
+}
+
+func TestRender(t *testing.T) {
+	d := gen.PaperExample()
+	out := Render(d, graph.Undirect(d), 2)
+	for _, frag := range []string{"vertices:       14", "directed arcs:  14", "degree:", "diameter"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("report missing %q:\n%s", frag, out)
+		}
+	}
+}

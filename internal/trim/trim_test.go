@@ -1,0 +1,253 @@
+package trim
+
+import (
+	"testing"
+
+	"aquila/internal/baseline/serialdfs"
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+)
+
+func freshLabels(n int) []uint32 {
+	l := make([]uint32, n)
+	for i := range l {
+		l[i] = graph.NoVertex
+	}
+	return l
+}
+
+func TestOrphans(t *testing.T) {
+	// 0-1 edge, 2 and 3 isolated.
+	g := graph.BuildUndirected(4, []graph.Edge{{U: 0, V: 1}})
+	label := freshLabels(4)
+	n := Orphans(g, label, 2)
+	if n != 2 {
+		t.Fatalf("trimmed %d, want 2", n)
+	}
+	if label[2] != 2 || label[3] != 3 {
+		t.Errorf("orphan labels wrong: %v", label)
+	}
+	if label[0] != graph.NoVertex || label[1] != graph.NoVertex {
+		t.Errorf("non-orphans touched: %v", label)
+	}
+}
+
+func TestPairs(t *testing.T) {
+	// pair {0,1}, triangle {2,3,4}, pendant 5 hanging off 2.
+	g := graph.BuildUndirected(6, []graph.Edge{
+		{U: 0, V: 1},
+		{U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 2},
+		{U: 2, V: 5},
+	})
+	label := freshLabels(6)
+	n := Pairs(g, label, 2)
+	if n != 2 {
+		t.Fatalf("trimmed %d, want 2", n)
+	}
+	if label[0] != 0 || label[1] != 0 {
+		t.Errorf("pair labels = %v", label[:2])
+	}
+	if label[5] != graph.NoVertex {
+		t.Errorf("pendant 5 wrongly trimmed as pair (its neighbor has degree 4)")
+	}
+}
+
+func TestSCCSize1PeelsDAG(t *testing.T) {
+	// A DAG trims away completely.
+	g := graph.BuildDirected(5, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}})
+	label := freshLabels(5)
+	n := SCCSize1(g, label, 2)
+	if n != 5 {
+		t.Fatalf("trimmed %d, want 5", n)
+	}
+	for v, l := range label {
+		if l != uint32(v) {
+			t.Errorf("label[%d] = %d, want own id", v, l)
+		}
+	}
+}
+
+func TestSCCSize1KeepsCycle(t *testing.T) {
+	// Cycle 0→1→2→0 with a tail 2→3→4.
+	g := graph.BuildDirected(5, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 2, V: 3}, {U: 3, V: 4}})
+	label := freshLabels(5)
+	n := SCCSize1(g, label, 2)
+	if n != 2 {
+		t.Fatalf("trimmed %d, want 2 (the tail)", n)
+	}
+	for _, v := range []int{0, 1, 2} {
+		if label[v] != graph.NoVertex {
+			t.Errorf("cycle vertex %d trimmed", v)
+		}
+	}
+}
+
+func TestSCCSize2(t *testing.T) {
+	// Mutual pair {0,1} whose other edges all leave (0→2, 1→2); cycle {2,3,4}
+	// keeps the pair's out-edges live but cannot reach back.
+	g := graph.BuildDirected(5, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 0}, {U: 0, V: 2}, {U: 1, V: 2},
+		{U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 2}})
+	label := freshLabels(5)
+	n := SCCSize2(g, label, 2)
+	if n != 2 {
+		t.Fatalf("trimmed %d, want 2", n)
+	}
+	if label[0] != 0 || label[1] != 0 {
+		t.Errorf("pair labels = %v", label[:2])
+	}
+
+	// Counterexample: pair {0,1} with an incoming edge from the cycle and an
+	// outgoing edge to it — could be in a bigger SCC; must not trim.
+	g2 := graph.BuildDirected(5, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 0}, {U: 0, V: 2}, {U: 2, V: 1},
+		{U: 2, V: 3}, {U: 3, V: 2}})
+	label2 := freshLabels(5)
+	if n := SCCSize2(g2, label2, 2); n != 0 {
+		t.Fatalf("trimmed %d from untrimmable shape, want 0", n)
+	}
+}
+
+func TestSCCTrimNeverWrong(t *testing.T) {
+	// Property-style: on random digraphs, every vertex trimmed by size-1 or
+	// size-2 must be in an SCC of exactly that size per the serial oracle.
+	for seed := uint64(1); seed <= 12; seed++ {
+		g := gen.Random(60, 150, seed)
+		truth := serialdfs.SCC(g)
+		sizes := make(map[uint32]int)
+		for _, l := range truth {
+			sizes[l]++
+		}
+		label := freshLabels(60)
+		SCCSize1(g, label, 2)
+		for v, l := range label {
+			if l != graph.NoVertex && sizes[truth[v]] != 1 {
+				t.Fatalf("seed %d: size-1 trim removed %d from an SCC of size %d",
+					seed, v, sizes[truth[v]])
+			}
+		}
+		SCCSize2(g, label, 2)
+		for v, l := range label {
+			if l == graph.NoVertex {
+				continue
+			}
+			if sz := sizes[truth[v]]; sz > 2 {
+				t.Fatalf("seed %d: trim removed %d from an SCC of size %d", seed, v, sz)
+			}
+		}
+	}
+}
+
+func TestSCCLiveMatchesFullTrims(t *testing.T) {
+	for seed := uint64(30); seed < 36; seed++ {
+		g := gen.Random(80, 180, seed)
+		// Full-range trims.
+		labelA := freshLabels(80)
+		totalA := 0
+		for {
+			ta := SCCSize1(g, labelA, 2) + SCCSize2(g, labelA, 2)
+			totalA += ta
+			if ta == 0 {
+				break
+			}
+		}
+		// Live-list trims starting from everything.
+		labelB := freshLabels(80)
+		live := make([]graph.V, 80)
+		for i := range live {
+			live[i] = graph.V(i)
+		}
+		t1, t2, remaining := SCCLive(g, labelB, live, 2)
+		if t1+t2 != totalA {
+			t.Fatalf("seed %d: live trims removed %d+%d, full-range removed %d", seed, t1, t2, totalA)
+		}
+		for _, v := range remaining {
+			if labelB[v] != graph.NoVertex {
+				t.Fatalf("seed %d: remaining list contains assigned vertex %d", seed, v)
+			}
+		}
+		// The same vertex set must survive both paths.
+		for v := 0; v < 80; v++ {
+			if (labelA[v] == graph.NoVertex) != (labelB[v] == graph.NoVertex) {
+				t.Fatalf("seed %d: survivor sets differ at %d", seed, v)
+			}
+		}
+	}
+}
+
+func TestPendantsOnPaperExample(t *testing.T) {
+	g := gen.PaperExampleUndirected()
+	res := Pendants(g)
+	// Pendants: 1 (off 5), 11 (off 9), and one of {12,13} (each removal
+	// consumes one edge; the pair's survivor is left with degree 0).
+	if res.TrimmedCount != 3 {
+		t.Fatalf("TrimmedCount = %d, want 3", res.TrimmedCount)
+	}
+	for _, v := range []graph.V{1, 11} {
+		if !res.Removed[v] {
+			t.Errorf("pendant %d not removed", v)
+		}
+	}
+	if !res.Removed[12] && !res.Removed[13] {
+		t.Errorf("pair {12,13} not peeled")
+	}
+	if !res.IsAP[5] || !res.IsAP[9] {
+		t.Errorf("trim missed APs 5 and 9: %v", res.IsAP)
+	}
+	if res.IsAP[12] || res.IsAP[13] {
+		t.Errorf("degree-1 endpoints of the isolated edge flagged as APs")
+	}
+	if len(res.BridgeEdges) != 3 {
+		t.Errorf("bridges found = %d, want 3", len(res.BridgeEdges))
+	}
+	if len(res.Blocks) != 3 {
+		t.Errorf("blocks found = %d, want 3", len(res.Blocks))
+	}
+}
+
+func TestPendantsPeelsWholeTree(t *testing.T) {
+	// A star of paths: trimming must consume the entire tree.
+	g := gen.Path(20)
+	res := Pendants(g)
+	if res.TrimmedCount != 19 {
+		t.Fatalf("TrimmedCount = %d, want 19 (one survivor)", res.TrimmedCount)
+	}
+	if len(res.BridgeEdges) != 19 {
+		t.Errorf("bridges = %d, want 19", len(res.BridgeEdges))
+	}
+	// Internal vertices are APs, endpoints are not.
+	truth := serialdfs.APs(g)
+	for v := 0; v < 20; v++ {
+		if res.IsAP[v] != truth[v] {
+			t.Errorf("IsAP[%d] = %v, oracle %v", v, res.IsAP[v], truth[v])
+		}
+	}
+}
+
+func TestPendantsLeavesCoreIntact(t *testing.T) {
+	g := gen.BarbellWithBridge(4)
+	res := Pendants(g)
+	if res.TrimmedCount != 0 {
+		t.Errorf("trimmed %d from a min-degree-2... graph", res.TrimmedCount)
+	}
+}
+
+func TestPendantsAgainstOracleOnRandom(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		g := gen.RandomUndirected(80, 100, seed) // sparse: many pendants
+		res := Pendants(g)
+		apTruth := serialdfs.APs(g)
+		brTruth := serialdfs.Bridges(g)
+		for v, ap := range res.IsAP {
+			if ap && !apTruth[v] {
+				t.Fatalf("seed %d: trim flagged non-AP %d", seed, v)
+			}
+		}
+		for _, e := range res.BridgeEdges {
+			if !brTruth[e] {
+				t.Fatalf("seed %d: trim flagged non-bridge edge %d", seed, e)
+			}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Package unionfind provides serial and concurrent disjoint-set structures.
+// The serial version backs the GraphChi_UF baseline (one streaming pass over
+// the edges); the concurrent version backs the Galois_Async baseline and is a
+// lock-free CAS-hooking design in the spirit of Shiloach–Vishkin: unions hook
+// the larger root under the smaller, finds use path halving, and all writes
+// are CAS so any number of goroutines may union concurrently.
+package unionfind
+
+import "sync/atomic"
+
+// Serial is a classic union-find with path halving and union by smaller-id
+// root, so the representative of each set is its minimum element — a
+// canonical label.
+type Serial struct {
+	parent []uint32
+}
+
+// NewSerial returns a Serial over n singleton elements.
+func NewSerial(n int) *Serial {
+	p := make([]uint32, n)
+	for i := range p {
+		p[i] = uint32(i)
+	}
+	return &Serial{parent: p}
+}
+
+// Find returns the representative (minimum element) of x's set.
+func (u *Serial) Find(x uint32) uint32 {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b.
+func (u *Serial) Union(a, b uint32) {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return
+	}
+	if ra < rb {
+		u.parent[rb] = ra
+	} else {
+		u.parent[ra] = rb
+	}
+}
+
+// Same reports whether a and b are in one set.
+func (u *Serial) Same(a, b uint32) bool { return u.Find(a) == u.Find(b) }
+
+// Labels flattens the structure into a label slice (minimum element per set).
+func (u *Serial) Labels() []uint32 {
+	out := make([]uint32, len(u.parent))
+	for i := range out {
+		out[i] = u.Find(uint32(i))
+	}
+	return out
+}
+
+// Concurrent is a lock-free union-find safe for parallel Union/Find. Roots
+// always decrease under union (hook larger under smaller), which both gives
+// canonical minimum labels and guarantees the CAS loop terminates.
+type Concurrent struct {
+	parent []uint32
+}
+
+// NewConcurrent returns a Concurrent over n singleton elements.
+func NewConcurrent(n int) *Concurrent {
+	p := make([]uint32, n)
+	for i := range p {
+		p[i] = uint32(i)
+	}
+	return &Concurrent{parent: p}
+}
+
+// Find returns the current representative of x's set, halving paths with
+// benign CAS compression along the way.
+func (u *Concurrent) Find(x uint32) uint32 {
+	for {
+		p := atomic.LoadUint32(&u.parent[x])
+		if p == x {
+			return x
+		}
+		gp := atomic.LoadUint32(&u.parent[p])
+		if gp != p {
+			// Path halving; losing the CAS is fine, someone else compressed.
+			atomic.CompareAndSwapUint32(&u.parent[x], p, gp)
+		}
+		x = p
+	}
+}
+
+// Union merges the sets of a and b, returning the surviving (smaller) root.
+func (u *Concurrent) Union(a, b uint32) uint32 {
+	for {
+		ra, rb := u.Find(a), u.Find(b)
+		if ra == rb {
+			return ra
+		}
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		// Hook the larger root under the smaller. The CAS fails if rb gained
+		// a parent meanwhile; retry from fresh roots.
+		if atomic.CompareAndSwapUint32(&u.parent[rb], rb, ra) {
+			return ra
+		}
+	}
+}
+
+// Same reports whether a and b are currently in one set. With concurrent
+// unions in flight the answer is a linearization-point snapshot.
+func (u *Concurrent) Same(a, b uint32) bool {
+	for {
+		ra, rb := u.Find(a), u.Find(b)
+		if ra == rb {
+			return true
+		}
+		// ra is still a root: the answer was correct at that instant.
+		if atomic.LoadUint32(&u.parent[ra]) == ra {
+			return false
+		}
+	}
+}
+
+// Labels flattens into canonical minimum-element labels. Call only after
+// unions have quiesced.
+func (u *Concurrent) Labels() []uint32 {
+	out := make([]uint32, len(u.parent))
+	for i := range out {
+		out[i] = u.Find(uint32(i))
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package unionfind
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aquila/internal/parallel"
+)
+
+func TestSerialBasics(t *testing.T) {
+	u := NewSerial(6)
+	if u.Same(0, 1) {
+		t.Errorf("fresh elements joined")
+	}
+	u.Union(0, 1)
+	u.Union(2, 3)
+	if !u.Same(0, 1) || !u.Same(2, 3) || u.Same(1, 2) {
+		t.Errorf("union results wrong")
+	}
+	u.Union(1, 3)
+	if !u.Same(0, 2) {
+		t.Errorf("transitive union failed")
+	}
+	labels := u.Labels()
+	for _, v := range []uint32{0, 1, 2, 3} {
+		if labels[v] != 0 {
+			t.Errorf("label[%d] = %d, want canonical 0", v, labels[v])
+		}
+	}
+	if labels[4] != 4 || labels[5] != 5 {
+		t.Errorf("singletons mislabeled: %v", labels[4:])
+	}
+}
+
+func TestSerialIdempotentUnion(t *testing.T) {
+	u := NewSerial(3)
+	u.Union(0, 1)
+	u.Union(0, 1)
+	u.Union(1, 0)
+	if u.Find(1) != 0 {
+		t.Errorf("Find(1) = %d", u.Find(1))
+	}
+}
+
+func TestConcurrentMatchesSerial(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		const n = 128
+		s := NewSerial(n)
+		c := NewConcurrent(n)
+		for i := 0; i+1 < len(pairs); i += 2 {
+			a, b := uint32(pairs[i]%n), uint32(pairs[i+1]%n)
+			s.Union(a, b)
+			c.Union(a, b)
+		}
+		sl, cl := s.Labels(), c.Labels()
+		for i := range sl {
+			if sl[i] != cl[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentParallelUnions(t *testing.T) {
+	const n = 10000
+	c := NewConcurrent(n)
+	// 8 workers union chains with different strides; the result must be one
+	// set containing everything (stride-1 chain present).
+	parallel.Run(8, func(w int) {
+		for i := 0; i+1 < n; i++ {
+			if (i+w)%3 == 0 {
+				c.Union(uint32(i), uint32(i+1))
+			}
+		}
+	})
+	// Fill any gaps serially so the expectation is exactly one component.
+	for i := 0; i+1 < n; i++ {
+		c.Union(uint32(i), uint32(i+1))
+	}
+	for i := 0; i < n; i++ {
+		if c.Find(uint32(i)) != 0 {
+			t.Fatalf("Find(%d) = %d, want 0", i, c.Find(uint32(i)))
+		}
+	}
+}
+
+func TestConcurrentCanonicalMinRoot(t *testing.T) {
+	c := NewConcurrent(5)
+	c.Union(4, 3)
+	c.Union(3, 2)
+	if got := c.Find(4); got != 2 {
+		t.Errorf("Find(4) = %d, want min element 2", got)
+	}
+	c.Union(0, 4)
+	if got := c.Find(3); got != 0 {
+		t.Errorf("Find(3) = %d, want 0", got)
+	}
+}
+
+func TestConcurrentSame(t *testing.T) {
+	c := NewConcurrent(4)
+	if c.Same(0, 1) {
+		t.Errorf("fresh joined")
+	}
+	c.Union(0, 1)
+	if !c.Same(1, 0) {
+		t.Errorf("Same false after union")
+	}
+}

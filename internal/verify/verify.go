@@ -1,0 +1,133 @@
+// Package verify provides the cross-checking helpers the test suites use to
+// compare parallel Aquila results against the serial ground truth. Parallel
+// runs may pick different representative labels, so comparisons are made on
+// partitions (same-set relations), never on raw label values.
+package verify
+
+import (
+	"fmt"
+
+	"aquila/internal/graph"
+)
+
+// SamePartition reports whether two labelings induce the same partition of
+// [0, n). It canonicalizes both sides to first-seen representatives.
+func SamePartition(a, b []uint32) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("length mismatch: %d vs %d", len(a), len(b))
+	}
+	ca, cb := Canonical(a), Canonical(b)
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return fmt.Errorf("partition differs at vertex %d: one groups it with %d, the other with %d",
+				i, ca[i], cb[i])
+		}
+	}
+	return nil
+}
+
+// Canonical rewrites labels so each class is named by its smallest member.
+func Canonical(label []uint32) []uint32 {
+	rep := make(map[uint32]uint32)
+	out := make([]uint32, len(label))
+	for i, l := range label {
+		if _, ok := rep[l]; !ok {
+			rep[l] = uint32(i)
+		}
+		out[i] = rep[l]
+	}
+	return out
+}
+
+// SameBoolSet reports whether two flag slices agree, returning the first
+// mismatch index in the error.
+func SameBoolSet(got, want []bool, what string) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%s: length mismatch %d vs %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("%s: mismatch at %d: got %v, want %v", what, i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// SameEdgePartition reports whether two edge labelings (e.g. block ids)
+// induce the same partition over edges. Entries of -1 (unassigned) must match
+// exactly.
+func SameEdgePartition(a, b []int64) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("length mismatch: %d vs %d", len(a), len(b))
+	}
+	ca, cb := canonicalI64(a), canonicalI64(b)
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return fmt.Errorf("edge partition differs at edge %d", i)
+		}
+	}
+	return nil
+}
+
+func canonicalI64(label []int64) []int64 {
+	rep := make(map[int64]int64)
+	out := make([]int64, len(label))
+	for i, l := range label {
+		if l < 0 {
+			out[i] = -1
+			continue
+		}
+		if _, ok := rep[l]; !ok {
+			rep[l] = int64(i)
+		}
+		out[i] = rep[l]
+	}
+	return out
+}
+
+// CheckCCInvariants validates that a CC labeling is internally consistent
+// with the graph: endpoints of every edge share a label, and every label
+// names a vertex inside its own component.
+func CheckCCInvariants(g *graph.Undirected, label []uint32) error {
+	n := g.NumVertices()
+	if len(label) != n {
+		return fmt.Errorf("label length %d != n %d", len(label), n)
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(graph.V(u)) {
+			if label[u] != label[v] {
+				return fmt.Errorf("edge %d-%d crosses components %d/%d", u, v, label[u], label[v])
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		l := label[v]
+		if l >= uint32(n) {
+			return fmt.Errorf("vertex %d has out-of-range label %d", v, l)
+		}
+		if label[l] != l {
+			return fmt.Errorf("label %d (of vertex %d) is not its own representative", l, v)
+		}
+	}
+	return nil
+}
+
+// BridgeSetEqual compares bridge flags against ground truth, reporting counts
+// in the error for easier debugging.
+func BridgeSetEqual(got, want []bool) error {
+	ng, nw := 0, 0
+	for _, b := range got {
+		if b {
+			ng++
+		}
+	}
+	for _, b := range want {
+		if b {
+			nw++
+		}
+	}
+	if err := SameBoolSet(got, want, "bridges"); err != nil {
+		return fmt.Errorf("%v (got %d bridges, want %d)", err, ng, nw)
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package verify
+
+import (
+	"testing"
+
+	"aquila/internal/graph"
+)
+
+func TestSamePartition(t *testing.T) {
+	if err := SamePartition([]uint32{5, 5, 9}, []uint32{0, 0, 2}); err != nil {
+		t.Errorf("equivalent partitions rejected: %v", err)
+	}
+	if err := SamePartition([]uint32{0, 0, 1}, []uint32{0, 1, 1}); err == nil {
+		t.Errorf("different partitions accepted")
+	}
+	if err := SamePartition([]uint32{0}, []uint32{0, 1}); err == nil {
+		t.Errorf("length mismatch accepted")
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	got := Canonical([]uint32{7, 7, 3, 7, 3})
+	want := []uint32{0, 0, 2, 0, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Canonical = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSameEdgePartition(t *testing.T) {
+	if err := SameEdgePartition([]int64{4, 4, 9, -1}, []int64{0, 0, 1, -1}); err != nil {
+		t.Errorf("equivalent edge partitions rejected: %v", err)
+	}
+	if err := SameEdgePartition([]int64{0, 0, -1}, []int64{0, 0, 0}); err == nil {
+		t.Errorf("-1 mismatch accepted")
+	}
+	if err := SameEdgePartition([]int64{0, 1}, []int64{0, 0}); err == nil {
+		t.Errorf("different edge partitions accepted")
+	}
+}
+
+func TestSameBoolSet(t *testing.T) {
+	if err := SameBoolSet([]bool{true, false}, []bool{true, false}, "x"); err != nil {
+		t.Errorf("equal sets rejected: %v", err)
+	}
+	if err := SameBoolSet([]bool{true}, []bool{false}, "x"); err == nil {
+		t.Errorf("unequal sets accepted")
+	}
+	if err := SameBoolSet([]bool{}, []bool{true}, "x"); err == nil {
+		t.Errorf("length mismatch accepted")
+	}
+}
+
+func TestCheckCCInvariants(t *testing.T) {
+	g := graph.BuildUndirected(4, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	if err := CheckCCInvariants(g, []uint32{0, 0, 2, 2}); err != nil {
+		t.Errorf("valid labeling rejected: %v", err)
+	}
+	if err := CheckCCInvariants(g, []uint32{0, 1, 2, 2}); err == nil {
+		t.Errorf("edge-crossing labeling accepted")
+	}
+	if err := CheckCCInvariants(g, []uint32{1, 1, 2, 2}); err != nil {
+		t.Errorf("valid non-minimal labeling rejected: %v", err)
+	}
+	if err := CheckCCInvariants(g, []uint32{3, 3, 2, 2}); err == nil {
+		t.Errorf("label naming a vertex of another component accepted")
+	}
+	if err := CheckCCInvariants(g, []uint32{0, 0, 9, 9}); err == nil {
+		t.Errorf("out-of-range label accepted")
+	}
+}
+
+func TestBridgeSetEqual(t *testing.T) {
+	if err := BridgeSetEqual([]bool{true, false}, []bool{true, false}); err != nil {
+		t.Errorf("equal bridge sets rejected: %v", err)
+	}
+	if err := BridgeSetEqual([]bool{true, true}, []bool{true, false}); err == nil {
+		t.Errorf("extra bridge accepted")
+	}
+}

@@ -1,0 +1,48 @@
+package aquila
+
+import "aquila/internal/bfs"
+
+// Traversal selects how much of the enhanced-BFS machinery is used for the
+// large-component traversals.
+type Traversal int
+
+const (
+	// TraversalEnhanced (default) uses multi-pivot sampling and the relaxed
+	// synchronization schedule (§5.3).
+	TraversalEnhanced Traversal = iota
+	// TraversalDirOpt uses direction-optimizing BFS without the enhancements.
+	TraversalDirOpt
+	// TraversalPlain uses plain synchronous top-down parallel BFS.
+	TraversalPlain
+)
+
+func (t Traversal) mode() bfs.Mode {
+	switch t {
+	case TraversalPlain:
+		return bfs.ModePlain
+	case TraversalDirOpt:
+		return bfs.ModeDirOpt
+	default:
+		return bfs.ModeEnhanced
+	}
+}
+
+// Options configures an Engine. The zero value uses all techniques with
+// GOMAXPROCS workers.
+type Options struct {
+	// Threads is the worker count; 0 means GOMAXPROCS.
+	Threads int
+	// Traversal selects the large-task BFS flavour.
+	Traversal Traversal
+	// DisableTrim turns off trivial-pattern trimming (Fig. 7).
+	DisableTrim bool
+	// DisableSPO turns off single-parent-only pruning (Fig. 5) in BiCC/BgCC.
+	DisableSPO bool
+	// DisableAdaptive turns off the large/small task split: everything is
+	// computed with the data-parallel method.
+	DisableAdaptive bool
+	// DisablePartial turns off query transformation: every query is answered
+	// from the complete decomposition (the strategy of conventional
+	// frameworks the paper compares against in Figs. 12–14).
+	DisablePartial bool
+}

@@ -1,0 +1,287 @@
+package aquila
+
+import (
+	"errors"
+
+	"aquila/internal/bfs"
+	"aquila/internal/bgcc"
+	"aquila/internal/bicc"
+	"aquila/internal/cc"
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+	"aquila/internal/scc"
+)
+
+// CCResult is a complete connected-components decomposition.
+type CCResult = cc.Result
+
+// SCCResult is a complete strongly-connected-components decomposition.
+type SCCResult = scc.Result
+
+// BiCCResult is a complete biconnected-components decomposition.
+type BiCCResult = bicc.Result
+
+// BgCCResult is a complete bridgeless-connected-components decomposition.
+type BgCCResult = bgcc.Result
+
+// ErrNotDirected is returned by SCC queries on engines built over undirected
+// graphs.
+var ErrNotDirected = errors.New("aquila: SCC queries need a directed graph (use NewDirectedEngine)")
+
+// CC returns the complete connected-components decomposition (computed once,
+// then cached). For directed engines this is the WCC decomposition.
+func (e *Engine) CC() *CCResult { return e.ccComplete() }
+
+// WCC is CC under its directed-graph name: the weakly connected components.
+func (e *Engine) WCC() *CCResult { return e.ccComplete() }
+
+// SCC returns the complete strongly-connected-components decomposition.
+func (e *Engine) SCC() (*SCCResult, error) {
+	if e.dir == nil {
+		return nil, ErrNotDirected
+	}
+	return e.sccComplete(), nil
+}
+
+// BiCC returns the complete biconnected-components decomposition.
+func (e *Engine) BiCC() *BiCCResult { return e.biccComplete() }
+
+// BgCC returns the complete bridgeless-connected-components decomposition.
+func (e *Engine) BgCC() *BgCCResult { return e.bgccComplete() }
+
+// CountCC returns the number of connected components.
+func (e *Engine) CountCC() int { return e.ccComplete().NumComponents }
+
+// CCSizeHistogram maps component size to the number of components of that
+// size (the paper's Fig. 8 shape).
+func (e *Engine) CCSizeHistogram() map[int]int {
+	hist := make(map[int]int)
+	for _, s := range e.ccComplete().Sizes {
+		hist[s]++
+	}
+	return hist
+}
+
+// IsConnected answers the small-XCC query "is this graph connected?" (§3).
+// With partial computation enabled it first looks for a trimmable pattern —
+// any orphan or isolated pair in a larger graph disproves connectivity
+// immediately — and otherwise runs a single traversal from a randomly chosen
+// vertex.
+func (e *Engine) IsConnected() bool {
+	n := e.und.NumVertices()
+	if n <= 1 {
+		return true
+	}
+	if e.opt.DisablePartial {
+		return e.ccComplete().NumComponents == 1
+	}
+	// Trim check: a trimmable pattern in a graph bigger than the pattern is a
+	// separate component.
+	for v := 0; v < n; v++ {
+		if e.und.Degree(graph.V(v)) == 0 {
+			return false
+		}
+	}
+	for v := 0; v < n && n > 2; v++ {
+		if e.und.Degree(graph.V(v)) == 1 {
+			u := e.und.Neighbors(graph.V(v))[0]
+			if e.und.Degree(u) == 1 {
+				return false
+			}
+		}
+	}
+	// Random pivot (deterministically seeded) + one traversal.
+	rng := gen.NewRNG(uint64(n)*0x9e37 + uint64(e.und.NumEdges()))
+	pivot := graph.V(rng.Intn(n))
+	visited := bfs.EnhancedReach(bfs.UndirectedAdj(e.und), pivot, nil,
+		bfs.Options{Threads: e.opt.Threads}, e.opt.Traversal.mode())
+	return visited.Count() == n
+}
+
+// IsStronglyConnected answers "is this graph strongly connected?" with
+// partial computation: any size-1-trimmable vertex disproves it; otherwise
+// one forward and one backward traversal from a pivot decide it.
+func (e *Engine) IsStronglyConnected() (bool, error) {
+	if e.dir == nil {
+		return false, ErrNotDirected
+	}
+	n := e.dir.NumVertices()
+	if n <= 1 {
+		return true, nil
+	}
+	if e.opt.DisablePartial {
+		return e.sccComplete().NumComponents == 1, nil
+	}
+	for v := 0; v < n; v++ {
+		if e.dir.InDegree(graph.V(v)) == 0 || e.dir.OutDegree(graph.V(v)) == 0 {
+			return false, nil
+		}
+	}
+	pivot := graph.V(0)
+	fw := bfs.EnhancedReach(bfs.ForwardAdj(e.dir), pivot, nil,
+		bfs.Options{Threads: e.opt.Threads}, e.opt.Traversal.mode())
+	if fw.Count() != n {
+		return false, nil
+	}
+	bw := bfs.EnhancedReach(bfs.BackwardAdj(e.dir), pivot, nil,
+		bfs.Options{Threads: e.opt.Threads}, e.opt.Traversal.mode())
+	return bw.Count() == n, nil
+}
+
+// LargestResult describes the largest connected component.
+type LargestResult struct {
+	// Size is the component's vertex count.
+	Size int
+	// Pivot is a member vertex (the master pivot that found it).
+	Pivot V
+	// Partial reports whether the answer came from partial computation
+	// (one traversal + size comparison) rather than a full decomposition.
+	Partial bool
+
+	contains func(V) bool
+}
+
+// Contains reports whether v belongs to the largest component.
+func (l *LargestResult) Contains(v V) bool { return l.contains(v) }
+
+// LargestCC answers the largest-XCC queries (§3): it traverses from the
+// max-degree master pivot and, if the found component is at least as big as
+// everything else combined, stops there — no other component can beat it.
+// Only when the heuristic pivot lands in a minority component does it fall
+// back to the complete computation.
+func (e *Engine) LargestCC() *LargestResult {
+	n := e.und.NumVertices()
+	if !e.opt.DisablePartial && n > 0 {
+		master := e.und.MaxDegreeVertex()
+		visited := bfs.EnhancedReach(bfs.UndirectedAdj(e.und), master, nil,
+			bfs.Options{Threads: e.opt.Threads}, e.opt.Traversal.mode())
+		size := visited.Count()
+		if 2*size >= n {
+			return &LargestResult{
+				Size: size, Pivot: master, Partial: true,
+				contains: visited.Get,
+			}
+		}
+	}
+	res := e.ccComplete()
+	lbl := res.LargestLabel
+	return &LargestResult{
+		Size:  res.LargestSize,
+		Pivot: V(lbl),
+		contains: func(v V) bool {
+			return res.Label[v] == lbl
+		},
+	}
+}
+
+// InLargestCC reports whether v is in the largest connected component.
+func (e *Engine) InLargestCC(v V) bool {
+	e.mu.Lock()
+	cached := e.largestCC
+	e.mu.Unlock()
+	if cached == nil {
+		cached = e.LargestCC()
+		e.mu.Lock()
+		e.largestCC = cached
+		e.mu.Unlock()
+	}
+	return cached.Contains(v)
+}
+
+// LargestSCC answers "how big is the largest SCC / is v in it" with partial
+// computation: trim, then one FW-BW sweep from the master pivot; if the found
+// SCC is at least as large as the remaining unassigned vertices it must be
+// the largest.
+func (e *Engine) LargestSCC() (*LargestResult, error) {
+	if e.dir == nil {
+		return nil, ErrNotDirected
+	}
+	n := e.dir.NumVertices()
+	if !e.opt.DisablePartial && n > 0 {
+		// One FW-BW from the max-degree pivot.
+		master := e.dir.MaxOutDegreeVertex()
+		fw := bfs.EnhancedReach(bfs.ForwardAdj(e.dir), master, nil,
+			bfs.Options{Threads: e.opt.Threads}, e.opt.Traversal.mode())
+		bw := bfs.EnhancedReach(bfs.BackwardAdj(e.dir), master, nil,
+			bfs.Options{Threads: e.opt.Threads}, e.opt.Traversal.mode())
+		size := 0
+		for v := 0; v < n; v++ {
+			if fw.Get(V(v)) && bw.Get(V(v)) {
+				size++
+			}
+		}
+		if 2*size >= n {
+			return &LargestResult{
+				Size: size, Pivot: master, Partial: true,
+				contains: func(v V) bool { return fw.Get(v) && bw.Get(v) },
+			}, nil
+		}
+	}
+	res := e.sccComplete()
+	lbl := res.LargestLabel
+	return &LargestResult{
+		Size:  res.LargestSize,
+		Pivot: V(lbl),
+		contains: func(v V) bool {
+			return res.Label[v] == lbl
+		},
+	}, nil
+}
+
+// ArticulationPoints answers the AP-only query (§3): with partial computation
+// it runs the workload-reduced AP detection without block bookkeeping and
+// stops checking a vertex once it is proven an AP.
+func (e *Engine) ArticulationPoints() []V {
+	var isAP []bool
+	if e.opt.DisablePartial {
+		isAP = e.biccComplete().IsAP
+	} else {
+		e.mu.Lock()
+		if e.apOnly == nil {
+			e.apOnly = bicc.Run(e.und, e.biccOptions(true))
+		}
+		isAP = e.apOnly.IsAP
+		e.mu.Unlock()
+	}
+	var out []V
+	for v, ap := range isAP {
+		if ap {
+			out = append(out, V(v))
+		}
+	}
+	return out
+}
+
+// IsArticulationPoint reports whether v is an articulation point.
+func (e *Engine) IsArticulationPoint(v V) bool {
+	for _, ap := range e.ArticulationPoints() {
+		if ap == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Bridges answers the bridge-only query (§3), returning each bridge as an
+// ordered endpoint pair.
+func (e *Engine) Bridges() [][2]V {
+	var isBridge []bool
+	if e.opt.DisablePartial {
+		isBridge = e.bgccComplete().IsBridge
+	} else {
+		e.mu.Lock()
+		if e.brOnly == nil {
+			e.brOnly = bgcc.Run(e.und, e.bgccOptions(true))
+		}
+		isBridge = e.brOnly.IsBridge
+		e.mu.Unlock()
+	}
+	eps := e.und.EdgeEndpoints()
+	var out [][2]V
+	for id, b := range isBridge {
+		if b {
+			out = append(out, eps[id])
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package aquila
+
+import (
+	"testing"
+
+	"aquila/internal/baseline/serialdfs"
+	"aquila/internal/bgcc"
+	"aquila/internal/bicc"
+	"aquila/internal/cc"
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+	"aquila/internal/scc"
+	"aquila/internal/verify"
+)
+
+// TestStressLargeRandom validates every core algorithm against the serial
+// oracles on graphs an order of magnitude bigger than the unit suites.
+// Skipped under -short.
+func TestStressLargeRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	for _, spec := range []struct {
+		name string
+		d    *graph.Directed
+	}{
+		{"random20k", gen.Random(20000, 60000, 1001)},
+		{"rmat14", gen.RMAT(14, 8, 1002)},
+		{"social20k", gen.Social(gen.SocialConfig{
+			GiantVertices: 15000, GiantAvgDeg: 5,
+			SmallComps: 800, SmallMaxSize: 60, Isolated: 400,
+			MutualFrac: 0.4, Seed: 1003,
+		})},
+	} {
+		t.Run(spec.name, func(t *testing.T) {
+			d := spec.d
+			u := graph.Undirect(d)
+
+			if err := verify.SamePartition(cc.Run(u, cc.Options{Threads: 4}).Label, serialdfs.CC(u)); err != nil {
+				t.Fatalf("CC: %v", err)
+			}
+			if err := verify.SamePartition(scc.Run(d, scc.Options{Threads: 4}).Label, serialdfs.SCC(d)); err != nil {
+				t.Fatalf("SCC: %v", err)
+			}
+			truth := serialdfs.BiCC(u)
+			bres := bicc.Run(u, bicc.Options{Threads: 4})
+			if err := verify.SameBoolSet(bres.IsAP, truth.IsAP, "APs"); err != nil {
+				t.Fatalf("BiCC: %v", err)
+			}
+			if bres.NumBlocks != truth.NumBlocks {
+				t.Fatalf("BiCC blocks = %d, want %d", bres.NumBlocks, truth.NumBlocks)
+			}
+			gres := bgcc.Run(u, bgcc.Options{Threads: 4})
+			if err := verify.BridgeSetEqual(gres.IsBridge, serialdfs.Bridges(u)); err != nil {
+				t.Fatalf("BgCC: %v", err)
+			}
+			if err := verify.SamePartition(gres.Label, serialdfs.BgCC(u)); err != nil {
+				t.Fatalf("BgCC labels: %v", err)
+			}
+		})
+	}
+}
+
+// TestStressEngineWholeSuite runs every public query against a mid-size graph
+// and cross-checks internal consistency between the partial and complete
+// answers. Skipped under -short.
+func TestStressEngineWholeSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	d := gen.Social(gen.SocialConfig{
+		GiantVertices: 8000, GiantAvgDeg: 6,
+		SmallComps: 300, SmallMaxSize: 40, Isolated: 150,
+		MutualFrac: 0.5, Seed: 2001,
+	})
+	partial := NewDirectedEngine(d, Options{Threads: 4})
+	complete := NewDirectedEngine(d, Options{Threads: 4, DisablePartial: true})
+
+	if partial.IsConnected() != complete.IsConnected() {
+		t.Errorf("IsConnected disagrees")
+	}
+	p1, _ := partial.IsStronglyConnected()
+	c1, _ := complete.IsStronglyConnected()
+	if p1 != c1 {
+		t.Errorf("IsStronglyConnected disagrees")
+	}
+	if partial.LargestCC().Size != complete.LargestCC().Size {
+		t.Errorf("LargestCC sizes disagree")
+	}
+	lp, _ := partial.LargestSCC()
+	lc, _ := complete.LargestSCC()
+	if lp.Size != lc.Size {
+		t.Errorf("LargestSCC sizes disagree: %d vs %d", lp.Size, lc.Size)
+	}
+	if len(partial.ArticulationPoints()) != len(complete.ArticulationPoints()) {
+		t.Errorf("AP counts disagree")
+	}
+	if len(partial.Bridges()) != len(complete.Bridges()) {
+		t.Errorf("bridge counts disagree")
+	}
+	if partial.CountCC() != complete.CountCC() {
+		t.Errorf("CountCC disagrees")
+	}
+}
