@@ -14,11 +14,12 @@ type Condensation = condense.DAG
 // Condensation contracts the engine's directed graph by its SCCs. The result
 // is computed once and cached.
 func (e *Engine) Condensation() (*Condensation, error) {
-	if e.dir == nil {
+	if !e.directed {
 		return nil, ErrNotDirected
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.materializeLocked()
 	if e.condensation == nil {
 		e.condensation = condense.Build(e.dir, e.sccOptions())
 	}
@@ -34,6 +35,7 @@ func (e *Engine) Condensation() (*Condensation, error) {
 func (e *Engine) BetweennessCentrality() []float64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.materializeLocked()
 	if e.betweenness == nil {
 		if e.opt.DisablePartial || e.opt.DisableTrim {
 			e.betweenness = betweenness.Brandes(e.und, e.opt.Threads)
@@ -50,6 +52,7 @@ func (e *Engine) BetweennessCentrality() []float64 {
 func (e *Engine) Coreness() []int32 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.materializeLocked()
 	if e.coreness == nil {
 		e.coreness = kcore.Decompose(e.und).Coreness
 	}

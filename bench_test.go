@@ -291,6 +291,59 @@ func BenchmarkBetweenness(b *testing.B) {
 	}
 }
 
+// BenchmarkIncrementalApply compares absorbing 1%-sized edge batches through
+// the incremental union-find layer (Engine.Apply + O(1) CountCC) against the
+// static alternative of rebuilding the CSR graph and rerunning cc.Run after
+// every batch. Same 20k-vertex workload, same batches.
+func BenchmarkIncrementalApply(b *testing.B) {
+	const (
+		n          = 20000
+		m          = 100000
+		batchSize  = 1000 // 1% of the base edge count
+		numBatches = 10
+	)
+	base := gen.RandomUndirected(n, m, 0xA101)
+	eps := base.EdgeEndpoints()
+	baseEdges := make([]Edge, len(eps))
+	for i, ep := range eps {
+		baseEdges[i] = Edge{U: ep[0], V: ep[1]}
+	}
+	rng := gen.NewRNG(0x1234)
+	batches := make([][]Edge, numBatches)
+	for k := range batches {
+		batch := make([]Edge, batchSize)
+		for i := range batch {
+			batch[i] = Edge{U: graph.V(rng.Intn(n)), V: graph.V(rng.Intn(n))}
+		}
+		batches[k] = batch
+	}
+
+	b.Run("EngineApply", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			e := NewEngine(base, Options{Threads: 4, RebuildThreshold: -1})
+			e.CC() // static seed decomposition, outside the timer
+			b.StartTimer()
+			for _, batch := range batches {
+				if _, err := e.Apply(batch); err != nil {
+					b.Fatal(err)
+				}
+				e.CountCC()
+			}
+		}
+	})
+	b.Run("StaticRecompute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			edges := append([]Edge(nil), baseEdges...)
+			for _, batch := range batches {
+				edges = append(edges, batch...)
+				g := graph.BuildUndirected(n, edges)
+				cc.Run(g, cc.Options{Threads: 4})
+			}
+		}
+	})
+}
+
 // BenchmarkEngineQueries measures the partial-query fast paths end to end.
 func BenchmarkEngineQueries(b *testing.B) {
 	d, _ := benchGraphs()

@@ -8,10 +8,15 @@
 //	aquila -graph edges.txt -query connected
 //	aquila -gen rmat -scale 12 -query num-scc
 //	aquila -graph edges.txt -query aps -verbose
+//	aquila -graph base.txt -updates stream.txt -batch 1000 -query num-cc
 //
-// Queries: connected, strongly-connected, num-cc, num-scc, num-bicc,
-// num-bgcc, largest-cc, largest-scc, in-largest-cc=<v>, aps, bridges,
-// histogram.
+// Queries: connected, connected=<u>,<v>, strongly-connected, num-cc,
+// num-scc, num-bicc, num-bgcc, largest-cc, largest-scc, in-largest-cc=<v>,
+// aps, bridges, histogram.
+//
+// With -updates, the file is replayed as batches of edge insertions through
+// the incremental connectivity layer before the query runs; see
+// internal/cli.ReplayUpdates for the script format.
 package main
 
 import (
@@ -33,6 +38,9 @@ func main() {
 		scale     = flag.Int("scale", 12, "generator scale (rmat: log2 vertices; others: vertex count /1000)")
 		seed      = flag.Uint64("seed", 1, "generator seed")
 		query     = flag.String("query", "num-cc", "query to answer")
+		updates   = flag.String("updates", "", "update script replayed as incremental batches before the query")
+		batchSize = flag.Int("batch", 0, "auto-flush update batches every N edges (0 = explicit separators only)")
+		rebuild   = flag.Float64("rebuild-threshold", 0, "delta/base edge ratio forcing a static rebuild (0 = default 0.25, <0 = never)")
 		threads   = flag.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
 		noPartial = flag.Bool("no-partial", false, "disable query transformation (always complete computation)")
 		verbose   = flag.Bool("verbose", false, "print strategy and timing details")
@@ -58,9 +66,26 @@ func main() {
 		fmt.Printf("graph: %d vertices, %d arcs\n", g.NumVertices(), g.NumArcs())
 	}
 	eng := aquila.NewDirectedEngine(g, aquila.Options{
-		Threads:        *threads,
-		DisablePartial: *noPartial,
+		Threads:          *threads,
+		DisablePartial:   *noPartial,
+		RebuildThreshold: *rebuild,
 	})
+	if *updates != "" {
+		f, err := os.Open(*updates)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aquila:", err)
+			os.Exit(1)
+		}
+		transcript, err := cli.ReplayUpdates(eng, f, *batchSize)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aquila:", err)
+			os.Exit(1)
+		}
+		if transcript != "" {
+			fmt.Println(transcript)
+		}
+	}
 	start := time.Now()
 	out, err := cli.Answer(eng, *query)
 	elapsed := time.Since(start)

@@ -1,12 +1,14 @@
 package aquila
 
 import (
+	"fmt"
 	"sync"
 
 	"aquila/internal/bgcc"
 	"aquila/internal/bicc"
 	"aquila/internal/cc"
 	"aquila/internal/graph"
+	"aquila/internal/inc"
 	"aquila/internal/scc"
 )
 
@@ -15,14 +17,38 @@ import (
 // and complete decompositions are computed at most once and cached, so
 // repeated queries are free.
 //
-// An Engine is safe for concurrent use by multiple goroutines.
+// An Engine also accepts batches of edge insertions via Apply. Updates are
+// absorbed by an incremental union-find layer (internal/inc), so
+// connectivity queries (Connected, CountCC, CC, IsConnected, LargestCC)
+// never pay for a recomputation; queries that walk adjacency (SCC, BiCC,
+// BgCC, coreness, betweenness, the partial-traversal fast paths) lazily fold
+// the pending edges into fresh CSR graphs first. When the accumulated delta
+// crosses Options.RebuildThreshold, Apply falls back to the static cc.Run
+// pipeline and reseeds the incremental state from the fresh decomposition.
+//
+// An Engine is safe for concurrent use by multiple goroutines, including
+// readers querying while another goroutine applies batches: answers are
+// always consistent snapshots, and connectivity is monotone (once two
+// vertices are connected, no later query disconnects them).
 type Engine struct {
-	opt Options
+	opt      Options
+	directed bool // fixed at construction; e.dir is non-nil iff directed
 
+	mu  sync.Mutex
 	dir *Directed // nil for engines over undirected input
 	und *Undirected
 
-	mu           sync.Mutex
+	// Incremental state (nil until the first Apply). deltaUnd/deltaDir hold
+	// inserted edges already unioned into inc but not yet materialized into
+	// the CSR graphs; undSet/dirSet index them for duplicate detection.
+	inc          *inc.State
+	deltaUnd     []graph.Edge
+	deltaDir     []graph.Edge
+	undSet       map[[2]V]struct{}
+	dirSet       map[[2]V]struct{}
+	baseEdges    int64 // undirected edge count at the last (re)build
+	sinceRebuild int64 // undirected edges inserted since then
+
 	ccRes        *cc.Result
 	sccRes       *scc.Result
 	biccRes      *bicc.Result
@@ -45,15 +71,47 @@ func NewEngine(g *Undirected, opt Options) *Engine {
 // queries run over the undirected view (computed once, per paper §6.1); SCC
 // and WCC use the directed graph.
 func NewDirectedEngine(g *Directed, opt Options) *Engine {
-	return &Engine{opt: opt, dir: g, und: graph.Undirect(g)}
+	return &Engine{opt: opt, directed: true, dir: g, und: graph.Undirect(g)}
 }
 
-// Undirected returns the (possibly derived) undirected view of the engine's
-// graph.
-func (e *Engine) Undirected() *Undirected { return e.und }
+// Undirected returns the current (possibly derived) undirected view of the
+// engine's graph, materializing any pending Apply batches first.
+func (e *Engine) Undirected() *Undirected {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.materializeLocked()
+	return e.und
+}
 
-// Directed returns the directed graph, or nil for undirected engines.
-func (e *Engine) Directed() *Directed { return e.dir }
+// Directed returns the current directed graph (materializing pending Apply
+// batches), or nil for undirected engines.
+func (e *Engine) Directed() *Directed {
+	if !e.directed {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.materializeLocked()
+	return e.dir
+}
+
+// undView snapshots the materialized undirected graph for use outside the
+// engine lock. The snapshot is immutable: a later Apply swaps the pointer
+// but never mutates a published graph.
+func (e *Engine) undView() *Undirected {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.materializeLocked()
+	return e.und
+}
+
+// dirView snapshots the materialized directed graph (nil when undirected).
+func (e *Engine) dirView() *Directed {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.materializeLocked()
+	return e.dir
+}
 
 func (e *Engine) ccOptions() cc.Options {
 	return cc.Options{
@@ -99,8 +157,19 @@ func (e *Engine) bgccOptions(bridgeOnly bool) bgcc.Options {
 func (e *Engine) ccComplete() *cc.Result {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.ccCompleteLocked()
+}
+
+// ccCompleteLocked fills the CC cache under e.mu. Once incremental state
+// exists the result is derived from the union-find in O(|V|) — the paper's
+// workload-reduction philosophy applied to updates: no traversal reruns.
+func (e *Engine) ccCompleteLocked() *cc.Result {
 	if e.ccRes == nil {
-		e.ccRes = cc.Run(e.und, e.ccOptions())
+		if e.inc != nil {
+			e.ccRes = e.inc.CCResult(e.opt.Threads)
+		} else {
+			e.ccRes = cc.Run(e.und, e.ccOptions())
+		}
 	}
 	return e.ccRes
 }
@@ -108,6 +177,7 @@ func (e *Engine) ccComplete() *cc.Result {
 func (e *Engine) sccComplete() *scc.Result {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.materializeLocked()
 	if e.sccRes == nil {
 		e.sccRes = scc.Run(e.dir, e.sccOptions())
 	}
@@ -117,6 +187,7 @@ func (e *Engine) sccComplete() *scc.Result {
 func (e *Engine) biccComplete() *bicc.Result {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.materializeLocked()
 	if e.biccRes == nil {
 		e.biccRes = bicc.Run(e.und, e.biccOptions(false))
 	}
@@ -126,8 +197,166 @@ func (e *Engine) biccComplete() *bicc.Result {
 func (e *Engine) bgccComplete() *bgcc.Result {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.materializeLocked()
 	if e.bgccRes == nil {
 		e.bgccRes = bgcc.Run(e.und, e.bgccOptions(false))
 	}
 	return e.bgccRes
+}
+
+// ApplyResult summarizes one Apply batch.
+type ApplyResult struct {
+	// NewEdges is the number of distinct undirected edges the batch added
+	// (self-loops and duplicates of existing or pending edges are dropped).
+	NewEdges int
+	// NewArcs is the number of distinct directed arcs added (always 0 for
+	// undirected engines).
+	NewArcs int
+	// Merged is the number of connected-component merges the batch caused.
+	Merged int
+	// Components is the connected-component count after the batch.
+	Components int
+	// Rebuilt reports whether this batch pushed the accumulated delta over
+	// the rebuild threshold, triggering a full static recomputation.
+	Rebuilt bool
+}
+
+// Apply inserts a batch of edges into the engine's graph. On a directed
+// engine each edge is a directed arc U→V (its endpoints also join in the
+// undirected view, mirroring Undirect); on an undirected engine it is an
+// undirected edge {U,V}. Self-loops and duplicates are dropped. Endpoints
+// must be existing vertices — Apply never grows the vertex set.
+//
+// Apply patches the incremental connectivity state in parallel and
+// invalidates exactly the caches the batch can affect:
+//
+//   - a batch that adds no new edge or arc preserves every cache;
+//   - new undirected edges that merge components invalidate the CC-derived
+//     caches (CC labels are then re-derived from the union-find, not
+//     recomputed) — edges landing inside one component preserve them;
+//   - any new undirected edge invalidates the 2-connectivity and
+//     degree-structure caches (BiCC, BgCC, APs, bridges, betweenness,
+//     coreness), which are recomputed lazily on next query;
+//   - new directed arcs invalidate the SCC and condensation caches, also
+//     recomputed lazily.
+//
+// When the edges inserted since the last full decomposition exceed
+// Options.RebuildThreshold times the graph size at that point, Apply
+// materializes the graph and reruns the static CC pipeline, reseeding the
+// incremental state (a freshly flattened union-find).
+func (e *Engine) Apply(batch []Edge) (*ApplyResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := e.und.NumVertices()
+	for _, ed := range batch {
+		if int(ed.U) >= n || int(ed.V) >= n {
+			return nil, fmt.Errorf("aquila: Apply: edge (%d,%d) out of range [0,%d)", ed.U, ed.V, n)
+		}
+	}
+	if e.inc == nil {
+		// First update: the static pipeline seeds the incremental state.
+		res := e.ccCompleteLocked()
+		e.inc = inc.FromLabels(res.Label, res.NumComponents)
+		e.undSet = make(map[[2]V]struct{})
+		e.dirSet = make(map[[2]V]struct{})
+		e.baseEdges = e.und.NumEdges()
+		e.sinceRebuild = 0
+	}
+
+	// Split the batch into genuinely new undirected edges and directed arcs,
+	// checking both the materialized graphs and the pending delta.
+	var newUnd, newDir []graph.Edge
+	for _, ed := range batch {
+		if ed.U == ed.V {
+			continue
+		}
+		if e.directed {
+			key := [2]V{ed.U, ed.V}
+			if _, dup := e.dirSet[key]; !dup && !e.dir.HasArc(ed.U, ed.V) {
+				newDir = append(newDir, ed)
+				e.dirSet[key] = struct{}{}
+			}
+		}
+		u, v := ed.U, ed.V
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]V{u, v}
+		if _, dup := e.undSet[key]; !dup && !e.und.HasEdge(u, v) {
+			newUnd = append(newUnd, graph.Edge{U: u, V: v})
+			e.undSet[key] = struct{}{}
+		}
+	}
+
+	res := &ApplyResult{NewEdges: len(newUnd), NewArcs: len(newDir)}
+	if len(newUnd) == 0 && len(newDir) == 0 {
+		res.Components = e.inc.ComponentCount()
+		return res, nil // fully duplicate batch: every cache stays valid
+	}
+
+	res.Merged = e.inc.Apply(newUnd, e.opt.Threads)
+	e.deltaUnd = append(e.deltaUnd, newUnd...)
+	e.deltaDir = append(e.deltaDir, newDir...)
+	e.sinceRebuild += int64(len(newUnd))
+
+	if len(newUnd) > 0 {
+		if res.Merged > 0 {
+			e.ccRes, e.largestCC = nil, nil
+		}
+		e.biccRes, e.bgccRes, e.apOnly, e.brOnly = nil, nil, nil, nil
+		e.betweenness, e.coreness = nil, nil
+	}
+	if len(newDir) > 0 {
+		e.sccRes, e.condensation = nil, nil
+	}
+
+	if th := e.opt.rebuildThreshold(); th > 0 && float64(e.sinceRebuild) >= th*float64(e.baseEdges+1) {
+		e.rebuildLocked()
+		res.Rebuilt = true
+	}
+	res.Components = e.inc.ComponentCount()
+	return res, nil
+}
+
+// materializeLocked folds the pending delta edges into fresh CSR graphs.
+// Queries that walk adjacency call this lazily; pure union-find queries
+// never pay for it. Published graph pointers are never mutated in place, so
+// snapshots held by concurrent readers stay valid.
+func (e *Engine) materializeLocked() {
+	if len(e.deltaUnd) == 0 && len(e.deltaDir) == 0 {
+		return
+	}
+	if e.directed {
+		edges := make([]graph.Edge, 0, int(e.dir.NumArcs())+len(e.deltaDir))
+		for u := 0; u < e.dir.NumVertices(); u++ {
+			for _, v := range e.dir.Out(V(u)) {
+				edges = append(edges, graph.Edge{U: V(u), V: v})
+			}
+		}
+		edges = append(edges, e.deltaDir...)
+		e.dir = graph.BuildDirected(e.dir.NumVertices(), edges)
+		e.und = graph.Undirect(e.dir)
+	} else {
+		eps := e.und.EdgeEndpoints()
+		edges := make([]graph.Edge, 0, len(eps)+len(e.deltaUnd))
+		for _, ep := range eps {
+			edges = append(edges, graph.Edge{U: ep[0], V: ep[1]})
+		}
+		edges = append(edges, e.deltaUnd...)
+		e.und = graph.BuildUndirected(e.und.NumVertices(), edges)
+	}
+	e.deltaUnd, e.deltaDir = nil, nil
+	e.undSet, e.dirSet = make(map[[2]V]struct{}), make(map[[2]V]struct{})
+}
+
+// rebuildLocked is the fall-back-to-static path: materialize the delta, run
+// the full cc pipeline, and reseed the incremental state from the fresh
+// decomposition.
+func (e *Engine) rebuildLocked() {
+	e.materializeLocked()
+	e.ccRes = cc.Run(e.und, e.ccOptions())
+	e.largestCC = nil
+	e.inc = inc.FromLabels(e.ccRes.Label, e.ccRes.NumComponents)
+	e.baseEdges = e.und.NumEdges()
+	e.sinceRebuild = 0
 }

@@ -1,0 +1,282 @@
+package aquila
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"aquila/internal/baseline/serialdfs"
+	"aquila/internal/gen"
+	"aquila/internal/verify"
+)
+
+func TestApplyBasics(t *testing.T) {
+	e := NewEngine(NewUndirected(6, []Edge{{U: 0, V: 1}}), Options{Threads: 2})
+	res, err := e.Apply([]Edge{
+		{U: 1, V: 2}, // new, merges
+		{U: 2, V: 1}, // duplicate of the above (reversed)
+		{U: 3, V: 3}, // self-loop
+		{U: 0, V: 1}, // already in the graph
+		{U: 4, V: 5}, // new, merges
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NewEdges != 2 || res.NewArcs != 0 || res.Merged != 2 {
+		t.Fatalf("res = %+v, want NewEdges=2 NewArcs=0 Merged=2", res)
+	}
+	if res.Components != 3 { // {0,1,2} {3} {4,5}
+		t.Fatalf("Components = %d, want 3", res.Components)
+	}
+	if !e.Connected(0, 2) || e.Connected(0, 3) || !e.Connected(4, 5) {
+		t.Errorf("connectivity wrong after Apply")
+	}
+	if e.CountCC() != 3 {
+		t.Errorf("CountCC = %d, want 3", e.CountCC())
+	}
+}
+
+func TestApplyOutOfRange(t *testing.T) {
+	e := NewEngine(NewUndirected(3, nil), Options{})
+	if _, err := e.Apply([]Edge{{U: 0, V: 3}}); err == nil {
+		t.Fatalf("out-of-range endpoint accepted")
+	}
+	if _, err := e.Apply([]Edge{{U: 7, V: 0}}); err == nil {
+		t.Fatalf("out-of-range endpoint accepted")
+	}
+	// The failed batches must not have changed anything.
+	if e.CountCC() != 3 {
+		t.Errorf("CountCC = %d after rejected batches, want 3", e.CountCC())
+	}
+}
+
+func TestApplyDirectedArcs(t *testing.T) {
+	// A directed path 0→1→2; closing arcs create a cycle, changing SCC but
+	// adding no undirected edge.
+	e := NewDirectedEngine(NewDirected(3, []Edge{{U: 0, V: 1}, {U: 1, V: 2}}), Options{Threads: 2})
+	if s, _ := e.SCC(); s.NumComponents != 3 {
+		t.Fatalf("path SCC count = %d, want 3", s.NumComponents)
+	}
+	res, err := e.Apply([]Edge{{U: 2, V: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NewArcs != 1 || res.NewEdges != 1 || res.Merged != 0 {
+		t.Fatalf("res = %+v, want NewArcs=1 NewEdges=1 Merged=0", res)
+	}
+	if s, _ := e.SCC(); s.NumComponents != 1 {
+		t.Errorf("cycle SCC count = %d, want 1", s.NumComponents)
+	}
+	if ok, _ := e.IsStronglyConnected(); !ok {
+		t.Errorf("cycle should be strongly connected")
+	}
+	// Reverse arc of an existing edge: arc-only update.
+	res, err = e.Apply([]Edge{{U: 1, V: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NewArcs != 1 || res.NewEdges != 0 {
+		t.Fatalf("reverse arc res = %+v, want NewArcs=1 NewEdges=0", res)
+	}
+	if got := e.Directed().NumArcs(); got != 4 {
+		t.Errorf("materialized arcs = %d, want 4", got)
+	}
+}
+
+func TestApplyMatchesStaticEngine(t *testing.T) {
+	for seed := uint64(70); seed < 73; seed++ {
+		const n = 400
+		full := gen.RandomUndirected(n, 1200, seed)
+		eps := full.EdgeEndpoints()
+		edges := make([]Edge, len(eps))
+		for i, ep := range eps {
+			edges[i] = Edge{U: ep[0], V: ep[1]}
+		}
+		half := len(edges) / 2
+
+		e := NewEngine(NewUndirected(n, edges[:half]), Options{Threads: 2})
+		e.CC() // warm the cache so the first Apply seeds from it
+		for lo := half; lo < len(edges); lo += 97 {
+			hi := lo + 97
+			if hi > len(edges) {
+				hi = len(edges)
+			}
+			if _, err := e.Apply(edges[lo:hi]); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		truth := serialdfs.CC(full)
+		if err := verify.SamePartition(e.CC().Label, truth); err != nil {
+			t.Fatalf("seed %d: incremental CC diverged: %v", seed, err)
+		}
+		static := NewEngine(full, Options{Threads: 2})
+		if e.CountCC() != static.CountCC() {
+			t.Fatalf("seed %d: CountCC %d vs static %d", seed, e.CountCC(), static.CountCC())
+		}
+		if e.LargestCC().Size != static.LargestCC().Size {
+			t.Fatalf("seed %d: LargestCC %d vs static %d", seed, e.LargestCC().Size, static.LargestCC().Size)
+		}
+		if e.IsConnected() != static.IsConnected() {
+			t.Fatalf("seed %d: IsConnected disagrees", seed)
+		}
+		// Adjacency-walking queries see the materialized graph.
+		if got, want := e.Undirected().NumEdges(), full.NumEdges(); got != want {
+			t.Fatalf("seed %d: materialized edges = %d, want %d", seed, got, want)
+		}
+		if len(e.Bridges()) != len(static.Bridges()) {
+			t.Fatalf("seed %d: bridge counts disagree", seed)
+		}
+	}
+}
+
+func TestApplyRebuildThreshold(t *testing.T) {
+	base := make([]Edge, 0, 20)
+	for i := 0; i < 20; i++ {
+		base = append(base, Edge{U: V(2 * i), V: V(2*i + 1)})
+	}
+	fresh := func(th float64) *Engine {
+		return NewEngine(NewUndirected(60, base), Options{Threads: 2, RebuildThreshold: th})
+	}
+	star := func(k int) []Edge {
+		out := make([]Edge, 0, k)
+		for i := 1; i <= k; i++ {
+			out = append(out, Edge{U: 0, V: V(40 + i%20)})
+		}
+		return out
+	}
+
+	// Default threshold 0.25 × 20 base edges ⇒ the 15-edge batch rebuilds.
+	res, err := fresh(0).Apply(star(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rebuilt {
+		t.Errorf("default threshold: big batch did not rebuild")
+	}
+
+	// Negative threshold disables rebuilds entirely.
+	e := fresh(-1)
+	res, err = e.Apply(star(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rebuilt {
+		t.Errorf("RebuildThreshold<0 still rebuilt")
+	}
+
+	// A huge threshold also avoids the rebuild.
+	if res, _ = fresh(100).Apply(star(15)); res.Rebuilt {
+		t.Errorf("huge threshold rebuilt")
+	}
+
+	// After a rebuild the delta counter resets: the same engine accepts small
+	// batches without immediately rebuilding again, and answers stay right.
+	e = fresh(0.5)
+	if res, _ = e.Apply(star(15)); !res.Rebuilt {
+		t.Fatalf("0.5 threshold: 15 edges over 20 base should rebuild")
+	}
+	if res, _ = e.Apply([]Edge{{U: 1, V: 3}}); res.Rebuilt {
+		t.Errorf("fresh base: single edge rebuilt again")
+	}
+	truth := serialdfs.CC(e.Undirected())
+	if err := verify.SamePartition(e.CC().Label, truth); err != nil {
+		t.Fatalf("post-rebuild CC diverged: %v", err)
+	}
+}
+
+func TestApplyPreservesReaderSnapshots(t *testing.T) {
+	// Graph views handed out before an Apply are immutable snapshots.
+	e := NewEngine(NewUndirected(4, []Edge{{U: 0, V: 1}}), Options{})
+	before := e.Undirected()
+	if _, err := e.Apply([]Edge{{U: 2, V: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if before.NumEdges() != 1 {
+		t.Errorf("snapshot mutated: %d edges", before.NumEdges())
+	}
+	if e.Undirected().NumEdges() != 2 {
+		t.Errorf("materialized view missing the new edge")
+	}
+}
+
+// TestEngineConcurrentApplyAndQuery races one writer applying batches against
+// readers issuing the full query mix. Run under -race this exercises the
+// engine's locking and the lock-free Connected fast path; the assertions
+// check monotonicity (insert-only updates never disconnect anything).
+func TestEngineConcurrentApplyAndQuery(t *testing.T) {
+	const (
+		n       = 2000
+		readers = 4
+	)
+	var chain []Edge
+	for i := 0; i+1 < n; i++ {
+		chain = append(chain, Edge{U: V(i), V: V(i + 1)})
+	}
+	rng := gen.NewRNG(7)
+	for i := len(chain) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	e := NewEngine(NewUndirected(n, nil), Options{Threads: 2})
+
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	errc := make(chan string, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := gen.NewRNG(uint64(id) + 100)
+			seen := make(map[[2]V]bool)
+			last := n + 1
+			for !done.Load() {
+				u := V(rng.Intn(n))
+				v := V(rng.Intn(n))
+				p := [2]V{u, v}
+				if u > v {
+					p = [2]V{v, u}
+				}
+				conn := e.Connected(u, v)
+				if seen[p] && !conn {
+					errc <- "connected pair later disconnected"
+					return
+				}
+				if conn {
+					seen[p] = true
+				}
+				if c := e.CountCC(); c > last {
+					errc <- "CountCC increased under insert-only updates"
+					return
+				} else {
+					last = c
+				}
+				if rng.Intn(50) == 0 {
+					e.LargestCC()
+				}
+				if rng.Intn(50) == 0 {
+					e.IsConnected()
+				}
+			}
+		}(r)
+	}
+
+	for lo := 0; lo < len(chain); lo += 40 {
+		hi := lo + 40
+		if hi > len(chain) {
+			hi = len(chain)
+		}
+		if _, err := e.Apply(chain[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done.Store(true)
+	wg.Wait()
+	close(errc)
+	for msg := range errc {
+		t.Error(msg)
+	}
+	if !e.IsConnected() || e.CountCC() != 1 {
+		t.Fatalf("final state not one component")
+	}
+}

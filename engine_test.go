@@ -1,6 +1,7 @@
 package aquila
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -331,6 +332,144 @@ func TestFormatLoadersAPI(t *testing.T) {
 	}
 	if _, err := LoadMatrixMarket(strings.NewReader("junk")); err == nil {
 		t.Errorf("junk mtx accepted")
+	}
+}
+
+// cacheState snapshots which engine caches are filled (set) and their
+// identities (id), so tests can assert exactly which caches an Apply batch
+// preserved versus dropped.
+func cacheState(e *Engine) (set map[string]bool, id map[string]string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	set, id = map[string]bool{}, map[string]string{}
+	put := func(k string, v any, nonNil bool) { set[k] = nonNil; id[k] = fmt.Sprintf("%p", v) }
+	put("cc", e.ccRes, e.ccRes != nil)
+	put("largest", e.largestCC, e.largestCC != nil)
+	put("scc", e.sccRes, e.sccRes != nil)
+	put("cond", e.condensation, e.condensation != nil)
+	put("bicc", e.biccRes, e.biccRes != nil)
+	put("bgcc", e.bgccRes, e.bgccRes != nil)
+	put("apOnly", e.apOnly, e.apOnly != nil)
+	put("brOnly", e.brOnly, e.brOnly != nil)
+	put("btw", e.betweenness, e.betweenness != nil)
+	put("core", e.coreness, e.coreness != nil)
+	return set, id
+}
+
+var cacheKeys = []string{"cc", "largest", "scc", "cond", "bicc", "bgcc", "apOnly", "brOnly", "btw", "core"}
+
+// TestEngineCacheInvalidationOnApply checks Apply's documented invalidation
+// contract against every cached result, for both the partial and
+// DisablePartial configurations: duplicate batches preserve everything,
+// arc-only batches drop only the SCC-derived caches, intra-component edges
+// preserve the CC-derived caches but drop the 2-connectivity ones, and
+// merging edges drop both groups.
+func TestEngineCacheInvalidationOnApply(t *testing.T) {
+	g := gen.PaperExample()
+	u := graph.Undirect(g)
+	lab := serialdfs.CC(u)
+
+	// Probe edges discovered from the graph itself, so the test does not
+	// hard-code the paper example's arc directions.
+	var dup, rev, intra, merge Edge
+	found := 0
+	for v := 0; v < g.NumVertices() && found < 2; v++ {
+		for _, w := range g.Out(V(v)) {
+			dup = Edge{U: V(v), V: w}
+			found |= 1
+			if !g.HasArc(w, V(v)) {
+				rev = Edge{U: w, V: V(v)}
+				found |= 2
+			}
+			if found == 3 {
+				break
+			}
+		}
+	}
+	if found != 3 {
+		t.Fatal("no probe arcs found")
+	}
+	foundIntra, foundMerge := false, false
+	for a := 0; a < u.NumVertices(); a++ {
+		for b := a + 1; b < u.NumVertices(); b++ {
+			if u.HasEdge(V(a), V(b)) {
+				continue
+			}
+			if lab[a] == lab[b] && !foundIntra {
+				intra, foundIntra = Edge{U: V(a), V: V(b)}, true
+			}
+			if lab[a] != lab[b] && !foundMerge {
+				merge, foundMerge = Edge{U: V(a), V: V(b)}, true
+			}
+		}
+	}
+	if !foundIntra || !foundMerge {
+		t.Fatal("no probe edges found")
+	}
+
+	inv := func(keys ...string) map[string]bool {
+		m := map[string]bool{}
+		for _, k := range keys {
+			m[k] = true
+		}
+		return m
+	}
+	twoConn := []string{"bicc", "bgcc", "apOnly", "brOnly", "btw", "core"}
+	cases := []struct {
+		name        string
+		batch       []Edge
+		invalidated map[string]bool
+	}{
+		{"duplicateArc", []Edge{dup}, inv()},
+		{"reverseArcOnly", []Edge{rev}, inv("scc", "cond")},
+		{"intraComponentEdge", []Edge{intra}, inv(append([]string{"scc", "cond"}, twoConn...)...)},
+		{"mergingEdge", []Edge{merge}, inv(cacheKeys...)},
+	}
+	for _, disablePartial := range []bool{false, true} {
+		for _, tc := range cases {
+			t.Run(fmt.Sprintf("partial=%v/%s", !disablePartial, tc.name), func(t *testing.T) {
+				e := NewDirectedEngine(gen.PaperExample(),
+					Options{Threads: 2, DisablePartial: disablePartial, RebuildThreshold: -1})
+				// Warm every cache.
+				e.CC()
+				e.SCC()
+				e.BiCC()
+				e.BgCC()
+				e.ArticulationPoints()
+				e.Bridges()
+				e.InLargestCC(0)
+				e.Condensation()
+				e.BetweennessCentrality()
+				e.Coreness()
+
+				before, beforeID := cacheState(e)
+				if _, err := e.Apply(tc.batch); err != nil {
+					t.Fatal(err)
+				}
+				after, afterID := cacheState(e)
+				for _, k := range cacheKeys {
+					if tc.invalidated[k] {
+						if after[k] {
+							t.Errorf("cache %q should have been invalidated", k)
+						}
+					} else if after[k] != before[k] || (before[k] && afterID[k] != beforeID[k]) {
+						t.Errorf("cache %q should have been preserved", k)
+					}
+				}
+
+				// Whatever was dropped must recompute to the truth.
+				if err := verify.SamePartition(e.CC().Label, serialdfs.CC(e.Undirected())); err != nil {
+					t.Errorf("CC after Apply: %v", err)
+				}
+				sccRes, err := e.SCC()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := verify.SamePartition(sccRes.Label, serialdfs.SCC(e.Directed())); err != nil {
+					t.Errorf("SCC after Apply: %v", err)
+				}
+			})
+		}
 	}
 }
 

@@ -17,7 +17,7 @@ import (
 // Queries lists the recognized query names (parameterized ones shown with
 // their syntax).
 var Queries = []string{
-	"connected", "strongly-connected",
+	"connected", "connected=<u>,<v>", "strongly-connected",
 	"num-cc", "num-scc", "num-bicc", "num-bgcc",
 	"largest-cc", "largest-scc", "in-largest-cc=<v>",
 	"aps", "bridges", "histogram", "stats",
@@ -28,6 +28,16 @@ func Answer(eng *aquila.Engine, query string) (string, error) {
 	switch {
 	case query == "connected":
 		return fmt.Sprintf("%v", eng.IsConnected()), nil
+	case strings.HasPrefix(query, "connected="):
+		u, v, err := parsePair(strings.TrimPrefix(query, "connected="))
+		if err != nil {
+			return "", err
+		}
+		n := eng.Undirected().NumVertices()
+		if int(u) >= n || int(v) >= n {
+			return "", fmt.Errorf("vertex out of range [0,%d)", n)
+		}
+		return fmt.Sprintf("%v", eng.Connected(u, v)), nil
 	case query == "strongly-connected":
 		ok, err := eng.IsStronglyConnected()
 		if err != nil {
@@ -116,7 +126,7 @@ func Explain(query string) (string, error) {
 // toPlanQuery maps CLI query strings onto the structured plan queries.
 func toPlanQuery(query string) (plan.Query, error) {
 	switch {
-	case query == "connected":
+	case query == "connected", strings.HasPrefix(query, "connected="):
 		return plan.Query{Alg: plan.CC, Kind: "connected"}, nil
 	case query == "strongly-connected":
 		return plan.Query{Alg: plan.SCC, Kind: "connected"}, nil

@@ -1,0 +1,114 @@
+package cli
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"aquila"
+)
+
+// ReplayUpdates reads an update script from r and replays it against the
+// engine through the incremental layer, returning a per-batch transcript.
+//
+// Script format, one directive per line:
+//
+//	u v        stage the edge (arc, on directed engines) u→v
+//	---        flush staged edges as one Apply batch (a blank line works too)
+//	? u v      flush, then answer "are u and v connected?"
+//	# ...      comment, ignored
+//
+// When batchSize > 0, staged edges also auto-flush every batchSize lines, so
+// plain edge-list files replay as a stream of fixed-size batches. Any edges
+// still staged at EOF are flushed as a final batch.
+func ReplayUpdates(eng *aquila.Engine, r io.Reader, batchSize int) (string, error) {
+	var (
+		out     strings.Builder
+		staged  []aquila.Edge
+		batchNo int
+	)
+	n := eng.Undirected().NumVertices() // Apply never grows the vertex set
+	flush := func() error {
+		if len(staged) == 0 {
+			return nil
+		}
+		res, err := eng.Apply(staged)
+		if err != nil {
+			return err
+		}
+		batchNo++
+		fmt.Fprintf(&out, "batch %d: %d edges in, %d new, %d merges, %d components",
+			batchNo, len(staged), res.NewEdges, res.Merged, res.Components)
+		if res.Rebuilt {
+			out.WriteString(" (rebuilt)")
+		}
+		out.WriteByte('\n')
+		staged = staged[:0]
+		return nil
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		switch {
+		case text == "" || text == "---":
+			if err := flush(); err != nil {
+				return "", fmt.Errorf("line %d: %v", line, err)
+			}
+		case strings.HasPrefix(text, "#"):
+			// comment
+		case strings.HasPrefix(text, "?"):
+			u, v, err := parsePair(strings.TrimSpace(strings.TrimPrefix(text, "?")))
+			if err != nil {
+				return "", fmt.Errorf("line %d: %v", line, err)
+			}
+			if int(u) >= n || int(v) >= n {
+				return "", fmt.Errorf("line %d: vertex out of range [0,%d)", line, n)
+			}
+			if err := flush(); err != nil {
+				return "", fmt.Errorf("line %d: %v", line, err)
+			}
+			fmt.Fprintf(&out, "connected(%d, %d) = %v\n", u, v, eng.Connected(u, v))
+		default:
+			u, v, err := parsePair(text)
+			if err != nil {
+				return "", fmt.Errorf("line %d: %v", line, err)
+			}
+			staged = append(staged, aquila.Edge{U: u, V: v})
+			if batchSize > 0 && len(staged) >= batchSize {
+				if err := flush(); err != nil {
+					return "", fmt.Errorf("line %d: %v", line, err)
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	if err := flush(); err != nil {
+		return "", err
+	}
+	return strings.TrimRight(out.String(), "\n"), nil
+}
+
+// parsePair parses "u v" or "u,v" into two vertex ids.
+func parsePair(s string) (aquila.V, aquila.V, error) {
+	fields := strings.FieldsFunc(s, func(r rune) bool { return r == ' ' || r == '\t' || r == ',' })
+	if len(fields) != 2 {
+		return 0, 0, fmt.Errorf("want two vertex ids, got %q", s)
+	}
+	u, err := strconv.ParseUint(fields[0], 10, 32)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad vertex id %q: %v", fields[0], err)
+	}
+	v, err := strconv.ParseUint(fields[1], 10, 32)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad vertex id %q: %v", fields[1], err)
+	}
+	return aquila.V(u), aquila.V(v), nil
+}

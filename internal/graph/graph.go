@@ -44,6 +44,24 @@ func (g *Directed) Out(u V) []V { return g.outAdj[g.outOff[u]:g.outOff[u+1]] }
 // modify it.
 func (g *Directed) In(u V) []V { return g.inAdj[g.inOff[u]:g.inOff[u+1]] }
 
+// HasArc reports whether the directed edge u→v exists. It binary-searches
+// u's sorted out-adjacency list.
+func (g *Directed) HasArc(u, v V) bool {
+	lo, hi := g.outOff[u], g.outOff[u+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case g.outAdj[mid] < v:
+			lo = mid + 1
+		case g.outAdj[mid] > v:
+			hi = mid
+		default:
+			return true
+		}
+	}
+	return false
+}
+
 // MaxOutDegreeVertex returns the vertex with the highest out+in degree — the
 // paper's heuristic master pivot, "always in the single large task" (§5.3).
 func (g *Directed) MaxOutDegreeVertex() V {

@@ -1,0 +1,140 @@
+package inc
+
+// Concurrency tests: readers query Connected/ComponentCount lock-free while a
+// writer applies batches. Run under `go test -race` these double as data-race
+// detectors for the CAS-based union-find; the assertions check the
+// insert-only monotonicity invariant — once two vertices are observed
+// connected they can never be observed disconnected, and the component count
+// never increases.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+)
+
+func TestConcurrentReadersDuringApply(t *testing.T) {
+	const (
+		n       = 4000
+		readers = 6
+	)
+	st := NewSingletons(n)
+
+	// The writer applies a shuffled spanning chain in batches, ending with one
+	// component. Readers poll pairs and remember which ones they saw connected.
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, graph.Edge{U: graph.V(i), V: graph.V(i + 1)})
+	}
+	rng := gen.NewRNG(42)
+	for i := len(edges) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		edges[i], edges[j] = edges[j], edges[i]
+	}
+
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	errc := make(chan string, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := gen.NewRNG(uint64(id)*977 + 1)
+			seen := make(map[[2]graph.V]bool)
+			lastCount := n + 1
+			for !done.Load() {
+				u := graph.V(rng.Intn(n))
+				v := graph.V(rng.Intn(n))
+				pair := [2]graph.V{u, v}
+				if u > v {
+					pair = [2]graph.V{v, u}
+				}
+				conn := st.Connected(u, v)
+				if seen[pair] && !conn {
+					errc <- "connected pair later observed disconnected"
+					return
+				}
+				if conn {
+					seen[pair] = true
+				}
+				if c := st.ComponentCount(); c > lastCount {
+					errc <- "component count increased under insert-only updates"
+					return
+				} else {
+					lastCount = c
+				}
+			}
+		}(r)
+	}
+
+	const batchSize = 64
+	for lo := 0; lo < len(edges); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		st.Apply(edges[lo:hi], 4)
+	}
+	done.Store(true)
+	wg.Wait()
+	close(errc)
+	for msg := range errc {
+		t.Error(msg)
+	}
+
+	if st.ComponentCount() != 1 {
+		t.Fatalf("final count = %d, want 1", st.ComponentCount())
+	}
+	if !st.Connected(0, n-1) {
+		t.Fatalf("chain endpoints not connected after all batches")
+	}
+}
+
+// TestConcurrentWritersAgree races several writers applying overlapping
+// batches; the merged state must equal the union of everything applied, and
+// the sum of reported merges must be exactly the number of component merges.
+func TestConcurrentWritersAgree(t *testing.T) {
+	const (
+		n       = 3000
+		writers = 4
+	)
+	st := NewSingletons(n)
+	var total int64
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Every writer applies the full chain, in its own order.
+			rng := gen.NewRNG(uint64(w) * 131)
+			edges := make([]graph.Edge, 0, n-1)
+			for i := 0; i+1 < n; i++ {
+				edges = append(edges, graph.Edge{U: graph.V(i), V: graph.V(i + 1)})
+			}
+			for i := len(edges) - 1; i > 0; i-- {
+				j := rng.Intn(i + 1)
+				edges[i], edges[j] = edges[j], edges[i]
+			}
+			for lo := 0; lo < len(edges); lo += 50 {
+				hi := lo + 50
+				if hi > len(edges) {
+					hi = len(edges)
+				}
+				atomic.AddInt64(&total, int64(st.Apply(edges[lo:hi], 2)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if total != n-1 {
+		t.Fatalf("merges summed to %d, want %d", total, n-1)
+	}
+	if st.ComponentCount() != 1 {
+		t.Fatalf("count = %d, want 1", st.ComponentCount())
+	}
+	if st.Find(n-1) != 0 {
+		t.Fatalf("canonical root of %d is %d, want 0", n-1, st.Find(n-1))
+	}
+}

@@ -1,0 +1,251 @@
+package inc
+
+// Differential-testing harness: randomized update sequences interleaving
+// batch insertions with connectivity queries, cross-checking every observed
+// state against a rebuild-from-scratch serialdfs.CC oracle. The harness
+// runs over the paper's three seed graph classes (uniform random, RMAT,
+// social) plus adversarial hand-built schedules — all-singletons collapsing
+// into one giant merge, duplicate-saturated batches, self-loop-only batches.
+
+import (
+	"testing"
+
+	"aquila/internal/baseline/serialdfs"
+	"aquila/internal/cc"
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+	"aquila/internal/verify"
+)
+
+// oracle is the ground truth: the full edge list, recomputed from scratch on
+// every check by the serial DFS baseline.
+type oracle struct {
+	n     int
+	edges []graph.Edge
+}
+
+func (o *oracle) labels() []uint32 {
+	return serialdfs.CC(graph.BuildUndirected(o.n, o.edges))
+}
+
+// differentialRun drives one randomized interleaving of batches and queries
+// against st and o, returning the number of interleaved steps executed.
+// Updates are drawn from the pending stream first (graph growth), mixed with
+// random noise edges (duplicates, self-loops, already-connected pairs).
+func differentialRun(t *testing.T, st *State, o *oracle, pending []graph.Edge, seed uint64, steps int) int {
+	t.Helper()
+	rng := gen.NewRNG(seed)
+	cursor := 0
+	done := 0
+	for i := 0; i < steps; i++ {
+		switch rng.Intn(5) {
+		case 0, 1, 2: // apply a batch
+			k := 1 + rng.Intn(32)
+			var batch []graph.Edge
+			for j := 0; j < k && cursor < len(pending); j++ {
+				batch = append(batch, pending[cursor])
+				cursor++
+			}
+			// Noise: random edges, occasional duplicates and self-loops.
+			for j := rng.Intn(8); j > 0; j-- {
+				u := graph.V(rng.Intn(o.n))
+				v := graph.V(rng.Intn(o.n))
+				if rng.Intn(10) == 0 {
+					v = u // self-loop
+				}
+				batch = append(batch, graph.Edge{U: u, V: v})
+				if rng.Intn(4) == 0 {
+					batch = append(batch, graph.Edge{U: v, V: u}) // duplicate, reversed
+				}
+			}
+			st.Apply(batch, 1+rng.Intn(4))
+			o.edges = append(o.edges, batch...)
+		case 3: // pairwise Connected queries
+			lab := o.labels()
+			for j := 0; j < 16; j++ {
+				u := graph.V(rng.Intn(o.n))
+				v := graph.V(rng.Intn(o.n))
+				if got, want := st.Connected(u, v), lab[u] == lab[v]; got != want {
+					t.Fatalf("step %d: Connected(%d,%d) = %v, oracle says %v", i, u, v, got, want)
+				}
+			}
+		case 4: // full-state check: partition, count, census
+			lab := o.labels()
+			if err := verify.SamePartition(st.Labels(), lab); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+			want := distinctCount(lab)
+			if got := st.ComponentCount(); got != want {
+				t.Fatalf("step %d: ComponentCount = %d, oracle says %d", i, got, want)
+			}
+			res := st.CCResult(2)
+			if res.NumComponents != want {
+				t.Fatalf("step %d: census count = %d, oracle says %d", i, res.NumComponents, want)
+			}
+			if wantLargest := largestClass(lab); res.LargestSize != wantLargest {
+				t.Fatalf("step %d: LargestSize = %d, oracle says %d", i, res.LargestSize, wantLargest)
+			}
+		}
+		done++
+	}
+	return done
+}
+
+// seedClassState builds the harness start state for one graph class: the
+// class graph's shuffled edges are split into a base prefix (statically
+// decomposed, seeding the union-find) and a pending suffix (replayed as the
+// update stream).
+func seedClassState(t *testing.T, d *graph.Directed, seed uint64) (*State, *oracle, []graph.Edge) {
+	t.Helper()
+	u := graph.Undirect(d)
+	edges := endpointEdges(u)
+	rng := gen.NewRNG(seed)
+	for i := len(edges) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		edges[i], edges[j] = edges[j], edges[i]
+	}
+	base := edges[:len(edges)/2]
+	pending := edges[len(edges)/2:]
+	bg := graph.BuildUndirected(u.NumVertices(), base)
+	res := cc.Run(bg, cc.Options{Threads: 2})
+	st := FromLabels(res.Label, res.NumComponents)
+	o := &oracle{n: u.NumVertices(), edges: append([]graph.Edge(nil), base...)}
+	return st, o, pending
+}
+
+// TestDifferentialAgainstOracle runs ≥1000 randomized update/query
+// interleavings per seed graph class (random, RMAT, social), each state
+// cross-checked against the serial rebuild oracle.
+func TestDifferentialAgainstOracle(t *testing.T) {
+	classes := []struct {
+		name string
+		make func(seed uint64) *graph.Directed
+	}{
+		{"random", func(seed uint64) *graph.Directed { return gen.Random(300, 900, seed) }},
+		{"rmat", func(seed uint64) *graph.Directed { return gen.RMAT(8, 4, seed) }},
+		{"social", func(seed uint64) *graph.Directed {
+			return gen.Social(gen.SocialConfig{
+				GiantVertices: 200, GiantAvgDeg: 4,
+				SmallComps: 20, SmallMaxSize: 8, Isolated: 15,
+				MutualFrac: 0.3, Seed: seed,
+			})
+		}},
+	}
+	seeds, steps := 4, 260
+	if testing.Short() {
+		seeds, steps = 2, 130
+	}
+	for _, class := range classes {
+		t.Run(class.name, func(t *testing.T) {
+			total := 0
+			for s := 0; s < seeds; s++ {
+				seed := uint64(100*s) + 11
+				st, o, pending := seedClassState(t, class.make(seed), seed)
+				total += differentialRun(t, st, o, pending, seed^0xD1FF, steps)
+			}
+			want := 1000
+			if testing.Short() {
+				want = 250
+			}
+			if total < want {
+				t.Fatalf("only %d interleavings, want >= %d", total, want)
+			}
+		})
+	}
+}
+
+// TestDifferentialSingletonsToGiantMerge is the adversarial schedule the
+// union-find hates most: n isolated vertices first joined into many tiny
+// chains, then one batch merges everything through a single hub.
+func TestDifferentialSingletonsToGiantMerge(t *testing.T) {
+	const n = 600
+	st := NewSingletons(n)
+	o := &oracle{n: n}
+
+	// Tiny chains of 3: vertices {3k, 3k+1, 3k+2}.
+	var chains []graph.Edge
+	for k := 0; 3*k+2 < n; k++ {
+		chains = append(chains,
+			graph.Edge{U: graph.V(3 * k), V: graph.V(3*k + 1)},
+			graph.Edge{U: graph.V(3*k + 1), V: graph.V(3*k + 2)})
+	}
+	st.Apply(chains, 4)
+	o.edges = append(o.edges, chains...)
+	if err := verify.SamePartition(st.Labels(), o.labels()); err != nil {
+		t.Fatalf("after chains: %v", err)
+	}
+	if got, want := st.ComponentCount(), distinctCount(o.labels()); got != want {
+		t.Fatalf("after chains: count = %d, want %d", got, want)
+	}
+
+	// One giant merge: a star batch through vertex 0 touching every chain.
+	var star []graph.Edge
+	for k := 0; 3*k+2 < n; k++ {
+		star = append(star, graph.Edge{U: 0, V: graph.V(3*k + 2)})
+	}
+	merged := st.Apply(star, 8)
+	o.edges = append(o.edges, star...)
+	if err := verify.SamePartition(st.Labels(), o.labels()); err != nil {
+		t.Fatalf("after giant merge: %v", err)
+	}
+	if want := distinctCount(o.labels()); st.ComponentCount() != want {
+		t.Fatalf("after giant merge: count = %d, want %d", st.ComponentCount(), want)
+	}
+	if merged == 0 {
+		t.Fatalf("giant merge reported no merges")
+	}
+}
+
+// TestDifferentialRepeatedDuplicates saturates the structure with the same
+// batch over and over: only the first application may merge anything.
+func TestDifferentialRepeatedDuplicates(t *testing.T) {
+	const n = 64
+	st := NewSingletons(n)
+	o := &oracle{n: n}
+	var batch []graph.Edge
+	for i := 0; i+1 < n; i += 2 {
+		batch = append(batch, graph.Edge{U: graph.V(i), V: graph.V(i + 1)})
+	}
+	first := st.Apply(batch, 4)
+	o.edges = append(o.edges, batch...)
+	if first != n/2 {
+		t.Fatalf("first application merged %d, want %d", first, n/2)
+	}
+	for rep := 0; rep < 10; rep++ {
+		if m := st.Apply(batch, 1+rep%4); m != 0 {
+			t.Fatalf("replay %d merged %d, want 0", rep, m)
+		}
+		o.edges = append(o.edges, batch...)
+		if err := verify.SamePartition(st.Labels(), o.labels()); err != nil {
+			t.Fatalf("replay %d: %v", rep, err)
+		}
+	}
+}
+
+// TestDifferentialSelfLoopsOnly: self-loop batches change nothing.
+func TestDifferentialSelfLoopsOnly(t *testing.T) {
+	const n = 32
+	st := NewSingletons(n)
+	var batch []graph.Edge
+	for i := 0; i < n; i++ {
+		batch = append(batch, graph.Edge{U: graph.V(i), V: graph.V(i)})
+	}
+	if m := st.Apply(batch, 4); m != 0 {
+		t.Fatalf("self-loop batch merged %d", m)
+	}
+	if st.ComponentCount() != n {
+		t.Fatalf("count = %d, want %d", st.ComponentCount(), n)
+	}
+}
+
+func largestClass(label []uint32) int {
+	counts := make(map[uint32]int)
+	best := 0
+	for _, l := range label {
+		counts[l]++
+		if counts[l] > best {
+			best = counts[l]
+		}
+	}
+	return best
+}

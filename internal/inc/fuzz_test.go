@@ -1,0 +1,66 @@
+package inc
+
+// FuzzIncMatchesOracle decodes the fuzz input as an update script — a vertex
+// count followed by byte-pair edges, flushed to the incremental state in
+// batches — and cross-checks every intermediate state against the serial DFS
+// oracle. Any divergence (partition, count, census, pairwise connectivity)
+// crashes the fuzzer.
+
+import (
+	"testing"
+
+	"aquila/internal/baseline/serialdfs"
+	"aquila/internal/graph"
+	"aquila/internal/verify"
+)
+
+func FuzzIncMatchesOracle(f *testing.F) {
+	f.Add([]byte{8, 0, 1, 1, 2, 2, 3})        // chain
+	f.Add([]byte{4, 0, 0, 1, 1, 2, 2, 3, 3})  // self-loops mixed in
+	f.Add([]byte{16, 0, 1, 0, 1, 0, 1, 5, 9}) // duplicates
+	f.Add([]byte{60, 1, 2, 3, 4, 5, 6, 1, 6, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		n := int(data[0])%60 + 4
+		st := NewSingletons(n)
+		var all []graph.Edge
+
+		check := func() {
+			truth := serialdfs.CC(graph.BuildUndirected(n, all))
+			if err := verify.SamePartition(st.Labels(), truth); err != nil {
+				t.Fatalf("partition diverged: %v", err)
+			}
+			if got, want := st.ComponentCount(), distinctCount(truth); got != want {
+				t.Fatalf("count = %d, oracle %d", got, want)
+			}
+			res := st.CCResult(2)
+			if res.NumComponents != distinctCount(truth) {
+				t.Fatalf("census count = %d, oracle %d", res.NumComponents, distinctCount(truth))
+			}
+			if res.LargestSize != largestClass(truth) {
+				t.Fatalf("largest = %d, oracle %d", res.LargestSize, largestClass(truth))
+			}
+		}
+
+		var batch []graph.Edge
+		for i := 1; i+1 < len(data); i += 2 {
+			u := graph.V(int(data[i]) % n)
+			v := graph.V(int(data[i+1]) % n)
+			batch = append(batch, graph.Edge{U: u, V: v})
+			// Flush on a data-dependent boundary so batch shapes vary.
+			if len(batch) >= 1+int(data[i])%7 {
+				st.Apply(batch, 1+int(data[i+1])%4)
+				all = append(all, batch...)
+				batch = batch[:0]
+				check()
+			}
+		}
+		if len(batch) > 0 {
+			st.Apply(batch, 2)
+			all = append(all, batch...)
+		}
+		check()
+	})
+}

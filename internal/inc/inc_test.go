@@ -1,0 +1,166 @@
+package inc
+
+import (
+	"testing"
+
+	"aquila/internal/baseline/serialdfs"
+	"aquila/internal/cc"
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+	"aquila/internal/verify"
+)
+
+func TestSingletonsBasics(t *testing.T) {
+	s := NewSingletons(5)
+	if s.ComponentCount() != 5 || s.NumVertices() != 5 {
+		t.Fatalf("fresh state: %d components over %d vertices", s.ComponentCount(), s.NumVertices())
+	}
+	if s.Connected(0, 1) {
+		t.Errorf("fresh vertices connected")
+	}
+	merged := s.Apply([]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}, 2)
+	if merged != 2 {
+		t.Errorf("merged = %d, want 2", merged)
+	}
+	if s.ComponentCount() != 3 {
+		t.Errorf("components = %d, want 3", s.ComponentCount())
+	}
+	if !s.Connected(0, 2) || s.Connected(0, 3) {
+		t.Errorf("connectivity wrong after batch")
+	}
+	if s.Find(2) != 0 {
+		t.Errorf("Find(2) = %d, want canonical 0", s.Find(2))
+	}
+}
+
+func TestApplyIgnoresSelfLoopsAndDuplicates(t *testing.T) {
+	s := NewSingletons(4)
+	batch := []graph.Edge{
+		{U: 2, V: 2}, {U: 0, V: 1}, {U: 1, V: 0}, {U: 0, V: 1}, {U: 3, V: 3},
+	}
+	if merged := s.Apply(batch, 4); merged != 1 {
+		t.Errorf("merged = %d, want 1", merged)
+	}
+	if merged := s.Apply(batch, 1); merged != 0 {
+		t.Errorf("replayed batch merged %d, want 0", merged)
+	}
+	if s.ComponentCount() != 3 {
+		t.Errorf("components = %d, want 3", s.ComponentCount())
+	}
+}
+
+func TestApplyCountsExactlyOnceInParallel(t *testing.T) {
+	// A duplicate-heavy batch applied with many workers must count each
+	// component merge exactly once.
+	const n = 2000
+	s := NewSingletons(n)
+	var batch []graph.Edge
+	for rep := 0; rep < 8; rep++ {
+		for i := 0; i+1 < n; i++ {
+			batch = append(batch, graph.Edge{U: graph.V(i), V: graph.V(i + 1)})
+		}
+	}
+	if merged := s.Apply(batch, 8); merged != n-1 {
+		t.Fatalf("merged = %d, want %d", merged, n-1)
+	}
+	if s.ComponentCount() != 1 {
+		t.Fatalf("components = %d, want 1", s.ComponentCount())
+	}
+}
+
+func TestFromLabelsSeedsStaticDecomposition(t *testing.T) {
+	g := gen.PaperExampleUndirected()
+	res := cc.Run(g, cc.Options{Threads: 2})
+	s := FromLabels(res.Label, res.NumComponents)
+	if s.ComponentCount() != res.NumComponents {
+		t.Fatalf("seeded count = %d, want %d", s.ComponentCount(), res.NumComponents)
+	}
+	if err := verify.SamePartition(s.Labels(), res.Label); err != nil {
+		t.Fatalf("seeded labels: %v", err)
+	}
+	// Bridge the paper graph's three components.
+	if merged := s.Apply([]graph.Edge{{U: 0, V: 8}, {U: 8, V: 12}}, 1); merged != 2 {
+		t.Errorf("merged = %d, want 2", merged)
+	}
+	if s.ComponentCount() != 1 || !s.Connected(1, 13) {
+		t.Errorf("paper graph not fully merged")
+	}
+}
+
+func TestFromLabelsRejectsNonCanonical(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("FromLabels accepted a non-canonical labeling")
+		}
+	}()
+	FromLabels([]uint32{1, 1}, 1) // label 1 is not the minimum member
+}
+
+func TestCCResultMatchesOracle(t *testing.T) {
+	for seed := uint64(7); seed < 10; seed++ {
+		g := gen.RandomUndirected(300, 500, seed)
+		res := cc.Run(g, cc.Options{Threads: 2})
+		s := FromLabels(res.Label, res.NumComponents)
+
+		// Grow the graph with fresh random edges and keep an oracle edge list.
+		edges := endpointEdges(g)
+		rng := gen.NewRNG(seed * 31)
+		var batch []graph.Edge
+		for i := 0; i < 200; i++ {
+			batch = append(batch, graph.Edge{U: graph.V(rng.Intn(300)), V: graph.V(rng.Intn(300))})
+		}
+		s.Apply(batch, 3)
+		edges = append(edges, batch...)
+
+		truth := serialdfs.CC(graph.BuildUndirected(300, edges))
+		got := s.CCResult(2)
+		if err := verify.SamePartition(got.Label, truth); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got.NumComponents != distinctCount(truth) {
+			t.Fatalf("seed %d: NumComponents = %d, want %d", seed, got.NumComponents, distinctCount(truth))
+		}
+		if got.NumComponents != s.ComponentCount() {
+			t.Fatalf("seed %d: census count %d != counter %d", seed, got.NumComponents, s.ComponentCount())
+		}
+		if got.Sizes[got.LargestLabel] != got.LargestSize {
+			t.Fatalf("seed %d: census largest inconsistent", seed)
+		}
+		total := 0
+		for _, sz := range got.Sizes {
+			total += sz
+		}
+		if total != 300 {
+			t.Fatalf("seed %d: sizes sum to %d, want 300", seed, total)
+		}
+	}
+}
+
+func TestEmptyState(t *testing.T) {
+	s := NewSingletons(0)
+	if s.Apply(nil, 4) != 0 || s.ComponentCount() != 0 {
+		t.Errorf("empty state misbehaves")
+	}
+	res := s.CCResult(2)
+	if res.NumComponents != 0 || len(res.Label) != 0 {
+		t.Errorf("empty CCResult = %+v", res)
+	}
+}
+
+// endpointEdges extracts one (u,v) edge per dense edge id of g.
+func endpointEdges(g *graph.Undirected) []graph.Edge {
+	eps := g.EdgeEndpoints()
+	out := make([]graph.Edge, 0, len(eps))
+	for _, ep := range eps {
+		out = append(out, graph.Edge{U: ep[0], V: ep[1]})
+	}
+	return out
+}
+
+func distinctCount(label []uint32) int {
+	seen := make(map[uint32]bool)
+	for _, l := range label {
+		seen[l] = true
+	}
+	return len(seen)
+}

@@ -74,6 +74,17 @@ func NewConcurrent(n int) *Concurrent {
 	return &Concurrent{parent: p}
 }
 
+// SeedConcurrent returns a Concurrent whose initial partition is given by a
+// canonical labeling: label[v] must be the minimum member of v's set, so that
+// label[label[v]] == label[v] (the form every Aquila CC result uses). Every
+// parent pointer lands directly on a root, so the first Find of any element
+// is a single hop. The label slice is copied, not retained.
+func SeedConcurrent(label []uint32) *Concurrent {
+	p := make([]uint32, len(label))
+	copy(p, label)
+	return &Concurrent{parent: p}
+}
+
 // Find returns the current representative of x's set, halving paths with
 // benign CAS compression along the way.
 func (u *Concurrent) Find(x uint32) uint32 {
@@ -93,10 +104,20 @@ func (u *Concurrent) Find(x uint32) uint32 {
 
 // Union merges the sets of a and b, returning the surviving (smaller) root.
 func (u *Concurrent) Union(a, b uint32) uint32 {
+	r, _ := u.Unite(a, b)
+	return r
+}
+
+// Unite merges the sets of a and b, returning the surviving (smaller) root
+// and whether this call performed the merge. Each merge of two distinct sets
+// is observed by exactly one successful CAS, so exactly one concurrent Unite
+// call reports merged=true per merge — callers can keep an exact set counter
+// by decrementing it once per true result.
+func (u *Concurrent) Unite(a, b uint32) (root uint32, merged bool) {
 	for {
 		ra, rb := u.Find(a), u.Find(b)
 		if ra == rb {
-			return ra
+			return ra, false
 		}
 		if ra > rb {
 			ra, rb = rb, ra
@@ -104,7 +125,7 @@ func (u *Concurrent) Union(a, b uint32) uint32 {
 		// Hook the larger root under the smaller. The CAS fails if rb gained
 		// a parent meanwhile; retry from fresh roots.
 		if atomic.CompareAndSwapUint32(&u.parent[rb], rb, ra) {
-			return ra
+			return ra, true
 		}
 	}
 }

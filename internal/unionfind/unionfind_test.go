@@ -101,6 +101,60 @@ func TestConcurrentCanonicalMinRoot(t *testing.T) {
 	}
 }
 
+func TestUniteReportsMerges(t *testing.T) {
+	c := NewConcurrent(4)
+	if r, m := c.Unite(0, 1); !m || r != 0 {
+		t.Errorf("first Unite(0,1) = (%d,%v), want (0,true)", r, m)
+	}
+	if r, m := c.Unite(1, 0); m || r != 0 {
+		t.Errorf("repeat Unite(1,0) = (%d,%v), want (0,false)", r, m)
+	}
+	if _, m := c.Unite(2, 2); m {
+		t.Errorf("self Unite reported a merge")
+	}
+}
+
+func TestUniteExactlyOnceUnderContention(t *testing.T) {
+	// 8 workers all race to union the same chain; the total number of true
+	// merge reports must be exactly n-1 (one per component merge).
+	const n = 4096
+	c := NewConcurrent(n)
+	var merges int64
+	parallel.Run(8, func(w int) {
+		local := int64(0)
+		for i := 0; i+1 < n; i++ {
+			if _, m := c.Unite(uint32(i), uint32(i+1)); m {
+				local++
+			}
+		}
+		parallel.AddI64(&merges, local)
+	})
+	if merges != n-1 {
+		t.Fatalf("merge count = %d, want %d", merges, n-1)
+	}
+}
+
+func TestSeedConcurrent(t *testing.T) {
+	label := []uint32{0, 0, 2, 2, 0, 5}
+	c := SeedConcurrent(label)
+	for v, want := range label {
+		if got := c.Find(uint32(v)); got != want {
+			t.Errorf("Find(%d) = %d, want %d", v, got, want)
+		}
+	}
+	// The seed slice is copied, not retained.
+	label[1] = 5
+	if c.Find(1) != 0 {
+		t.Errorf("SeedConcurrent retained the caller's slice")
+	}
+	if _, m := c.Unite(3, 4); !m {
+		t.Errorf("cross-seed-set Unite should merge")
+	}
+	if c.Find(3) != 0 {
+		t.Errorf("Find(3) = %d after merging {2,3} into {0,1,4}", c.Find(3))
+	}
+}
+
 func TestConcurrentSame(t *testing.T) {
 	c := NewConcurrent(4)
 	if c.Same(0, 1) {

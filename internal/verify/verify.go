@@ -26,15 +26,33 @@ func SamePartition(a, b []uint32) error {
 	return nil
 }
 
-// Canonical rewrites labels so each class is named by its smallest member.
+// Canonical rewrites labels so each class is named by its first-seen member.
+// The common case — labels drawn from [0, n), as every Aquila decomposition
+// produces — runs map-free over a preallocated representative table; labels
+// outside that range fall back to a map so arbitrary inputs still work.
 func Canonical(label []uint32) []uint32 {
-	rep := make(map[uint32]uint32)
+	const unseen = ^uint32(0)
 	out := make([]uint32, len(label))
+	rep := make([]uint32, len(label))
+	for i := range rep {
+		rep[i] = unseen
+	}
+	var overflow map[uint32]uint32
 	for i, l := range label {
-		if _, ok := rep[l]; !ok {
-			rep[l] = uint32(i)
+		if int(l) < len(rep) {
+			if rep[l] == unseen {
+				rep[l] = uint32(i)
+			}
+			out[i] = rep[l]
+			continue
 		}
-		out[i] = rep[l]
+		if overflow == nil {
+			overflow = make(map[uint32]uint32)
+		}
+		if _, ok := overflow[l]; !ok {
+			overflow[l] = uint32(i)
+		}
+		out[i] = overflow[l]
 	}
 	return out
 }
@@ -69,18 +87,35 @@ func SameEdgePartition(a, b []int64) error {
 	return nil
 }
 
+// canonicalI64 mirrors Canonical for int64 edge labels, with -1 marking
+// unassigned entries that must match positionally. In-range labels use the
+// preallocated table; out-of-range ones fall back to a map.
 func canonicalI64(label []int64) []int64 {
-	rep := make(map[int64]int64)
 	out := make([]int64, len(label))
+	rep := make([]int64, len(label))
+	for i := range rep {
+		rep[i] = -1
+	}
+	var overflow map[int64]int64
 	for i, l := range label {
 		if l < 0 {
 			out[i] = -1
 			continue
 		}
-		if _, ok := rep[l]; !ok {
-			rep[l] = int64(i)
+		if l < int64(len(rep)) {
+			if rep[l] < 0 {
+				rep[l] = int64(i)
+			}
+			out[i] = rep[l]
+			continue
 		}
-		out[i] = rep[l]
+		if overflow == nil {
+			overflow = make(map[int64]int64)
+		}
+		if _, ok := overflow[l]; !ok {
+			overflow[l] = int64(i)
+		}
+		out[i] = overflow[l]
 	}
 	return out
 }

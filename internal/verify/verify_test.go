@@ -28,6 +28,44 @@ func TestCanonical(t *testing.T) {
 	}
 }
 
+// TestCanonicalOutOfRangeLabels pins the map-fallback path: labels at or
+// beyond len(label) must canonicalize identically to in-range ones.
+func TestCanonicalOutOfRangeLabels(t *testing.T) {
+	got := Canonical([]uint32{900, 900, 7, 900, 7})
+	want := []uint32{0, 0, 2, 0, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Canonical = %v, want %v", got, want)
+		}
+	}
+	// Mixed in-range and out-of-range classes compare as one partition.
+	if err := SamePartition([]uint32{1 << 30, 1 << 30, 2}, []uint32{0, 0, 1}); err != nil {
+		t.Errorf("huge labels rejected: %v", err)
+	}
+}
+
+// TestCanonicalAllocationFree asserts the in-range fast path performs no map
+// allocations (the preallocated table does all the work).
+func TestCanonicalAllocationFree(t *testing.T) {
+	label := make([]uint32, 4096)
+	for i := range label {
+		label[i] = uint32(i % 7) // labels 0..6: all in range
+	}
+	allocs := testing.AllocsPerRun(20, func() { Canonical(label) })
+	// Exactly the out and rep slices; a map would add buckets on top.
+	if allocs > 2 {
+		t.Errorf("Canonical allocates %.1f objects/run, want <= 2", allocs)
+	}
+	edges := make([]int64, 4096)
+	for i := range edges {
+		edges[i] = int64(i % 5)
+	}
+	allocs = testing.AllocsPerRun(20, func() { canonicalI64(edges) })
+	if allocs > 2 {
+		t.Errorf("canonicalI64 allocates %.1f objects/run, want <= 2", allocs)
+	}
+}
+
 func TestSameEdgePartition(t *testing.T) {
 	if err := SameEdgePartition([]int64{4, 4, 9, -1}, []int64{0, 0, 1, -1}); err != nil {
 		t.Errorf("equivalent edge partitions rejected: %v", err)

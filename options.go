@@ -45,4 +45,29 @@ type Options struct {
 	// from the complete decomposition (the strategy of conventional
 	// frameworks the paper compares against in Figs. 12–14).
 	DisablePartial bool
+	// RebuildThreshold controls when Apply falls back to a full static
+	// recomputation: once the undirected edges inserted since the last
+	// rebuild exceed RebuildThreshold × the edge count at that rebuild,
+	// Apply materializes the graph and reruns the static CC pipeline,
+	// reseeding the incremental union-find in a freshly flattened state.
+	// 0 means the default (0.25); negative values disable automatic
+	// rebuilds, growing the pending delta without bound.
+	RebuildThreshold float64
+}
+
+// defaultRebuildThreshold is the delta fraction at which patching the
+// union-find stops paying off versus one fresh decomposition.
+const defaultRebuildThreshold = 0.25
+
+// rebuildThreshold resolves the knob: the returned value is the effective
+// fraction, with 0 meaning "rebuilds disabled".
+func (o Options) rebuildThreshold() float64 {
+	switch {
+	case o.RebuildThreshold == 0:
+		return defaultRebuildThreshold
+	case o.RebuildThreshold < 0:
+		return 0
+	default:
+		return o.RebuildThreshold
+	}
 }

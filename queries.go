@@ -29,7 +29,9 @@ type BgCCResult = bgcc.Result
 var ErrNotDirected = errors.New("aquila: SCC queries need a directed graph (use NewDirectedEngine)")
 
 // CC returns the complete connected-components decomposition (computed once,
-// then cached). For directed engines this is the WCC decomposition.
+// then cached). For directed engines this is the WCC decomposition. After
+// Apply batches, the decomposition is re-derived from the incremental
+// union-find in O(|V|) instead of recomputed by traversal.
 func (e *Engine) CC() *CCResult { return e.ccComplete() }
 
 // WCC is CC under its directed-graph name: the weakly connected components.
@@ -37,7 +39,7 @@ func (e *Engine) WCC() *CCResult { return e.ccComplete() }
 
 // SCC returns the complete strongly-connected-components decomposition.
 func (e *Engine) SCC() (*SCCResult, error) {
-	if e.dir == nil {
+	if !e.directed {
 		return nil, ErrNotDirected
 	}
 	return e.sccComplete(), nil
@@ -49,8 +51,36 @@ func (e *Engine) BiCC() *BiCCResult { return e.biccComplete() }
 // BgCC returns the complete bridgeless-connected-components decomposition.
 func (e *Engine) BgCC() *BgCCResult { return e.bgccComplete() }
 
-// CountCC returns the number of connected components.
-func (e *Engine) CountCC() int { return e.ccComplete().NumComponents }
+// CountCC returns the number of connected components. Under incremental
+// updates it reads an O(1) counter maintained by Apply.
+func (e *Engine) CountCC() int {
+	e.mu.Lock()
+	if e.inc != nil {
+		cnt := e.inc.ComponentCount()
+		e.mu.Unlock()
+		return cnt
+	}
+	res := e.ccCompleteLocked()
+	e.mu.Unlock()
+	return res.NumComponents
+}
+
+// Connected reports whether u and v lie in the same connected component.
+// Before any Apply it reads the cached CC decomposition; once incremental
+// updates have begun it is answered straight from the union-find in
+// near-constant time, without blocking on (or waiting for) writers. Both
+// endpoints must be existing vertices.
+func (e *Engine) Connected(u, v V) bool {
+	e.mu.Lock()
+	if e.inc != nil {
+		s := e.inc
+		e.mu.Unlock()
+		return s.Connected(u, v)
+	}
+	res := e.ccCompleteLocked()
+	e.mu.Unlock()
+	return res.Label[u] == res.Label[v]
+}
 
 // CCSizeHistogram maps component size to the number of components of that
 // size (the paper's Fig. 8 shape).
@@ -66,34 +96,45 @@ func (e *Engine) CCSizeHistogram() map[int]int {
 // With partial computation enabled it first looks for a trimmable pattern —
 // any orphan or isolated pair in a larger graph disproves connectivity
 // immediately — and otherwise runs a single traversal from a randomly chosen
-// vertex.
+// vertex. Under incremental updates the component counter answers directly.
 func (e *Engine) IsConnected() bool {
+	e.mu.Lock()
 	n := e.und.NumVertices()
 	if n <= 1 {
+		e.mu.Unlock()
 		return true
 	}
-	if e.opt.DisablePartial {
-		return e.ccComplete().NumComponents == 1
+	if e.inc != nil {
+		cnt := e.inc.ComponentCount()
+		e.mu.Unlock()
+		return cnt == 1
 	}
+	if e.opt.DisablePartial {
+		res := e.ccCompleteLocked()
+		e.mu.Unlock()
+		return res.NumComponents == 1
+	}
+	g := e.und
+	e.mu.Unlock()
 	// Trim check: a trimmable pattern in a graph bigger than the pattern is a
 	// separate component.
 	for v := 0; v < n; v++ {
-		if e.und.Degree(graph.V(v)) == 0 {
+		if g.Degree(graph.V(v)) == 0 {
 			return false
 		}
 	}
 	for v := 0; v < n && n > 2; v++ {
-		if e.und.Degree(graph.V(v)) == 1 {
-			u := e.und.Neighbors(graph.V(v))[0]
-			if e.und.Degree(u) == 1 {
+		if g.Degree(graph.V(v)) == 1 {
+			u := g.Neighbors(graph.V(v))[0]
+			if g.Degree(u) == 1 {
 				return false
 			}
 		}
 	}
 	// Random pivot (deterministically seeded) + one traversal.
-	rng := gen.NewRNG(uint64(n)*0x9e37 + uint64(e.und.NumEdges()))
+	rng := gen.NewRNG(uint64(n)*0x9e37 + uint64(g.NumEdges()))
 	pivot := graph.V(rng.Intn(n))
-	visited := bfs.EnhancedReach(bfs.UndirectedAdj(e.und), pivot, nil,
+	visited := bfs.EnhancedReach(bfs.UndirectedAdj(g), pivot, nil,
 		bfs.Options{Threads: e.opt.Threads}, e.opt.Traversal.mode())
 	return visited.Count() == n
 }
@@ -102,10 +143,11 @@ func (e *Engine) IsConnected() bool {
 // partial computation: any size-1-trimmable vertex disproves it; otherwise
 // one forward and one backward traversal from a pivot decide it.
 func (e *Engine) IsStronglyConnected() (bool, error) {
-	if e.dir == nil {
+	if !e.directed {
 		return false, ErrNotDirected
 	}
-	n := e.dir.NumVertices()
+	g := e.dirView()
+	n := g.NumVertices()
 	if n <= 1 {
 		return true, nil
 	}
@@ -113,17 +155,17 @@ func (e *Engine) IsStronglyConnected() (bool, error) {
 		return e.sccComplete().NumComponents == 1, nil
 	}
 	for v := 0; v < n; v++ {
-		if e.dir.InDegree(graph.V(v)) == 0 || e.dir.OutDegree(graph.V(v)) == 0 {
+		if g.InDegree(graph.V(v)) == 0 || g.OutDegree(graph.V(v)) == 0 {
 			return false, nil
 		}
 	}
 	pivot := graph.V(0)
-	fw := bfs.EnhancedReach(bfs.ForwardAdj(e.dir), pivot, nil,
+	fw := bfs.EnhancedReach(bfs.ForwardAdj(g), pivot, nil,
 		bfs.Options{Threads: e.opt.Threads}, e.opt.Traversal.mode())
 	if fw.Count() != n {
 		return false, nil
 	}
-	bw := bfs.EnhancedReach(bfs.BackwardAdj(e.dir), pivot, nil,
+	bw := bfs.EnhancedReach(bfs.BackwardAdj(g), pivot, nil,
 		bfs.Options{Threads: e.opt.Threads}, e.opt.Traversal.mode())
 	return bw.Count() == n, nil
 }
@@ -148,12 +190,25 @@ func (l *LargestResult) Contains(v V) bool { return l.contains(v) }
 // max-degree master pivot and, if the found component is at least as big as
 // everything else combined, stops there — no other component can beat it.
 // Only when the heuristic pivot lands in a minority component does it fall
-// back to the complete computation.
+// back to the complete computation. Under incremental updates the answer
+// comes from the union-find census instead of any traversal.
 func (e *Engine) LargestCC() *LargestResult {
-	n := e.und.NumVertices()
+	e.mu.Lock()
+	if e.inc != nil {
+		res := e.ccCompleteLocked()
+		e.mu.Unlock()
+		lbl := res.LargestLabel
+		return &LargestResult{
+			Size: res.LargestSize, Pivot: V(lbl),
+			contains: func(v V) bool { return res.Label[v] == lbl },
+		}
+	}
+	g := e.und
+	e.mu.Unlock()
+	n := g.NumVertices()
 	if !e.opt.DisablePartial && n > 0 {
-		master := e.und.MaxDegreeVertex()
-		visited := bfs.EnhancedReach(bfs.UndirectedAdj(e.und), master, nil,
+		master := g.MaxDegreeVertex()
+		visited := bfs.EnhancedReach(bfs.UndirectedAdj(g), master, nil,
 			bfs.Options{Threads: e.opt.Threads}, e.opt.Traversal.mode())
 		size := visited.Count()
 		if 2*size >= n {
@@ -193,16 +248,17 @@ func (e *Engine) InLargestCC(v V) bool {
 // SCC is at least as large as the remaining unassigned vertices it must be
 // the largest.
 func (e *Engine) LargestSCC() (*LargestResult, error) {
-	if e.dir == nil {
+	if !e.directed {
 		return nil, ErrNotDirected
 	}
-	n := e.dir.NumVertices()
+	g := e.dirView()
+	n := g.NumVertices()
 	if !e.opt.DisablePartial && n > 0 {
 		// One FW-BW from the max-degree pivot.
-		master := e.dir.MaxOutDegreeVertex()
-		fw := bfs.EnhancedReach(bfs.ForwardAdj(e.dir), master, nil,
+		master := g.MaxOutDegreeVertex()
+		fw := bfs.EnhancedReach(bfs.ForwardAdj(g), master, nil,
 			bfs.Options{Threads: e.opt.Threads}, e.opt.Traversal.mode())
-		bw := bfs.EnhancedReach(bfs.BackwardAdj(e.dir), master, nil,
+		bw := bfs.EnhancedReach(bfs.BackwardAdj(g), master, nil,
 			bfs.Options{Threads: e.opt.Threads}, e.opt.Traversal.mode())
 		size := 0
 		for v := 0; v < n; v++ {
@@ -237,6 +293,7 @@ func (e *Engine) ArticulationPoints() []V {
 		isAP = e.biccComplete().IsAP
 	} else {
 		e.mu.Lock()
+		e.materializeLocked()
 		if e.apOnly == nil {
 			e.apOnly = bicc.Run(e.und, e.biccOptions(true))
 		}
@@ -265,18 +322,23 @@ func (e *Engine) IsArticulationPoint(v V) bool {
 // Bridges answers the bridge-only query (§3), returning each bridge as an
 // ordered endpoint pair.
 func (e *Engine) Bridges() [][2]V {
+	e.mu.Lock()
+	e.materializeLocked()
+	g := e.und
 	var isBridge []bool
 	if e.opt.DisablePartial {
-		isBridge = e.bgccComplete().IsBridge
+		if e.bgccRes == nil {
+			e.bgccRes = bgcc.Run(g, e.bgccOptions(false))
+		}
+		isBridge = e.bgccRes.IsBridge
 	} else {
-		e.mu.Lock()
 		if e.brOnly == nil {
-			e.brOnly = bgcc.Run(e.und, e.bgccOptions(true))
+			e.brOnly = bgcc.Run(g, e.bgccOptions(true))
 		}
 		isBridge = e.brOnly.IsBridge
-		e.mu.Unlock()
 	}
-	eps := e.und.EdgeEndpoints()
+	e.mu.Unlock()
+	eps := g.EdgeEndpoints()
 	var out [][2]V
 	for id, b := range isBridge {
 		if b {

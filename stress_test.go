@@ -61,6 +61,65 @@ func TestStressLargeRandom(t *testing.T) {
 	}
 }
 
+// TestStressIncrementalDifferential is the long differential pass over the
+// engine's incremental layer: a 20k-vertex graph absorbs dozens of random
+// batches (with the default rebuild threshold active, so the static-rebuild
+// fallback is exercised too), and the derived CC decomposition is checked
+// against the serial DFS oracle on the materialized graph along the way.
+// Skipped under -short.
+func TestStressIncrementalDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const (
+		n          = 20000
+		baseM      = 30000
+		numBatches = 40
+		batchSize  = 500
+	)
+	base := gen.RandomUndirected(n, baseM, 3001)
+	e := NewEngine(base, Options{Threads: 4})
+	rng := gen.NewRNG(3002)
+	rebuilds := 0
+	for k := 0; k < numBatches; k++ {
+		batch := make([]Edge, batchSize)
+		for i := range batch {
+			batch[i] = Edge{U: graph.V(rng.Intn(n)), V: graph.V(rng.Intn(n))}
+		}
+		res, err := e.Apply(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rebuilt {
+			rebuilds++
+		}
+		if res.Components != e.CountCC() {
+			t.Fatalf("batch %d: ApplyResult count %d != CountCC %d", k, res.Components, e.CountCC())
+		}
+		if k%5 == 4 {
+			truth := serialdfs.CC(e.Undirected())
+			if err := verify.SamePartition(e.CC().Label, truth); err != nil {
+				t.Fatalf("batch %d: %v", k, err)
+			}
+			largest := 0
+			for _, s := range e.CC().Sizes {
+				if s > largest {
+					largest = s
+				}
+			}
+			if got := e.LargestCC().Size; got != largest {
+				t.Fatalf("batch %d: LargestCC = %d, census says %d", k, got, largest)
+			}
+		}
+	}
+	if rebuilds == 0 {
+		t.Errorf("default threshold never triggered a rebuild over %d batches", numBatches)
+	}
+	if err := verify.SamePartition(e.CC().Label, serialdfs.CC(e.Undirected())); err != nil {
+		t.Fatalf("final: %v", err)
+	}
+}
+
 // TestStressEngineWholeSuite runs every public query against a mid-size graph
 // and cross-checks internal consistency between the partial and complete
 // answers. Skipped under -short.
