@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race stress bench experiments fuzz fmt
+.PHONY: all build vet test race stress bench bench-json experiments fuzz fmt
 
 all: build vet test
 
@@ -26,6 +26,13 @@ stress:
 # testing.B benches: one per paper table/figure plus micro-benches.
 bench:
 	go test -bench=. -benchmem -run='^$$' ./...
+
+# Machine-readable snapshot of the BFS / CC / scheduler benchmarks (the PR 2
+# perf-trajectory baseline): ns/op + allocs/op into BENCH_PR2.json.
+bench-json:
+	go test -bench='BFS|CC|Pool|Reach' -benchmem -benchtime=20x -run='^$$' \
+		. ./internal/bfs ./internal/parallel \
+		| go run ./cmd/bench2json > BENCH_PR2.json
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

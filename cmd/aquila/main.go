@@ -23,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -33,18 +35,20 @@ import (
 
 func main() {
 	var (
-		graphPath = flag.String("graph", "", "edge-list file (whitespace-separated 'u v' lines)")
-		genKind   = flag.String("gen", "", "generate instead of loading: rmat, random, social")
-		scale     = flag.Int("scale", 12, "generator scale (rmat: log2 vertices; others: vertex count /1000)")
-		seed      = flag.Uint64("seed", 1, "generator seed")
-		query     = flag.String("query", "num-cc", "query to answer")
-		updates   = flag.String("updates", "", "update script replayed as incremental batches before the query")
-		batchSize = flag.Int("batch", 0, "auto-flush update batches every N edges (0 = explicit separators only)")
-		rebuild   = flag.Float64("rebuild-threshold", 0, "delta/base edge ratio forcing a static rebuild (0 = default 0.25, <0 = never)")
-		threads   = flag.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
-		noPartial = flag.Bool("no-partial", false, "disable query transformation (always complete computation)")
-		verbose   = flag.Bool("verbose", false, "print strategy and timing details")
-		explain   = flag.Bool("explain", false, "print the query classification and strategy before answering")
+		graphPath  = flag.String("graph", "", "edge-list file (whitespace-separated 'u v' lines)")
+		genKind    = flag.String("gen", "", "generate instead of loading: rmat, random, social")
+		scale      = flag.Int("scale", 12, "generator scale (rmat: log2 vertices; others: vertex count /1000)")
+		seed       = flag.Uint64("seed", 1, "generator seed")
+		query      = flag.String("query", "num-cc", "query to answer")
+		updates    = flag.String("updates", "", "update script replayed as incremental batches before the query")
+		batchSize  = flag.Int("batch", 0, "auto-flush update batches every N edges (0 = explicit separators only)")
+		rebuild    = flag.Float64("rebuild-threshold", 0, "delta/base edge ratio forcing a static rebuild (0 = default 0.25, <0 = never)")
+		threads    = flag.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
+		noPartial  = flag.Bool("no-partial", false, "disable query transformation (always complete computation)")
+		verbose    = flag.Bool("verbose", false, "print strategy and timing details")
+		explain    = flag.Bool("explain", false, "print the query classification and strategy before answering")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the query to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile (after the query) to this file")
 	)
 	flag.Parse()
 
@@ -86,6 +90,19 @@ func main() {
 			fmt.Println(transcript)
 		}
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aquila:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "aquila:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	start := time.Now()
 	out, err := cli.Answer(eng, *query)
 	elapsed := time.Since(start)
@@ -96,6 +113,19 @@ func main() {
 	fmt.Println(out)
 	if *verbose {
 		fmt.Printf("answered in %v\n", elapsed)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aquila:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // flush recently-freed objects so the profile shows live heap
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "aquila:", err)
+			os.Exit(1)
+		}
 	}
 }
 

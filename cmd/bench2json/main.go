@@ -1,0 +1,92 @@
+// Command bench2json converts `go test -bench` output on stdin into a JSON
+// array on stdout, one object per benchmark result line:
+//
+//	go test -bench 'BFS|Pool' -benchmem -run '^$' ./... | bench2json > bench.json
+//
+// Each object carries the benchmark name (with the -N GOMAXPROCS suffix
+// stripped), iteration count, ns/op, and — when -benchmem was set — B/op and
+// allocs/op. Non-benchmark lines are ignored, so the full `go test` output can
+// be piped straight through.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result mirrors one benchmark output line.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	results := []result{} // encode as [] (not null) when no benchmarks matched
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine decodes a line of the form
+//
+//	BenchmarkName-8   	     100	  12345 ns/op	  64 B/op	   2 allocs/op
+//
+// reporting ok=false for anything else.
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the GOMAXPROCS suffix
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: name, Iterations: iters}
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if r.NsPerOp, err = strconv.ParseFloat(val, 64); err != nil {
+				return result{}, false
+			}
+			seenNs = true
+		case "B/op":
+			if b, err := strconv.ParseInt(val, 10, 64); err == nil {
+				r.BytesPerOp = &b
+			}
+		case "allocs/op":
+			if a, err := strconv.ParseInt(val, 10, 64); err == nil {
+				r.AllocsPerOp = &a
+			}
+		}
+	}
+	return r, seenNs
+}

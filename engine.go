@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"aquila/internal/bfs"
 	"aquila/internal/bgcc"
 	"aquila/internal/bicc"
 	"aquila/internal/cc"
@@ -48,6 +49,13 @@ type Engine struct {
 	dirSet       map[[2]V]struct{}
 	baseEdges    int64 // undirected edge count at the last (re)build
 	sinceRebuild int64 // undirected edges inserted since then
+
+	// reachFree is a free list of traversal scratches shared by the partial
+	// fast paths (IsConnected, LargestCC, ...), so query storms reuse warm
+	// buffers instead of allocating per call. Guarded by reachMu, not e.mu:
+	// queries run their traversals outside the engine lock.
+	reachMu   sync.Mutex
+	reachFree []*bfs.ReachScratch
 
 	ccRes        *cc.Result
 	sccRes       *scc.Result
@@ -347,6 +355,27 @@ func (e *Engine) materializeLocked() {
 	}
 	e.deltaUnd, e.deltaDir = nil, nil
 	e.undSet, e.dirSet = make(map[[2]V]struct{}), make(map[[2]V]struct{})
+}
+
+// getReach pops a traversal scratch off the free list (or makes one sized for
+// n vertices). Pair with putReach; a bitmap that must outlive the checkout is
+// taken with DetachVisited before the scratch goes back.
+func (e *Engine) getReach(n int) *bfs.ReachScratch {
+	e.reachMu.Lock()
+	defer e.reachMu.Unlock()
+	if k := len(e.reachFree); k > 0 {
+		s := e.reachFree[k-1]
+		e.reachFree = e.reachFree[:k-1]
+		return s
+	}
+	return bfs.NewReachScratch(n, e.opt.Threads)
+}
+
+// putReach returns a scratch to the free list for the next query.
+func (e *Engine) putReach(s *bfs.ReachScratch) {
+	e.reachMu.Lock()
+	e.reachFree = append(e.reachFree, s)
+	e.reachMu.Unlock()
 }
 
 // rebuildLocked is the fall-back-to-static path: materialize the delta, run

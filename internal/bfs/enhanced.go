@@ -23,37 +23,137 @@ const (
 	ModeEnhanced
 )
 
-// Adjacency abstracts the two traversal directions so the same enhanced
-// traversal serves undirected CC and directed forward/backward reachability.
-// Fwd(u) lists the vertices reachable from u in one hop; Rev(v) lists the
-// vertices that reach v in one hop (equal for undirected graphs).
+// Adjacency is a flat CSR view of one traversal direction pairing, so the
+// same enhanced traversal serves undirected CC and directed forward/backward
+// reachability. The inner edge loops scan FwdAdj/RevAdj directly — no
+// per-vertex indirect calls — which is what makes the traversal CSR-native.
+// Fwd edges lead out of a vertex; Rev edges lead into it (the two views are
+// identical for undirected graphs).
 type Adjacency struct {
-	N   int
-	Fwd func(graph.V) []graph.V
-	Rev func(graph.V) []graph.V
+	N      int
+	FwdOff []int64
+	FwdAdj []graph.V
+	RevOff []int64
+	RevAdj []graph.V
 	// TotalArcs is the number of (directed) arcs, used by the direction
 	// switch heuristic.
 	TotalArcs int64
 }
 
+// Fwd returns the forward neighbors of u as a shared slice view.
+func (a *Adjacency) Fwd(u graph.V) []graph.V { return a.FwdAdj[a.FwdOff[u]:a.FwdOff[u+1]] }
+
+// Rev returns the reverse neighbors of u as a shared slice view.
+func (a *Adjacency) Rev(u graph.V) []graph.V { return a.RevAdj[a.RevOff[u]:a.RevOff[u+1]] }
+
+// FwdDegree returns the forward degree of u.
+func (a *Adjacency) FwdDegree(u graph.V) int64 { return a.FwdOff[u+1] - a.FwdOff[u] }
+
 // UndirectedAdj adapts an undirected graph.
 func UndirectedAdj(g *graph.Undirected) Adjacency {
+	off, adj := g.CSR()
 	return Adjacency{
-		N:         g.NumVertices(),
-		Fwd:       g.Neighbors,
-		Rev:       g.Neighbors,
+		N:      g.NumVertices(),
+		FwdOff: off, FwdAdj: adj,
+		RevOff: off, RevAdj: adj,
 		TotalArcs: 2 * g.NumEdges(),
 	}
 }
 
 // ForwardAdj adapts a directed graph for forward reachability.
 func ForwardAdj(g *graph.Directed) Adjacency {
-	return Adjacency{N: g.NumVertices(), Fwd: g.Out, Rev: g.In, TotalArcs: g.NumArcs()}
+	outOff, outAdj := g.OutCSR()
+	inOff, inAdj := g.InCSR()
+	return Adjacency{
+		N:      g.NumVertices(),
+		FwdOff: outOff, FwdAdj: outAdj,
+		RevOff: inOff, RevAdj: inAdj,
+		TotalArcs: g.NumArcs(),
+	}
 }
 
 // BackwardAdj adapts a directed graph for backward reachability.
 func BackwardAdj(g *graph.Directed) Adjacency {
-	return Adjacency{N: g.NumVertices(), Fwd: g.In, Rev: g.Out, TotalArcs: g.NumArcs()}
+	outOff, outAdj := g.OutCSR()
+	inOff, inAdj := g.InCSR()
+	return Adjacency{
+		N:      g.NumVertices(),
+		FwdOff: inOff, FwdAdj: inAdj,
+		RevOff: outOff, RevAdj: outAdj,
+		TotalArcs: g.NumArcs(),
+	}
+}
+
+// ReachScratch is the reusable state of EnhancedReach: the visited bitmap,
+// frontier and per-worker next-frontier buffers, degree-chunk boundaries, and
+// the async-phase queue. A warm scratch makes repeated traversals (SCC pivot
+// phases, engine query storms, the BFS-only ablations) allocation-free in
+// steady state: buffers keep their capacity across runs and the visited
+// bitmap is cleared, not reallocated.
+//
+// A scratch must not be used by two traversals at once. The bitmap returned
+// by Reach is owned by the scratch and valid until the next Reach call;
+// callers that keep a result across reuses take it with DetachVisited.
+type ReachScratch struct {
+	visited  *bitmap.Atomic
+	frontier []graph.V
+	locals   [][]graph.V // per-worker next-frontier buffers
+	disc     [][]graph.V // per-worker async-phase overflow buffers
+	bounds   []int32     // degree-aware chunk end indices into frontier
+
+	// Per-run pinned state, read by the prebound worker bodies (closure-free
+	// hot path: the bodies are created once and capture only the scratch).
+	adj       Adjacency
+	candidate func(graph.V) bool
+	p         int
+	produced  int64
+
+	topDownChunks func(lo, hi, w int)
+	topDownRange  func(lo, hi, w int)
+	bottomUpBlock func(lo, hi, w int)
+	collectBlock  func(lo, hi, w int)
+	asyncBody     func(w int)
+
+	// Async-phase shared queue (paper's final Async top-down schedule).
+	qmu     sync.Mutex
+	queue   []graph.V
+	pending int64
+}
+
+// NewReachScratch returns a scratch for graphs with up to n vertices,
+// pre-sized for threads workers (Threads semantics; the scratch grows if a
+// later Reach asks for more).
+func NewReachScratch(n, threads int) *ReachScratch {
+	s := &ReachScratch{}
+	s.topDownChunks = s.expandChunks
+	s.topDownRange = s.expandRange
+	s.bottomUpBlock = s.bottomUpPass
+	s.collectBlock = s.collectPass
+	s.asyncBody = s.asyncWorker
+	s.ensure(n, parallel.Threads(threads))
+	return s
+}
+
+func (s *ReachScratch) ensure(n, p int) {
+	if s.visited == nil || s.visited.Len() < n {
+		s.visited = bitmap.NewAtomic(n)
+	}
+	for len(s.locals) < p {
+		s.locals = append(s.locals, nil)
+	}
+	for len(s.disc) < p {
+		s.disc = append(s.disc, nil)
+	}
+	s.p = p
+}
+
+// DetachVisited removes the current visited bitmap from the scratch and
+// returns it; the next Reach allocates a fresh one. Use it when a result must
+// survive later reuses of the same scratch (e.g. the forward half of FW-BW).
+func (s *ReachScratch) DetachVisited() *bitmap.Atomic {
+	v := s.visited
+	s.visited = nil
+	return v
 }
 
 // EnhancedReach computes the set of vertices reachable from master (over adj,
@@ -63,23 +163,40 @@ func BackwardAdj(g *graph.Directed) Adjacency {
 // levels fan out across threads (multi-pivot sampling, §5.3) — and runs the
 // relaxed-synchronization schedule. Connectivity needs no BFS levels, which is
 // exactly why the relaxation is sound.
+//
+// EnhancedReach allocates a fresh scratch per call; repeated traversals
+// should hold a ReachScratch and call its Reach method instead.
 func EnhancedReach(adj Adjacency, master graph.V, candidate func(graph.V) bool, opt Options, mode Mode) *bitmap.Atomic {
-	visited := bitmap.NewAtomic(adj.N)
+	return NewReachScratch(adj.N, opt.Threads).Reach(adj, master, candidate, opt, mode)
+}
+
+// Reach is EnhancedReach over a reusable scratch: identical semantics, zero
+// steady-state allocations once the scratch is warm. The returned bitmap is
+// owned by the scratch (see DetachVisited).
+func (s *ReachScratch) Reach(adj Adjacency, master graph.V, candidate func(graph.V) bool, opt Options, mode Mode) *bitmap.Atomic {
+	p := parallel.Threads(opt.Threads)
+	s.ensure(adj.N, p)
+	s.adj = adj
+	s.candidate = candidate
+	visited := s.visited
+	visited.Reset()
 	if candidate != nil && !candidate(master) {
+		s.release()
 		return visited
 	}
-	p := parallel.Threads(opt.Threads)
+	serial := p == 1
+
 	visited.Set(master)
-	frontier := []graph.V{master}
+	s.frontier = append(s.frontier[:0], master)
 	if mode == ModeEnhanced {
 		// Multi-pivot sampling: up to p of master's neighbors join the seed
 		// frontier so the first expansion is already parallel.
 		for _, v := range adj.Fwd(master) {
-			if len(frontier) > p {
+			if len(s.frontier) > p {
 				break
 			}
 			if (candidate == nil || candidate(v)) && visited.TrySet(v) {
-				frontier = append(frontier, v)
+				s.frontier = append(s.frontier, v)
 			}
 		}
 	}
@@ -88,193 +205,351 @@ func EnhancedReach(adj Adjacency, master graph.V, candidate func(graph.V) bool, 
 	bottomUp := false
 	n := adj.N
 	for {
-		if useBottomUp && !bottomUp {
-			var mf int64
-			for _, u := range frontier {
-				mf += int64(len(adj.Fwd(u)))
-			}
-			if mf > adj.TotalArcs/opt.alpha() && len(frontier) > p {
-				bottomUp = true
-			}
-		}
 		if bottomUp {
-			produced := reachBottomUp(adj, visited, candidate, p, mode)
+			produced := s.bottomUp(serial)
 			if produced == 0 {
-				return visited
+				break
 			}
 			if produced < int64(n)/opt.beta() {
 				bottomUp = false
-				frontier = collectRecent(adj, visited, candidate, p)
-				if len(frontier) == 0 {
-					return visited
+				s.collectRecent(serial)
+				if len(s.frontier) == 0 {
+					break
 				}
 			}
 			continue
 		}
-		if len(frontier) == 0 {
-			return visited
+		if len(s.frontier) == 0 {
+			break
+		}
+		// Frontier edge volume: drives both the Beamer direction switch and
+		// the work-proportional chunk grain.
+		var mf int64
+		for _, u := range s.frontier {
+			mf += adj.FwdOff[u+1] - adj.FwdOff[u]
+		}
+		if useBottomUp && mf > adj.TotalArcs/opt.alpha() && len(s.frontier) > p {
+			bottomUp = true
+			continue
 		}
 		if mode == ModeEnhanced {
-			frontier = asyncTopDown(adj, visited, candidate, frontier, p)
-			return visited
+			s.asyncTopDown(serial)
+			break
 		}
-		frontier = reachTopDown(adj, visited, candidate, frontier, p)
+		s.topDown(mf, serial, opt.NoDegreeChunks)
+	}
+	s.release()
+	return visited
+}
+
+// release drops the per-run pinned references so a parked scratch does not
+// keep the graph or candidate closure alive.
+func (s *ReachScratch) release() {
+	s.adj = Adjacency{}
+	s.candidate = nil
+}
+
+// topDown is one synchronous top-down expansion step. The frontier is
+// partitioned by out-degree prefix sums into work-proportional chunks (grain
+// auto-selected as mf/(8p) edges), so a hub vertex cannot serialize the
+// level; countChunks falls back to fixed vertex-count chunks (the ablation
+// baseline).
+func (s *ReachScratch) topDown(mf int64, serial, countChunks bool) {
+	if serial {
+		s.topDownSerial()
+		return
+	}
+	if countChunks {
+		parallel.ForChunksDynamic(0, len(s.frontier), s.p, 64, s.topDownRange)
+	} else {
+		target := graph.WorkGrain(mf+int64(len(s.frontier)), s.p, 128)
+		s.bounds = graph.AppendWorkChunks(s.adj.FwdOff, s.frontier, target, s.bounds[:0])
+		parallel.ForChunksDynamic(0, len(s.bounds), s.p, 1, s.topDownChunks)
+	}
+	next := s.frontier[:0]
+	for w := 0; w < s.p; w++ {
+		next = append(next, s.locals[w]...)
+		s.locals[w] = s.locals[w][:0]
+	}
+	s.frontier = next
+}
+
+// expandChunks maps degree-chunk indices to frontier ranges.
+func (s *ReachScratch) expandChunks(clo, chi, w int) {
+	for c := clo; c < chi; c++ {
+		lo := 0
+		if c > 0 {
+			lo = int(s.bounds[c-1])
+		}
+		s.expandRange(lo, int(s.bounds[c]), w)
 	}
 }
 
-// reachTopDown is one synchronous top-down expansion step.
-func reachTopDown(adj Adjacency, visited *bitmap.Atomic, candidate func(graph.V) bool, frontier []graph.V, p int) []graph.V {
-	locals := make([][]graph.V, p)
-	parallel.ForChunksDynamic(0, len(frontier), p, 64, func(lo, hi, w int) {
-		buf := locals[w]
-		for i := lo; i < hi; i++ {
-			for _, v := range adj.Fwd(frontier[i]) {
-				if candidate != nil && !candidate(v) {
-					continue
-				}
-				if visited.TrySet(v) {
+// expandRange expands frontier[lo:hi), claiming unvisited forward neighbors
+// into this worker's local buffer. This is the bounds-check-light CSR scan at
+// the heart of the traversal.
+func (s *ReachScratch) expandRange(lo, hi, w int) {
+	off, arr := s.adj.FwdOff, s.adj.FwdAdj
+	cand := s.candidate
+	vis := s.visited
+	buf := s.locals[w]
+	for i := lo; i < hi; i++ {
+		u := s.frontier[i]
+		for _, v := range arr[off[u]:off[u+1]] {
+			if cand != nil && !cand(v) {
+				continue
+			}
+			if vis.TrySet(v) {
+				buf = append(buf, v)
+			}
+		}
+	}
+	s.locals[w] = buf
+}
+
+// topDownSerial is the single-worker expansion: no chunk claims, no atomics
+// (TrySetLocal), and the old frontier's storage is recycled as the next
+// level's buffer.
+func (s *ReachScratch) topDownSerial() {
+	off, arr := s.adj.FwdOff, s.adj.FwdAdj
+	vis := s.visited
+	buf := s.locals[0][:0]
+	if cand := s.candidate; cand != nil {
+		for _, u := range s.frontier {
+			for _, v := range arr[off[u]:off[u+1]] {
+				if cand(v) && vis.TrySetLocal(v) {
 					buf = append(buf, v)
 				}
 			}
 		}
-		locals[w] = buf
-	})
-	next := frontier[:0]
-	for _, buf := range locals {
-		next = append(next, buf...)
-	}
-	return next
-}
-
-// reachBottomUp is one bottom-up pass: every unvisited candidate checks its
-// reverse neighbors for a visited one. In ModeEnhanced the pass is relaxed
-// (Rsync): bits set earlier in the same pass are observed, letting reachability
-// race ahead of strict level order — harmless for connectivity and fewer
-// passes overall.
-func reachBottomUp(adj Adjacency, visited *bitmap.Atomic, candidate func(graph.V) bool, p int, mode Mode) int64 {
-	var produced int64
-	parallel.ForBlocks(0, adj.N, p, func(lo, hi, _ int) {
-		var local int64
-		for v := lo; v < hi; v++ {
-			vv := graph.V(v)
-			if visited.Get(vv) || (candidate != nil && !candidate(vv)) {
-				continue
-			}
-			for _, u := range adj.Rev(vv) {
-				if visited.Get(u) {
-					visited.Set(vv)
-					local++
-					break
+	} else {
+		words := vis.RawWords()
+		for _, u := range s.frontier {
+			for _, v := range arr[off[u]:off[u+1]] {
+				w := &words[v>>6]
+				mask := uint64(1) << (v & 63)
+				if *w&mask == 0 {
+					*w |= mask
+					buf = append(buf, v)
 				}
 			}
 		}
-		parallel.AddI64(&produced, local)
-	})
-	_ = mode // Rsync is inherent: Get observes same-pass Sets.
-	return produced
+	}
+	s.locals[0] = s.frontier[:0]
+	s.frontier = buf
+}
+
+// bottomUp is one bottom-up pass: every unvisited candidate checks its
+// reverse neighbors for a visited one. The pass is relaxed (Rsync): bits set
+// earlier in the same pass are observed, letting reachability race ahead of
+// strict level order — harmless for connectivity and fewer passes overall.
+func (s *ReachScratch) bottomUp(serial bool) int64 {
+	if serial {
+		return s.bottomUpSerial()
+	}
+	s.produced = 0
+	parallel.ForBlocks(0, s.adj.N, s.p, s.bottomUpBlock)
+	return s.produced
+}
+
+func (s *ReachScratch) bottomUpPass(lo, hi, _ int) {
+	off, arr := s.adj.RevOff, s.adj.RevAdj
+	cand := s.candidate
+	vis := s.visited
+	var local int64
+	for v := lo; v < hi; v++ {
+		vv := graph.V(v)
+		if vis.Get(vv) || (cand != nil && !cand(vv)) {
+			continue
+		}
+		for _, u := range arr[off[v]:off[v+1]] {
+			if vis.Get(u) {
+				vis.Set(vv)
+				local++
+				break
+			}
+		}
+	}
+	parallel.AddI64(&s.produced, local)
+}
+
+func (s *ReachScratch) bottomUpSerial() int64 {
+	off, arr := s.adj.RevOff, s.adj.RevAdj
+	cand := s.candidate
+	words := s.visited.RawWords()
+	var local int64
+	for v := 0; v < s.adj.N; v++ {
+		vv := graph.V(v)
+		if words[vv>>6]&(1<<(vv&63)) != 0 || (cand != nil && !cand(vv)) {
+			continue
+		}
+		for _, u := range arr[off[v]:off[v+1]] {
+			if words[u>>6]&(1<<(u&63)) != 0 {
+				words[vv>>6] |= 1 << (vv & 63)
+				local++
+				break
+			}
+		}
+	}
+	return local
 }
 
 // collectRecent rebuilds an explicit frontier after bottom-up phases: the
 // visited vertices that still have an unvisited candidate forward-neighbor.
-func collectRecent(adj Adjacency, visited *bitmap.Atomic, candidate func(graph.V) bool, p int) []graph.V {
-	locals := make([][]graph.V, p)
-	parallel.ForBlocks(0, adj.N, p, func(lo, hi, w int) {
-		buf := locals[w]
-		for v := lo; v < hi; v++ {
-			vv := graph.V(v)
-			if !visited.Get(vv) {
-				continue
-			}
-			for _, u := range adj.Fwd(vv) {
-				if !visited.Get(u) && (candidate == nil || candidate(u)) {
-					buf = append(buf, vv)
-					break
-				}
+func (s *ReachScratch) collectRecent(serial bool) {
+	if serial {
+		s.collectSerial()
+		return
+	}
+	parallel.ForBlocks(0, s.adj.N, s.p, s.collectBlock)
+	next := s.frontier[:0]
+	for w := 0; w < s.p; w++ {
+		next = append(next, s.locals[w]...)
+		s.locals[w] = s.locals[w][:0]
+	}
+	s.frontier = next
+}
+
+func (s *ReachScratch) collectPass(lo, hi, w int) {
+	off, arr := s.adj.FwdOff, s.adj.FwdAdj
+	cand := s.candidate
+	vis := s.visited
+	buf := s.locals[w]
+	for v := lo; v < hi; v++ {
+		vv := graph.V(v)
+		if !vis.Get(vv) {
+			continue
+		}
+		for _, u := range arr[off[v]:off[v+1]] {
+			if !vis.Get(u) && (cand == nil || cand(u)) {
+				buf = append(buf, vv)
+				break
 			}
 		}
-		locals[w] = buf
-	})
-	var out []graph.V
-	for _, buf := range locals {
-		out = append(out, buf...)
 	}
-	return out
+	s.locals[w] = buf
+}
+
+func (s *ReachScratch) collectSerial() {
+	off, arr := s.adj.FwdOff, s.adj.FwdAdj
+	cand := s.candidate
+	vis := s.visited
+	next := s.frontier[:0]
+	for v := 0; v < s.adj.N; v++ {
+		vv := graph.V(v)
+		if !vis.Get(vv) {
+			continue
+		}
+		for _, u := range arr[off[v]:off[v+1]] {
+			if !vis.Get(u) && (cand == nil || cand(u)) {
+				next = append(next, vv)
+				break
+			}
+		}
+	}
+	s.frontier = next
 }
 
 // asyncTopDown drains the remaining traversal without level barriers: workers
 // pull chunks from a shared queue and push what they discover, terminating
 // when the queue is empty and no work is in flight. This is the paper's final
 // "Async top-down" phase.
-func asyncTopDown(adj Adjacency, visited *bitmap.Atomic, candidate func(graph.V) bool, seed []graph.V, p int) []graph.V {
-	if p == 1 {
-		// Single worker: the shared queue and in-flight accounting would be
-		// pure overhead; drain with a plain local queue.
-		queue := append([]graph.V(nil), seed...)
-		for head := 0; head < len(queue); head++ {
-			for _, v := range adj.Fwd(queue[head]) {
-				if candidate != nil && !candidate(v) {
+func (s *ReachScratch) asyncTopDown(serial bool) {
+	if serial {
+		s.asyncSerial()
+		return
+	}
+	s.queue = append(s.queue[:0], s.frontier...)
+	s.pending = int64(len(s.queue))
+	parallel.Run(s.p, s.asyncBody)
+}
+
+func (s *ReachScratch) asyncWorker(w int) {
+	off, arr := s.adj.FwdOff, s.adj.FwdAdj
+	cand := s.candidate
+	vis := s.visited
+	local := s.locals[w][:0]
+	discovered := s.disc[w][:0]
+	for {
+		s.qmu.Lock()
+		if len(s.queue) == 0 {
+			if parallel.AddI64(&s.pending, 0) == 0 {
+				s.qmu.Unlock()
+				break
+			}
+			s.qmu.Unlock()
+			runtime.Gosched() // other workers still own in-flight items
+			continue
+		}
+		take := len(s.queue)
+		if take > 128 {
+			take = 128
+		}
+		batch := s.queue[len(s.queue)-take:]
+		local = append(local[:0], batch...)
+		s.queue = s.queue[:len(s.queue)-take]
+		s.qmu.Unlock()
+
+		discovered = discovered[:0]
+		for i := 0; i < len(local); i++ {
+			u := local[i]
+			for _, v := range arr[off[u]:off[u+1]] {
+				if cand != nil && !cand(v) {
 					continue
 				}
-				if visited.TrySet(v) {
-					queue = append(queue, v)
+				if vis.TrySet(v) {
+					// Keep expanding locally up to a bound, then share.
+					if len(local) < 4096 {
+						local = append(local, v)
+						parallel.AddI64(&s.pending, 1)
+					} else {
+						discovered = append(discovered, v)
+					}
 				}
 			}
+			parallel.AddI64(&s.pending, -1)
 		}
-		return nil
+		if len(discovered) > 0 {
+			s.qmu.Lock()
+			s.queue = append(s.queue, discovered...)
+			s.qmu.Unlock()
+			parallel.AddI64(&s.pending, int64(len(discovered)))
+		}
 	}
-	var (
-		mu      sync.Mutex
-		queue   = append([]graph.V(nil), seed...)
-		pending = int64(len(seed))
-	)
-	parallel.Run(p, func(_ int) {
-		local := make([]graph.V, 0, 256)
-		for {
-			mu.Lock()
-			if len(queue) == 0 {
-				if parallel.AddI64(&pending, 0) == 0 {
-					mu.Unlock()
-					return
-				}
-				mu.Unlock()
-				runtime.Gosched() // other workers still own in-flight items
-				continue
-			}
-			take := len(queue)
-			if take > 128 {
-				take = 128
-			}
-			batch := queue[len(queue)-take:]
-			local = append(local[:0], batch...)
-			queue = queue[:len(queue)-take]
-			mu.Unlock()
+	s.locals[w] = local[:0]
+	s.disc[w] = discovered[:0]
+}
 
-			discovered := make([]graph.V, 0, 256)
-			for i := 0; i < len(local); i++ {
-				u := local[i]
-				for _, v := range adj.Fwd(u) {
-					if candidate != nil && !candidate(v) {
-						continue
-					}
-					if visited.TrySet(v) {
-						// Keep expanding locally up to a bound, then share.
-						if len(local) < 4096 {
-							local = append(local, v)
-							parallel.AddI64(&pending, 1)
-						} else {
-							discovered = append(discovered, v)
-						}
-					}
+// asyncSerial drains the traversal with a plain local queue — the shared
+// queue and in-flight accounting would be pure overhead for one worker. The
+// candidate-free loop works on the raw bitmap words so the visited test is a
+// shift, a load and a masked store with no per-call slice-header reload.
+func (s *ReachScratch) asyncSerial() {
+	off, arr := s.adj.FwdOff, s.adj.FwdAdj
+	vis := s.visited
+	q := append(s.queue[:0], s.frontier...)
+	if cand := s.candidate; cand != nil {
+		for head := 0; head < len(q); head++ {
+			u := q[head]
+			for _, v := range arr[off[u]:off[u+1]] {
+				if cand(v) && vis.TrySetLocal(v) {
+					q = append(q, v)
 				}
-				parallel.AddI64(&pending, -1)
-			}
-			if len(discovered) > 0 {
-				mu.Lock()
-				queue = append(queue, discovered...)
-				mu.Unlock()
-				parallel.AddI64(&pending, int64(len(discovered)))
 			}
 		}
-	})
-	return nil
+	} else {
+		words := vis.RawWords()
+		for head := 0; head < len(q); head++ {
+			u := q[head]
+			for _, v := range arr[off[u]:off[u+1]] {
+				w := &words[v>>6]
+				mask := uint64(1) << (v & 63)
+				if *w&mask == 0 {
+					*w |= mask
+					q = append(q, v)
+				}
+			}
+		}
+	}
+	s.queue = q[:0]
 }

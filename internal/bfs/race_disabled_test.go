@@ -1,0 +1,5 @@
+//go:build !race
+
+package bfs
+
+const raceEnabled = false

@@ -1,0 +1,146 @@
+package bfs
+
+import (
+	"testing"
+
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+)
+
+// evenVertex is a top-level candidate so passing it allocates nothing.
+func evenVertex(v graph.V) bool { return v%2 == 0 }
+
+// TestReachScratchReuseMatches reuses one undersized scratch across every test
+// graph, mode and thread count; each run must match the serial oracle exactly,
+// proving that no state leaks between traversals and that ensure() grows the
+// scratch on demand.
+func TestReachScratchReuseMatches(t *testing.T) {
+	graphs := testGraphs()
+	for _, threads := range []int{1, 4} {
+		s := NewReachScratch(1, threads) // deliberately undersized
+		for name, g := range graphs {
+			adj := UndirectedAdj(g)
+			root := g.MaxDegreeVertex()
+			want := serialLevels(g, root, nil)
+			for _, mode := range []Mode{ModePlain, ModeDirOpt, ModeEnhanced} {
+				got := s.Reach(adj, root, nil, Options{Threads: threads}, mode)
+				for v := range want {
+					if got.Get(graph.V(v)) != (want[v] >= 0) {
+						t.Fatalf("%s threads=%d mode=%d: visited[%d] = %v, want %v",
+							name, threads, mode, v, got.Get(graph.V(v)), want[v] >= 0)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReachScratchReuseDirected reuses one scratch across forward and backward
+// directed traversals, checking against the serial reachability oracle.
+func TestReachScratchReuseDirected(t *testing.T) {
+	g := gen.RMAT(9, 8, 3)
+	fwd := ForwardAdj(g)
+	bwd := BackwardAdj(g)
+	root := graph.V(0)
+	for _, threads := range []int{1, 4} {
+		s := NewReachScratch(g.NumVertices(), threads)
+		for _, mode := range []Mode{ModePlain, ModeDirOpt, ModeEnhanced} {
+			for _, dir := range []struct {
+				adj     Adjacency
+				forward bool
+			}{{fwd, true}, {bwd, false}} {
+				got := s.Reach(dir.adj, root, nil, Options{Threads: threads}, mode)
+				want := serialReach(g, root, dir.forward)
+				for v := range want {
+					if got.Get(graph.V(v)) != want[v] {
+						t.Fatalf("threads=%d mode=%d forward=%v: visited[%d] = %v, want %v",
+							threads, mode, dir.forward, v, got.Get(graph.V(v)), want[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReachScratchReuseCandidate checks that a candidate filter used in one
+// run does not leak into the next (release() must drop it) and that filtered
+// runs through a reused scratch match a fresh EnhancedReach.
+func TestReachScratchReuseCandidate(t *testing.T) {
+	g := gen.RandomUndirected(500, 2000, 1)
+	adj := UndirectedAdj(g)
+	root := g.MaxDegreeVertex()
+	if !evenVertex(root) {
+		root = graph.V(0)
+	}
+	s := NewReachScratch(adj.N, 4)
+	for _, mode := range []Mode{ModePlain, ModeDirOpt, ModeEnhanced} {
+		filtered := s.Reach(adj, root, evenVertex, Options{Threads: 4}, mode)
+		want := EnhancedReach(adj, root, evenVertex, Options{Threads: 4}, mode)
+		for v := 0; v < adj.N; v++ {
+			if filtered.Get(graph.V(v)) != want.Get(graph.V(v)) {
+				t.Fatalf("mode=%d: filtered visited[%d] = %v, want %v",
+					mode, v, filtered.Get(graph.V(v)), want.Get(graph.V(v)))
+			}
+		}
+		// The unfiltered run right after must see the whole component again.
+		full := s.Reach(adj, root, nil, Options{Threads: 4}, mode)
+		oracle := serialLevels(g, root, nil)
+		for v := range oracle {
+			if full.Get(graph.V(v)) != (oracle[v] >= 0) {
+				t.Fatalf("mode=%d: candidate leaked into unfiltered run at vertex %d", mode, v)
+			}
+		}
+	}
+}
+
+// TestDetachVisited checks the escape hatch for results that must survive
+// scratch reuse: the detached bitmap is the one Reach returned, stays intact
+// across the next run, and the next run gets a fresh bitmap.
+func TestDetachVisited(t *testing.T) {
+	g := gen.Path(50)
+	adj := UndirectedAdj(g)
+	s := NewReachScratch(adj.N, 1)
+	first := s.Reach(adj, 0, nil, Options{Threads: 1}, ModeEnhanced)
+	kept := s.DetachVisited()
+	if kept != first {
+		t.Fatalf("DetachVisited returned a different bitmap than the last Reach")
+	}
+	before := kept.Count()
+	second := s.Reach(adj, 0, evenVertex, Options{Threads: 1}, ModeEnhanced)
+	if second == kept {
+		t.Fatalf("Reach after DetachVisited reused the detached bitmap")
+	}
+	if kept.Count() != before {
+		t.Fatalf("detached bitmap changed across a later Reach: count %d -> %d", before, kept.Count())
+	}
+}
+
+// TestReachScratchZeroAlloc is the PR's headline regression test: once a
+// scratch is warm, repeated traversals must not allocate at all — in every
+// mode, with and without a candidate filter, serial and pooled.
+func TestReachScratchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	g := graph.Undirect(gen.RMAT(10, 8, 7))
+	adj := UndirectedAdj(g)
+	root := g.MaxDegreeVertex()
+	for _, threads := range []int{1, 4} {
+		for _, mode := range []Mode{ModePlain, ModeDirOpt, ModeEnhanced} {
+			for _, cand := range []func(graph.V) bool{nil, evenVertex} {
+				s := NewReachScratch(adj.N, threads)
+				opt := Options{Threads: threads}
+				for i := 0; i < 3; i++ {
+					s.Reach(adj, root, cand, opt, mode) // grow to steady state
+				}
+				allocs := testing.AllocsPerRun(10, func() {
+					s.Reach(adj, root, cand, opt, mode)
+				})
+				if allocs != 0 {
+					t.Errorf("threads=%d mode=%d cand=%v: AllocsPerRun = %v, want 0",
+						threads, mode, cand != nil, allocs)
+				}
+			}
+		}
+	}
+}

@@ -25,6 +25,10 @@ type Options struct {
 	Threads int
 	// NoBottomUp disables the bottom-up direction (ablation switch).
 	NoBottomUp bool
+	// NoDegreeChunks disables degree-aware (work-proportional) frontier
+	// chunking in top-down expansion, falling back to fixed vertex-count
+	// chunks (ablation switch for the scheduling benchmarks).
+	NoDegreeChunks bool
 	// Alpha and Beta are the Beamer direction-switch parameters; zero means
 	// the defaults (15 and 20).
 	Alpha, Beta int
@@ -89,14 +93,16 @@ func (t *Tree) Run(g *graph.Undirected, root graph.V, removed []bool, opt Option
 	totalDeg := 2 * g.NumEdges()
 	bottomUp := false
 
+	var bounds []int32
 	for len(frontier) > 0 || bottomUp {
-		if !bottomUp && !opt.NoBottomUp {
-			// Estimate frontier out-edges; switch when the frontier is dense.
-			var mf int64
+		var mf int64
+		if !bottomUp {
+			// Frontier out-edge volume: drives the direction switch and the
+			// work-proportional chunk grain of the top-down step.
 			for _, u := range frontier {
 				mf += int64(g.Degree(u))
 			}
-			if mf > totalDeg/opt.alpha() && len(frontier) > p {
+			if !opt.NoBottomUp && mf > totalDeg/opt.alpha() && len(frontier) > p {
 				bottomUp = true
 			}
 		}
@@ -112,7 +118,7 @@ func (t *Tree) Run(g *graph.Undirected, root graph.V, removed []bool, opt Option
 			}
 		} else {
 			t.TopDownSteps++
-			frontier = t.stepTopDown(g, frontier, cur, removed, p)
+			frontier, bounds = t.stepTopDown(g, frontier, mf, cur, removed, p, opt.NoDegreeChunks, bounds)
 			produced = int64(len(frontier))
 		}
 		if produced == 0 {
@@ -127,10 +133,13 @@ func (t *Tree) Run(g *graph.Undirected, root graph.V, removed []bool, opt Option
 }
 
 // stepTopDown expands the explicit frontier at level cur, claiming unvisited
-// neighbors with CAS-like writes guarded by the atomic level transition.
-func (t *Tree) stepTopDown(g *graph.Undirected, frontier []graph.V, cur int32, removed []bool, p int) []graph.V {
+// neighbors with CAS-like writes guarded by the atomic level transition. The
+// frontier is partitioned by degree prefix sums (grain mf/(8p) edges) unless
+// the noDegreeChunks ablation asks for fixed vertex-count chunks; the bounds
+// buffer is threaded through so successive levels reuse its capacity.
+func (t *Tree) stepTopDown(g *graph.Undirected, frontier []graph.V, mf int64, cur int32, removed []bool, p int, noDegreeChunks bool, bounds []int32) ([]graph.V, []int32) {
 	locals := make([][]graph.V, p)
-	parallel.ForChunksDynamic(0, len(frontier), p, 64, func(lo, hi, w int) {
+	expand := func(lo, hi, w int) {
 		buf := locals[w]
 		for i := lo; i < hi; i++ {
 			u := frontier[i]
@@ -145,12 +154,28 @@ func (t *Tree) stepTopDown(g *graph.Undirected, frontier []graph.V, cur int32, r
 			}
 		}
 		locals[w] = buf
-	})
+	}
+	if noDegreeChunks || p == 1 {
+		parallel.ForChunksDynamic(0, len(frontier), p, 64, expand)
+	} else {
+		off, _ := g.CSR()
+		target := graph.WorkGrain(mf+int64(len(frontier)), p, 128)
+		bounds = graph.AppendWorkChunks(off, frontier, target, bounds[:0])
+		parallel.ForChunksDynamic(0, len(bounds), p, 1, func(clo, chi, w int) {
+			for c := clo; c < chi; c++ {
+				lo := 0
+				if c > 0 {
+					lo = int(bounds[c-1])
+				}
+				expand(lo, int(bounds[c]), w)
+			}
+		})
+	}
 	next := frontier[:0]
 	for _, buf := range locals {
 		next = append(next, buf...)
 	}
-	return next
+	return next, bounds
 }
 
 // stepBottomUp scans every unvisited vertex for a neighbor at level cur; only

@@ -10,8 +10,6 @@
 package bgcc
 
 import (
-	"sort"
-
 	"aquila/internal/bfs"
 	"aquila/internal/bitmap"
 	"aquila/internal/graph"
@@ -114,9 +112,8 @@ func Run(g *graph.Undirected, opt Options) *Result {
 			byLevel[l] = append(byLevel[l], graph.V(v))
 		}
 	}
-	for _, vs := range byLevel {
-		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
-	}
+	// Each byLevel list was appended by one ascending vertex scan, so it is
+	// already sorted by id — no per-level sort needed.
 	scratches := make([]*bfs.Scratch, p)
 	for i := range scratches {
 		scratches[i] = bfs.NewScratch(n)

@@ -16,7 +16,7 @@
 package bicc
 
 import (
-	"sort"
+	"slices"
 
 	"aquila/internal/bfs"
 	"aquila/internal/bitmap"
@@ -164,12 +164,11 @@ func (s *state) buildLevelIndex() {
 		}
 	}
 	for _, vs := range s.byLevel {
-		sort.Slice(vs, func(i, j int) bool {
-			pi, pj := s.tree.Parent[vs[i]], s.tree.Parent[vs[j]]
-			if pi != pj {
-				return pi < pj
-			}
-			return vs[i] < vs[j]
+		// Each level list is already ascending by vertex id (built by one
+		// ascending scan), so only the grouping by parent needs enforcing —
+		// and ties break by id for free with a stable sort.
+		slices.SortStableFunc(vs, func(a, b graph.V) int {
+			return int(s.tree.Parent[a]) - int(s.tree.Parent[b])
 		})
 	}
 	s.scratches = make([]*bfs.Scratch, s.p)

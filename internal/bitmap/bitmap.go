@@ -102,6 +102,29 @@ func (b *Atomic) TrySet(i uint32) bool {
 	}
 }
 
+// SetLocal sets bit i without atomic synchronization. It is valid only while
+// a single goroutine owns the bitmap (e.g. the serial specialization of a
+// parallel traversal); mixing it with concurrent writers is a data race.
+func (b *Atomic) SetLocal(i uint32) { b.words[i/wordBits] |= 1 << (i % wordBits) }
+
+// TrySetLocal is TrySet without atomic synchronization: it sets bit i and
+// reports whether it was previously clear. Single-owner phases only — this
+// replaces a CAS with a plain load/store on the serial hot path.
+func (b *Atomic) TrySetLocal(i uint32) bool {
+	w := &b.words[i/wordBits]
+	mask := uint64(1) << (i % wordBits)
+	if *w&mask != 0 {
+		return false
+	}
+	*w |= mask
+	return true
+}
+
+// RawWords exposes the backing word array for single-owner hot loops that
+// inline their own bit arithmetic (bit i lives at words[i/64], mask 1<<(i%64)).
+// Like SetLocal, any use racing with concurrent writers is a data race.
+func (b *Atomic) RawWords() []uint64 { return b.words }
+
 // Reset clears every bit. It must not race with concurrent writers.
 func (b *Atomic) Reset() {
 	for i := range b.words {

@@ -68,11 +68,16 @@ func Run(g *graph.Undirected, opt Options) *Result {
 		res.Stats.TrimmedPairs = trim.Pairs(g, res.Label, p)
 	}
 
+	// One reusable traversal scratch serves the master BFS and, in the
+	// non-adaptive fallback, every per-component BFS after it: each run's
+	// visited bitmap is consumed before the next run resets it.
+	rs := bfs.NewReachScratch(n, p)
+
 	// Data-parallel phase: enhanced BFS from the max-degree master pivot,
 	// which heuristically sits in the single large component (§5.3).
 	master := g.MaxDegreeVertex()
 	if res.Label[master] == graph.NoVertex {
-		visited := bfs.EnhancedReach(bfs.UndirectedAdj(g), master,
+		visited := rs.Reach(bfs.UndirectedAdj(g), master,
 			func(v graph.V) bool { return res.Label[v] == graph.NoVertex },
 			bfs.Options{Threads: p}, opt.Mode)
 		minID := minVisited(visited.Get, n, p)
@@ -87,7 +92,7 @@ func Run(g *graph.Undirected, opt Options) *Result {
 	}
 
 	if opt.NoAdaptive {
-		runBFSOnly(g, res, p, opt.Mode)
+		runBFSOnly(g, res, rs, p, opt.Mode)
 	} else {
 		res.Stats.SmallByLP = lpSweep(g, res.Label, p)
 	}
@@ -117,15 +122,16 @@ func lpSweep(g *graph.Undirected, label []uint32, p int) int {
 }
 
 // runBFSOnly is the non-adaptive fallback: one (parallel) BFS per remaining
-// component. Iterating vertex ids ascending makes each new root the minimum
-// id of its component, so labels stay canonical.
-func runBFSOnly(g *graph.Undirected, res *Result, p int, mode bfs.Mode) {
+// component, all through the shared scratch. Iterating vertex ids ascending
+// makes each new root the minimum id of its component, so labels stay
+// canonical.
+func runBFSOnly(g *graph.Undirected, res *Result, rs *bfs.ReachScratch, p int, mode bfs.Mode) {
 	n := g.NumVertices()
 	for v := 0; v < n; v++ {
 		if res.Label[v] != graph.NoVertex {
 			continue
 		}
-		visited := bfs.EnhancedReach(bfs.UndirectedAdj(g), graph.V(v),
+		visited := rs.Reach(bfs.UndirectedAdj(g), graph.V(v),
 			func(u graph.V) bool { return res.Label[u] == graph.NoVertex },
 			bfs.Options{Threads: p}, mode)
 		parallel.ForBlocks(0, n, p, func(lo, hi, _ int) {

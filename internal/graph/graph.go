@@ -62,6 +62,15 @@ func (g *Directed) HasArc(u, v V) bool {
 	return false
 }
 
+// OutCSR returns the raw out-direction CSR arrays (offsets of length |V|+1,
+// adjacency of length |E|) as shared views; callers must not modify them.
+// This is the flat representation the traversal hot paths scan directly.
+func (g *Directed) OutCSR() (off []int64, adj []V) { return g.outOff, g.outAdj }
+
+// InCSR returns the raw in-direction CSR arrays as shared views; callers must
+// not modify them.
+func (g *Directed) InCSR() (off []int64, adj []V) { return g.inOff, g.inAdj }
+
 // MaxOutDegreeVertex returns the vertex with the highest out+in degree — the
 // paper's heuristic master pivot, "always in the single large task" (§5.3).
 func (g *Directed) MaxOutDegreeVertex() V {
@@ -102,6 +111,11 @@ func (g *Undirected) Degree(u V) int { return int(g.off[u+1] - g.off[u]) }
 // Neighbors returns u's neighbors as a shared slice view; callers must not
 // modify it.
 func (g *Undirected) Neighbors(u V) []V { return g.adj[g.off[u]:g.off[u+1]] }
+
+// CSR returns the raw symmetric CSR arrays (offsets of length |V|+1,
+// adjacency of length 2|E|) as shared views; callers must not modify them.
+// This is the flat representation the traversal hot paths scan directly.
+func (g *Undirected) CSR() (off []int64, adj []V) { return g.off, g.adj }
 
 // SlotRange returns the half-open adjacency slot range of u, for callers that
 // need the slot index (and hence the edge id) of each incident edge.

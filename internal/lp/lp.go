@@ -2,6 +2,11 @@
 // the task-parallel method Aquila applies to the large number of small
 // components, where it keeps every thread busy in a single run — unlike one
 // BFS per component, which strands most threads on tiny frontiers (§5.2).
+//
+// Both propagation directions schedule each round's frontier by degree prefix
+// sums (graph.AppendWorkChunks), so a hub vertex costs one chunk instead of
+// serializing whichever worker drew it, and per-worker buffers are hoisted out
+// of the round loop so rounds reuse capacity instead of reallocating.
 package lp
 
 import (
@@ -16,6 +21,7 @@ import (
 // active-subgraph component — a canonical component id.
 func MinLabelCC(g *graph.Undirected, label []uint32, active func(graph.V) bool, threads int) {
 	p := parallel.Threads(threads)
+	off, adj := g.CSR()
 	// Initial frontier: all active vertices.
 	frontier := make([]graph.V, 0, g.NumVertices())
 	for v := 0; v < g.NumVertices(); v++ {
@@ -25,15 +31,19 @@ func MinLabelCC(g *graph.Undirected, label []uint32, active func(graph.V) bool, 
 	}
 	inNext := make([]uint32, g.NumVertices()) // epoch stamps for dedup
 	epoch := uint32(0)
-	for len(frontier) > 0 {
-		epoch++
-		locals := make([][]graph.V, p)
-		parallel.ForChunksDynamic(0, len(frontier), p, 64, func(lo, hi, w int) {
-			buf := locals[w]
-			for i := lo; i < hi; i++ {
+	locals := make([][]graph.V, p)
+	var bounds []int32
+	body := func(clo, chi, w int) {
+		buf := locals[w]
+		for c := clo; c < chi; c++ {
+			lo := 0
+			if c > 0 {
+				lo = int(bounds[c-1])
+			}
+			for i := lo; i < int(bounds[c]); i++ {
 				u := frontier[i]
 				lu := parallel.LoadU32(&label[u])
-				for _, v := range g.Neighbors(u) {
+				for _, v := range adj[off[u]:off[u+1]] {
 					if active != nil && !active(v) {
 						continue
 					}
@@ -46,11 +56,21 @@ func MinLabelCC(g *graph.Undirected, label []uint32, active func(graph.V) bool, 
 					}
 				}
 			}
-			locals[w] = buf
-		})
+		}
+		locals[w] = buf
+	}
+	for len(frontier) > 0 {
+		epoch++
+		var work int64
+		for _, u := range frontier {
+			work += off[u+1] - off[u] + 1
+		}
+		bounds = graph.AppendWorkChunks(off, frontier, graph.WorkGrain(work, p, 64), bounds[:0])
+		parallel.ForChunksDynamic(0, len(bounds), p, 1, body)
 		frontier = frontier[:0]
-		for _, buf := range locals {
-			frontier = append(frontier, buf...)
+		for w := range locals {
+			frontier = append(frontier, locals[w]...)
+			locals[w] = locals[w][:0]
 		}
 	}
 }
@@ -89,17 +109,22 @@ func MaxColorForward(g *graph.Directed, color []uint32, active func(graph.V) boo
 // The frontier slice is consumed (reused as scratch).
 func MaxColorForwardList(g *graph.Directed, color []uint32, active func(graph.V) bool, frontier []graph.V, threads int) {
 	p := parallel.Threads(threads)
+	off, adj := g.OutCSR()
 	inNext := make([]uint32, g.NumVertices())
 	epoch := uint32(0)
-	for len(frontier) > 0 {
-		epoch++
-		locals := make([][]graph.V, p)
-		parallel.ForChunksDynamic(0, len(frontier), p, 64, func(lo, hi, w int) {
-			buf := locals[w]
-			for i := lo; i < hi; i++ {
+	locals := make([][]graph.V, p)
+	var bounds []int32
+	body := func(clo, chi, w int) {
+		buf := locals[w]
+		for c := clo; c < chi; c++ {
+			lo := 0
+			if c > 0 {
+				lo = int(bounds[c-1])
+			}
+			for i := lo; i < int(bounds[c]); i++ {
 				u := frontier[i]
 				cu := parallel.LoadU32(&color[u])
-				for _, v := range g.Out(u) {
+				for _, v := range adj[off[u]:off[u+1]] {
 					if active != nil && !active(v) {
 						continue
 					}
@@ -110,11 +135,21 @@ func MaxColorForwardList(g *graph.Directed, color []uint32, active func(graph.V)
 					}
 				}
 			}
-			locals[w] = buf
-		})
+		}
+		locals[w] = buf
+	}
+	for len(frontier) > 0 {
+		epoch++
+		var work int64
+		for _, u := range frontier {
+			work += off[u+1] - off[u] + 1
+		}
+		bounds = graph.AppendWorkChunks(off, frontier, graph.WorkGrain(work, p, 64), bounds[:0])
+		parallel.ForChunksDynamic(0, len(bounds), p, 1, body)
 		frontier = frontier[:0]
-		for _, buf := range locals {
-			frontier = append(frontier, buf...)
+		for w := range locals {
+			frontier = append(frontier, locals[w]...)
+			locals[w] = locals[w][:0]
 		}
 	}
 }

@@ -1,15 +1,25 @@
 // Package parallel provides the shared-memory parallel building blocks used by
 // every Aquila algorithm: parallel-for over index ranges with static or dynamic
-// (guarded self-scheduling) chunking, a reusable worker pool, and atomic
-// min/max helpers.
+// (guarded self-scheduling) chunking, a persistent reusable worker pool, and
+// atomic min/max helpers.
+//
+// The pool (see Pool) is spawned once and parks its workers between parallel
+// regions, so the per-region cost is a few channel wakeups rather than p
+// goroutine spawns — this is what makes level-synchronous BFS cheap per level.
+// The package-level free functions below are thin wrappers over a shared
+// default pool; construct a private Pool only when isolation (e.g. a custom
+// worker count for a benchmark sweep) is required.
 //
 // All entry points take an explicit thread count so the benchmark harness can
-// sweep it (paper Fig. 11); a count of 0 means runtime.GOMAXPROCS(0).
+// sweep it (paper Fig. 11); a count of 0 means runtime.GOMAXPROCS(0) (see
+// Threads). The thread count bounds the parallelism of one region and is
+// independent of the pool's worker count: the submitting goroutine always
+// contributes one share, and shares that cannot be handed to a pool worker run
+// inline in the submitter.
 package parallel
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
 )
 
@@ -28,181 +38,38 @@ func Threads(n int) int {
 // Static partitioning is the right choice for uniform per-iteration work
 // (initialization sweeps, bottom-up BFS scans).
 func For(begin, end int, p int, body func(i int)) {
-	n := end - begin
-	if n <= 0 {
-		return
-	}
-	p = Threads(p)
-	if p == 1 || n == 1 {
-		for i := begin; i < end; i++ {
-			body(i)
-		}
-		return
-	}
-	if p > n {
-		p = n
-	}
-	var wg sync.WaitGroup
-	wg.Add(p)
-	chunk := n / p
-	rem := n % p
-	lo := begin
-	for w := 0; w < p; w++ {
-		hi := lo + chunk
-		if w < rem {
-			hi++
-		}
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				body(i)
-			}
-		}(lo, hi)
-		lo = hi
-	}
-	wg.Wait()
+	Default().For(begin, end, p, body)
 }
 
 // ForDynamic runs body(i) for i in [begin, end) using p workers that grab
 // chunks of the given grain size from a shared atomic counter. It suits
 // irregular per-iteration work (top-down frontier expansion, per-vertex
-// constrained BFSes).
+// constrained BFSes). Grains below 1 are clamped to 1 and grains above the
+// range size to the range size (which also keeps the shared chunk counter far
+// from int64 overflow on pathological grain values).
 func ForDynamic(begin, end, p, grain int, body func(i int)) {
-	n := end - begin
-	if n <= 0 {
-		return
-	}
-	if grain < 1 {
-		grain = 1
-	}
-	p = Threads(p)
-	if p == 1 || n <= grain {
-		for i := begin; i < end; i++ {
-			body(i)
-		}
-		return
-	}
-	if p > (n+grain-1)/grain {
-		p = (n + grain - 1) / grain
-	}
-	var next int64 = int64(begin)
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for w := 0; w < p; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				lo := int(atomic.AddInt64(&next, int64(grain))) - grain
-				if lo >= end {
-					return
-				}
-				hi := lo + grain
-				if hi > end {
-					hi = end
-				}
-				for i := lo; i < hi; i++ {
-					body(i)
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	Default().ForDynamic(begin, end, p, grain, body)
 }
 
 // ForBlocks runs body(lo, hi, worker) over contiguous blocks of [begin, end)
 // with static partitioning, exposing the worker index so callers can keep
 // per-worker scratch (local next-frontier queues, counters) without sharing.
 func ForBlocks(begin, end, p int, body func(lo, hi, worker int)) {
-	n := end - begin
-	if n <= 0 {
-		return
-	}
-	p = Threads(p)
-	if p > n {
-		p = n
-	}
-	if p == 1 {
-		body(begin, end, 0)
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(p)
-	chunk := n / p
-	rem := n % p
-	lo := begin
-	for w := 0; w < p; w++ {
-		hi := lo + chunk
-		if w < rem {
-			hi++
-		}
-		go func(lo, hi, w int) {
-			defer wg.Done()
-			body(lo, hi, w)
-		}(lo, hi, w)
-		lo = hi
-	}
-	wg.Wait()
+	Default().ForBlocks(begin, end, p, body)
 }
 
 // ForChunksDynamic is the dynamic-scheduling variant of ForBlocks: workers
 // repeatedly claim [lo, hi) chunks of the given grain until the range drains.
+// Grain clamping follows ForDynamic.
 func ForChunksDynamic(begin, end, p, grain int, body func(lo, hi, worker int)) {
-	n := end - begin
-	if n <= 0 {
-		return
-	}
-	if grain < 1 {
-		grain = 1
-	}
-	p = Threads(p)
-	if p == 1 || n <= grain {
-		body(begin, end, 0)
-		return
-	}
-	maxWorkers := (n + grain - 1) / grain
-	if p > maxWorkers {
-		p = maxWorkers
-	}
-	var next int64 = int64(begin)
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for w := 0; w < p; w++ {
-		go func(w int) {
-			defer wg.Done()
-			for {
-				lo := int(atomic.AddInt64(&next, int64(grain))) - grain
-				if lo >= end {
-					return
-				}
-				hi := lo + grain
-				if hi > end {
-					hi = end
-				}
-				body(lo, hi, w)
-			}
-		}(w)
-	}
-	wg.Wait()
+	Default().ForChunksDynamic(begin, end, p, grain, body)
 }
 
 // Run executes p copies of body concurrently, passing each its worker index,
 // and waits for all of them. It is the primitive behind the task-parallel
 // concurrent-BFS pool.
 func Run(p int, body func(worker int)) {
-	p = Threads(p)
-	if p == 1 {
-		body(0)
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for w := 0; w < p; w++ {
-		go func(w int) {
-			defer wg.Done()
-			body(w)
-		}(w)
-	}
-	wg.Wait()
+	Default().Run(p, body)
 }
 
 // MinU32 atomically lowers *addr to v if v is smaller. It reports whether the

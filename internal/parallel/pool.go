@@ -1,0 +1,335 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a persistent worker pool: workers are spawned once at construction
+// and park on a job channel between parallel regions, so a parallel-for costs
+// a handful of channel wakeups instead of p goroutine spawns and teardowns.
+//
+// Lifecycle: NewPool spawns the workers immediately; they idle (blocked on a
+// channel receive, zero CPU) until work arrives and live until Close. The
+// package-level free functions (For, ForDynamic, ForBlocks, ForChunksDynamic,
+// Run) all route through a shared default pool sized to GOMAXPROCS at init;
+// that pool is never closed.
+//
+// Submission is deadlock-free under nesting and concurrent use: the caller
+// always executes a share of its own region, and while waiting for stragglers
+// it help-drains the job queue (executing whatever region copies it finds,
+// its own or others'). If the job queue is full, the overflow shares run
+// inline in the caller. A region therefore completes even if every pool
+// worker is blocked inside some outer region.
+//
+// Frames (the per-region descriptors) are recycled through a free list, so a
+// warm pool schedules a parallel region without allocating.
+type Pool struct {
+	workers int
+	jobs    chan *frame
+
+	mu   sync.Mutex
+	free []*frame
+}
+
+// frameKind discriminates the loop shape a frame carries.
+type frameKind uint8
+
+const (
+	kindFor    frameKind = iota // body(i) over a statically partitioned range
+	kindBlocks                  // blockBody(lo,hi,w) over static blocks
+	kindChunks                  // blockBody(lo,hi,w) over dynamic chunks
+	kindItems                   // body(i) over dynamic chunks
+	kindRun                     // runBody(w) once per participant
+)
+
+// frame describes one parallel region. It is executed cooperatively by up to
+// q participants: each exec claims a distinct worker index and runs that
+// worker's share. The frame is recycled once every participant has finished.
+type frame struct {
+	kind       frameKind
+	begin, end int
+	grain      int64
+	q          int32 // number of participants (= shares)
+
+	body      func(i int)
+	blockBody func(lo, hi, w int)
+	runBody   func(w int)
+
+	cursor    int64 // dynamic-chunk claim cursor
+	nextIdx   int32 // worker-index dispenser
+	remaining int32 // participants still running
+
+	// done receives exactly one token per region, sent by the last finisher
+	// and consumed by the submitter. Buffered so the sender never blocks.
+	done chan struct{}
+}
+
+// NewPool returns a Pool with the given number of persistent workers
+// (Threads semantics: n < 1 means GOMAXPROCS).
+func NewPool(workers int) *Pool {
+	w := Threads(workers)
+	p := &Pool{
+		workers: w,
+		// Roomy buffer: submissions beyond it degrade gracefully (the
+		// overflow shares run inline in the submitter).
+		jobs: make(chan *frame, 64*w+256),
+	}
+	for i := 0; i < w; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Workers returns the number of persistent workers.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close shuts the pool down. It must only be called once no submissions are
+// in flight; the default pool is never closed.
+func (p *Pool) Close() { close(p.jobs) }
+
+func (p *Pool) worker() {
+	for f := range p.jobs {
+		p.exec(f)
+	}
+}
+
+// getFrame pops a recycled frame or allocates a fresh one.
+func (p *Pool) getFrame() *frame {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		f := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return f
+	}
+	p.mu.Unlock()
+	return &frame{done: make(chan struct{}, 1)}
+}
+
+func (p *Pool) putFrame(f *frame) {
+	f.body, f.blockBody, f.runBody = nil, nil, nil
+	p.mu.Lock()
+	p.free = append(p.free, f)
+	p.mu.Unlock()
+}
+
+// dispatch runs a prepared frame with f.q participants: q-1 shares are
+// offered to the pool (or run inline if the queue is full), the caller runs
+// one share itself, then help-drains the queue until its region completes.
+func (p *Pool) dispatch(f *frame) {
+	q := int(f.q)
+	f.cursor = int64(f.begin)
+	f.nextIdx = 0
+	f.remaining = f.q
+	for i := 1; i < q; i++ {
+		select {
+		case p.jobs <- f:
+		default:
+			p.exec(f) // queue full: run this share inline
+		}
+	}
+	p.exec(f)
+	for {
+		select {
+		case <-f.done:
+			p.putFrame(f)
+			return
+		case g := <-p.jobs:
+			p.exec(g)
+		}
+	}
+}
+
+// exec claims one participant slot of f and runs its share.
+func (p *Pool) exec(f *frame) {
+	w := int(atomic.AddInt32(&f.nextIdx, 1) - 1)
+	switch f.kind {
+	case kindFor:
+		lo, hi := staticSlot(f.begin, f.end, int(f.q), w)
+		for i := lo; i < hi; i++ {
+			f.body(i)
+		}
+	case kindBlocks:
+		lo, hi := staticSlot(f.begin, f.end, int(f.q), w)
+		if lo < hi {
+			f.blockBody(lo, hi, w)
+		}
+	case kindChunks:
+		for {
+			lo := atomic.AddInt64(&f.cursor, f.grain) - f.grain
+			if lo >= int64(f.end) {
+				break
+			}
+			hi := lo + f.grain
+			if hi > int64(f.end) {
+				hi = int64(f.end)
+			}
+			f.blockBody(int(lo), int(hi), w)
+		}
+	case kindItems:
+		for {
+			lo := atomic.AddInt64(&f.cursor, f.grain) - f.grain
+			if lo >= int64(f.end) {
+				break
+			}
+			hi := lo + f.grain
+			if hi > int64(f.end) {
+				hi = int64(f.end)
+			}
+			for i := int(lo); i < int(hi); i++ {
+				f.body(i)
+			}
+		}
+	case kindRun:
+		f.runBody(w)
+	}
+	if atomic.AddInt32(&f.remaining, -1) == 0 {
+		f.done <- struct{}{}
+	}
+}
+
+// staticSlot is the [lo, hi) share of worker w under static partitioning of
+// [begin, end) into q blocks (first end-begin mod q blocks one element
+// bigger).
+func staticSlot(begin, end, q, w int) (int, int) {
+	n := end - begin
+	chunk := n / q
+	rem := n % q
+	lo := begin + w*chunk
+	if w < rem {
+		lo += w
+	} else {
+		lo += rem
+	}
+	hi := lo + chunk
+	if w < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// clampGrain normalizes a chunk grain: at least 1, at most n. The upper clamp
+// also guards the shared int64 cursor against overflow on pathological grain
+// values (each participant overshoots the range end by at most one grain, so
+// the cursor stays within end + q*n).
+func clampGrain(grain, n int) int64 {
+	if grain < 1 {
+		grain = 1
+	}
+	if grain > n {
+		grain = n
+	}
+	return int64(grain)
+}
+
+// For is the Pool method behind the package-level For.
+func (p *Pool) For(begin, end, threads int, body func(i int)) {
+	n := end - begin
+	if n <= 0 {
+		return
+	}
+	q := Threads(threads)
+	if q > n {
+		q = n
+	}
+	if q == 1 {
+		for i := begin; i < end; i++ {
+			body(i)
+		}
+		return
+	}
+	f := p.getFrame()
+	f.kind, f.begin, f.end, f.q, f.body = kindFor, begin, end, int32(q), body
+	p.dispatch(f)
+}
+
+// ForDynamic is the Pool method behind the package-level ForDynamic.
+func (p *Pool) ForDynamic(begin, end, threads, grain int, body func(i int)) {
+	n := end - begin
+	if n <= 0 {
+		return
+	}
+	g := clampGrain(grain, n)
+	q := Threads(threads)
+	if maxW := (n + int(g) - 1) / int(g); q > maxW {
+		q = maxW
+	}
+	if q == 1 {
+		for i := begin; i < end; i++ {
+			body(i)
+		}
+		return
+	}
+	f := p.getFrame()
+	f.kind, f.begin, f.end, f.grain, f.q, f.body = kindItems, begin, end, g, int32(q), body
+	p.dispatch(f)
+}
+
+// ForBlocks is the Pool method behind the package-level ForBlocks.
+func (p *Pool) ForBlocks(begin, end, threads int, body func(lo, hi, w int)) {
+	n := end - begin
+	if n <= 0 {
+		return
+	}
+	q := Threads(threads)
+	if q > n {
+		q = n
+	}
+	if q == 1 {
+		body(begin, end, 0)
+		return
+	}
+	f := p.getFrame()
+	f.kind, f.begin, f.end, f.q, f.blockBody = kindBlocks, begin, end, int32(q), body
+	p.dispatch(f)
+}
+
+// ForChunksDynamic is the Pool method behind the package-level
+// ForChunksDynamic.
+func (p *Pool) ForChunksDynamic(begin, end, threads, grain int, body func(lo, hi, w int)) {
+	n := end - begin
+	if n <= 0 {
+		return
+	}
+	g := clampGrain(grain, n)
+	q := Threads(threads)
+	if maxW := (n + int(g) - 1) / int(g); q > maxW {
+		q = maxW
+	}
+	if q == 1 {
+		body(begin, end, 0)
+		return
+	}
+	f := p.getFrame()
+	f.kind, f.begin, f.end, f.grain, f.q, f.blockBody = kindChunks, begin, end, g, int32(q), body
+	p.dispatch(f)
+}
+
+// Run is the Pool method behind the package-level Run.
+func (p *Pool) Run(threads int, body func(w int)) {
+	q := Threads(threads)
+	if q == 1 {
+		body(0)
+		return
+	}
+	f := p.getFrame()
+	f.kind, f.begin, f.end, f.q, f.runBody = kindRun, 0, q, int32(q), body
+	p.dispatch(f)
+}
+
+var (
+	defaultPool     *Pool
+	defaultPoolOnce sync.Once
+)
+
+// Default returns the shared package-level pool (GOMAXPROCS workers, spawned
+// on first use, never closed).
+func Default() *Pool {
+	defaultPoolOnce.Do(func() {
+		defaultPool = NewPool(runtime.GOMAXPROCS(0))
+	})
+	return defaultPool
+}

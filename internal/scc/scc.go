@@ -67,11 +67,17 @@ func Run(g *graph.Directed, opt Options) *Result {
 		res.Stats.TrimmedSize2 = trim.SCCSize2(g, res.Label, p)
 	}
 
+	// Two reusable traversal scratches (the forward and backward halves of
+	// FW-BW are alive at the same time) serve the giant sweep and, in the
+	// non-adaptive baseline, every pivot sweep after it.
+	fwS := bfs.NewReachScratch(n, p)
+	bwS := bfs.NewReachScratch(n, p)
+
 	// FW-BW for the giant SCC: forward and backward reachability from the
 	// max-degree pivot; the intersection is its SCC.
 	master := maxLiveDegree(g, res.Label)
 	if master != graph.NoVertex {
-		res.Stats.GiantSize = fwbwAssign(g, master, res.Label, p, opt.Mode)
+		res.Stats.GiantSize = fwbwAssign(g, master, res.Label, fwS, bwS, p, opt.Mode)
 	}
 
 	if opt.NoAdaptive {
@@ -81,7 +87,7 @@ func Run(g *graph.Directed, opt Options) *Result {
 			if pivot == graph.NoVertex {
 				break
 			}
-			fwbwAssign(g, pivot, res.Label, p, opt.Mode)
+			fwbwAssign(g, pivot, res.Label, fwS, bwS, p, opt.Mode)
 		}
 	} else {
 		// Coloring sweep for the remaining small SCCs. All per-round work is
@@ -129,11 +135,12 @@ func Run(g *graph.Directed, opt Options) *Result {
 }
 
 // fwbwAssign labels the SCC of pivot (forward ∩ backward reachability among
-// unassigned vertices) and returns its size.
-func fwbwAssign(g *graph.Directed, pivot graph.V, label []uint32, p int, mode bfs.Mode) int {
+// unassigned vertices) and returns its size. The two scratches are reused
+// across calls; both bitmaps are consumed before the caller's next sweep.
+func fwbwAssign(g *graph.Directed, pivot graph.V, label []uint32, fwS, bwS *bfs.ReachScratch, p int, mode bfs.Mode) int {
 	unassigned := func(v graph.V) bool { return label[v] == graph.NoVertex }
-	fw := bfs.EnhancedReach(bfs.ForwardAdj(g), pivot, unassigned, bfs.Options{Threads: p}, mode)
-	bw := bfs.EnhancedReach(bfs.BackwardAdj(g), pivot, unassigned, bfs.Options{Threads: p}, mode)
+	fw := fwS.Reach(bfs.ForwardAdj(g), pivot, unassigned, bfs.Options{Threads: p}, mode)
+	bw := bwS.Reach(bfs.BackwardAdj(g), pivot, unassigned, bfs.Options{Threads: p}, mode)
 	n := g.NumVertices()
 	inSCC := func(v graph.V) bool { return fw.Get(v) && bw.Get(v) }
 	minID := uint32(graph.NoVertex)

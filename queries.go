@@ -134,9 +134,12 @@ func (e *Engine) IsConnected() bool {
 	// Random pivot (deterministically seeded) + one traversal.
 	rng := gen.NewRNG(uint64(n)*0x9e37 + uint64(g.NumEdges()))
 	pivot := graph.V(rng.Intn(n))
-	visited := bfs.EnhancedReach(bfs.UndirectedAdj(g), pivot, nil,
+	rs := e.getReach(n)
+	visited := rs.Reach(bfs.UndirectedAdj(g), pivot, nil,
 		bfs.Options{Threads: e.opt.Threads}, e.opt.Traversal.mode())
-	return visited.Count() == n
+	connected := visited.Count() == n
+	e.putReach(rs)
+	return connected
 }
 
 // IsStronglyConnected answers "is this graph strongly connected?" with
@@ -160,12 +163,16 @@ func (e *Engine) IsStronglyConnected() (bool, error) {
 		}
 	}
 	pivot := graph.V(0)
-	fw := bfs.EnhancedReach(bfs.ForwardAdj(g), pivot, nil,
+	rs := e.getReach(n)
+	defer e.putReach(rs)
+	fw := rs.Reach(bfs.ForwardAdj(g), pivot, nil,
 		bfs.Options{Threads: e.opt.Threads}, e.opt.Traversal.mode())
 	if fw.Count() != n {
 		return false, nil
 	}
-	bw := bfs.EnhancedReach(bfs.BackwardAdj(g), pivot, nil,
+	// The forward count is consumed, so the same scratch (and bitmap) can
+	// carry the backward sweep.
+	bw := rs.Reach(bfs.BackwardAdj(g), pivot, nil,
 		bfs.Options{Threads: e.opt.Threads}, e.opt.Traversal.mode())
 	return bw.Count() == n, nil
 }
@@ -208,15 +215,21 @@ func (e *Engine) LargestCC() *LargestResult {
 	n := g.NumVertices()
 	if !e.opt.DisablePartial && n > 0 {
 		master := g.MaxDegreeVertex()
-		visited := bfs.EnhancedReach(bfs.UndirectedAdj(g), master, nil,
+		rs := e.getReach(n)
+		visited := rs.Reach(bfs.UndirectedAdj(g), master, nil,
 			bfs.Options{Threads: e.opt.Threads}, e.opt.Traversal.mode())
 		size := visited.Count()
 		if 2*size >= n {
+			// The result keeps visited.Get, so the bitmap must survive the
+			// scratch's next checkout.
+			rs.DetachVisited()
+			e.putReach(rs)
 			return &LargestResult{
 				Size: size, Pivot: master, Partial: true,
 				contains: visited.Get,
 			}
 		}
+		e.putReach(rs)
 	}
 	res := e.ccComplete()
 	lbl := res.LargestLabel
@@ -254,11 +267,15 @@ func (e *Engine) LargestSCC() (*LargestResult, error) {
 	g := e.dirView()
 	n := g.NumVertices()
 	if !e.opt.DisablePartial && n > 0 {
-		// One FW-BW from the max-degree pivot.
+		// One FW-BW from the max-degree pivot. Both halves run through one
+		// scratch: the forward bitmap is detached before the backward sweep
+		// resets the scratch state.
 		master := g.MaxOutDegreeVertex()
-		fw := bfs.EnhancedReach(bfs.ForwardAdj(g), master, nil,
+		rs := e.getReach(n)
+		fw := rs.Reach(bfs.ForwardAdj(g), master, nil,
 			bfs.Options{Threads: e.opt.Threads}, e.opt.Traversal.mode())
-		bw := bfs.EnhancedReach(bfs.BackwardAdj(g), master, nil,
+		rs.DetachVisited()
+		bw := rs.Reach(bfs.BackwardAdj(g), master, nil,
 			bfs.Options{Threads: e.opt.Threads}, e.opt.Traversal.mode())
 		size := 0
 		for v := 0; v < n; v++ {
@@ -267,11 +284,15 @@ func (e *Engine) LargestSCC() (*LargestResult, error) {
 			}
 		}
 		if 2*size >= n {
+			// Both bitmaps escape into the result's contains closure.
+			rs.DetachVisited()
+			e.putReach(rs)
 			return &LargestResult{
 				Size: size, Pivot: master, Partial: true,
 				contains: func(v V) bool { return fw.Get(v) && bw.Get(v) },
 			}, nil
 		}
+		e.putReach(rs)
 	}
 	res := e.sccComplete()
 	lbl := res.LargestLabel
