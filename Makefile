@@ -27,12 +27,15 @@ stress:
 bench:
 	go test -bench=. -benchmem -run='^$$' ./...
 
-# Machine-readable snapshot of the BFS / CC / scheduler benchmarks (the PR 2
-# perf-trajectory baseline): ns/op + allocs/op into BENCH_PR2.json.
+# Machine-readable snapshot of the perf-trajectory benchmarks: the PR 2
+# BFS / CC / scheduler set plus the PR 3 ingestion set (build + parse
+# throughput in edges/s, reorder ablation) into BENCH_PR3.json.
 bench-json:
-	go test -bench='BFS|CC|Pool|Reach' -benchmem -benchtime=20x -run='^$$' \
-		. ./internal/bfs ./internal/parallel \
-		| go run ./cmd/bench2json > BENCH_PR2.json
+	( go test -bench='BFS|CC|Pool|Reach' -benchmem -benchtime=20x -run='^$$' \
+		. ./internal/bfs ./internal/parallel ; \
+	  go test -bench='Build|Parse|Reorder' -benchmem -benchtime=5x -run='^$$' \
+		./internal/bench ) \
+		| go run ./cmd/bench2json > BENCH_PR3.json
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:
@@ -40,6 +43,8 @@ experiments:
 
 # Short fuzz passes over the hardened entry points.
 fuzz:
-	go test -fuzz=FuzzReadEdgeList -fuzztime=30s ./internal/graph
+	go test -fuzz=FuzzReadEdgeList$$ -fuzztime=30s ./internal/graph
+	go test -fuzz=FuzzReadEdgeListParity -fuzztime=30s ./internal/graph
+	go test -fuzz=FuzzParallelBuildParity -fuzztime=30s ./internal/graph
 	go test -fuzz=FuzzReadBinary -fuzztime=30s ./internal/graph
 	go test -fuzz=FuzzBiCCMatchesOracle -fuzztime=30s ./internal/bicc

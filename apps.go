@@ -21,7 +21,14 @@ func (e *Engine) Condensation() (*Condensation, error) {
 	defer e.mu.Unlock()
 	e.materializeLocked()
 	if e.condensation == nil {
-		e.condensation = condense.Build(e.dir, e.sccOptions())
+		// The DAG's vertex-keyed queries (component-of, reachability) must
+		// answer in caller ids, so condensation always runs on the
+		// original-id graph rather than the reordered compute graph.
+		g := e.dir
+		if e.perm != nil {
+			g = e.origDir
+		}
+		e.condensation = condense.Build(g, e.sccOptions())
 	}
 	return e.condensation, nil
 }
@@ -37,11 +44,16 @@ func (e *Engine) BetweennessCentrality() []float64 {
 	defer e.mu.Unlock()
 	e.materializeLocked()
 	if e.betweenness == nil {
+		var raw []float64
 		if e.opt.DisablePartial || e.opt.DisableTrim {
-			e.betweenness = betweenness.Brandes(e.und, e.opt.Threads)
+			raw = betweenness.Brandes(e.und, e.opt.Threads)
 		} else {
-			e.betweenness = betweenness.Decomposed(e.und, e.opt.Threads)
+			raw = betweenness.Decomposed(e.und, e.opt.Threads)
 		}
+		if e.perm != nil {
+			raw = remapFloats(raw, e.perm, e.opt.Threads)
+		}
+		e.betweenness = raw
 	}
 	return e.betweenness
 }
@@ -54,7 +66,11 @@ func (e *Engine) Coreness() []int32 {
 	defer e.mu.Unlock()
 	e.materializeLocked()
 	if e.coreness == nil {
-		e.coreness = kcore.Decompose(e.und).Coreness
+		raw := kcore.Decompose(e.und).Coreness
+		if e.perm != nil {
+			raw = remapInt32s(raw, e.perm, e.opt.Threads)
+		}
+		e.coreness = raw
 	}
 	return e.coreness
 }

@@ -48,16 +48,45 @@ type Directed = graph.Directed
 type Undirected = graph.Undirected
 
 // NewDirected builds a directed graph over n vertices from an edge list.
-// Self-loops are dropped and parallel edges deduplicated.
+// Self-loops are dropped and parallel edges deduplicated. Construction runs
+// on the parallel CSR builder with GOMAXPROCS workers; use
+// NewDirectedThreads to pin the worker count.
 func NewDirected(n int, edges []Edge) *Directed { return graph.BuildDirected(n, edges) }
+
+// NewDirectedThreads is NewDirected with an explicit builder worker count
+// (< 1 means GOMAXPROCS).
+func NewDirectedThreads(n int, edges []Edge, threads int) *Directed {
+	return graph.BuildDirectedThreads(n, edges, threads)
+}
 
 // NewUndirected builds an undirected graph over n vertices from an edge list.
 // Each listed edge is stored in both directions; duplicates collapse.
 func NewUndirected(n int, edges []Edge) *Undirected { return graph.BuildUndirected(n, edges) }
 
+// NewUndirectedThreads is NewUndirected with an explicit builder worker count
+// (< 1 means GOMAXPROCS).
+func NewUndirectedThreads(n int, edges []Edge, threads int) *Undirected {
+	return graph.BuildUndirectedThreads(n, edges, threads)
+}
+
 // Undirect converts a directed graph to its undirected view (paper §6.1):
 // every one-directional edge gains a reverse twin; mutual pairs collapse.
 func Undirect(g *Directed) *Undirected { return graph.Undirect(g) }
+
+// ParseEdgeList reads a whitespace-separated "u v" edge list ('#'/'%'
+// comment lines allowed) and returns the raw edges plus the implied vertex
+// count, without building a graph. Parsing is chunk-parallel. Callers that
+// want separate parse/build timing (or a custom builder thread count) use
+// this with NewDirectedThreads; LoadEdgeList bundles the two.
+func ParseEdgeList(r io.Reader) ([]Edge, int, error) { return graph.ReadEdgeList(r) }
+
+// ParseMatrixMarket reads a MatrixMarket coordinate file and returns the raw
+// edges plus vertex count (see LoadMatrixMarket for conventions).
+func ParseMatrixMarket(r io.Reader) ([]Edge, int, error) { return graph.ReadMatrixMarket(r) }
+
+// ParseMETIS reads a METIS adjacency file and returns the raw edges (each
+// undirected edge appears in both directions) plus vertex count.
+func ParseMETIS(r io.Reader) ([]Edge, int, error) { return graph.ReadMETIS(r) }
 
 // LoadEdgeList reads a whitespace-separated "u v" edge list ('#'/'%' comment
 // lines allowed) and returns the directed graph it describes.

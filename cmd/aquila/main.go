@@ -22,6 +22,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -44,6 +45,7 @@ func main() {
 		batchSize  = flag.Int("batch", 0, "auto-flush update batches every N edges (0 = explicit separators only)")
 		rebuild    = flag.Float64("rebuild-threshold", 0, "delta/base edge ratio forcing a static rebuild (0 = default 0.25, <0 = never)")
 		threads    = flag.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
+		reorder    = flag.String("reorder", "none", "cache-aware vertex reordering: none, degree, bfs")
 		noPartial  = flag.Bool("no-partial", false, "disable query transformation (always complete computation)")
 		verbose    = flag.Bool("verbose", false, "print strategy and timing details")
 		explain    = flag.Bool("explain", false, "print the query classification and strategy before answering")
@@ -61,7 +63,13 @@ func main() {
 		fmt.Println(text)
 	}
 
-	g, err := obtainGraph(*graphPath, *genKind, *scale, *seed)
+	reorderMode, err := parseReorder(*reorder)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aquila:", err)
+		os.Exit(1)
+	}
+
+	g, parseDur, buildDur, err := obtainGraph(*graphPath, *genKind, *scale, *seed, *threads)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aquila:", err)
 		os.Exit(1)
@@ -71,6 +79,7 @@ func main() {
 	}
 	eng := aquila.NewDirectedEngine(g, aquila.Options{
 		Threads:          *threads,
+		Reorder:          reorderMode,
 		DisablePartial:   *noPartial,
 		RebuildThreshold: *rebuild,
 	})
@@ -113,6 +122,7 @@ func main() {
 	fmt.Println(out)
 	if *verbose {
 		fmt.Printf("answered in %v\n", elapsed)
+		fmt.Printf("phases: parse=%v build=%v query=%v\n", parseDur, buildDur, elapsed)
 	}
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -129,54 +139,71 @@ func main() {
 	}
 }
 
-func obtainGraph(path, kind string, scale int, seed uint64) (*aquila.Directed, error) {
+func parseReorder(s string) (aquila.Reorder, error) {
+	switch s {
+	case "", "none":
+		return aquila.ReorderNone, nil
+	case "degree":
+		return aquila.ReorderDegree, nil
+	case "bfs":
+		return aquila.ReorderBFS, nil
+	default:
+		return aquila.ReorderNone, fmt.Errorf("unknown reorder mode %q (want none, degree, bfs)", s)
+	}
+}
+
+// obtainGraph loads or generates the input and reports how long the parse
+// and CSR-build phases took (generators count as build; parse is then zero).
+func obtainGraph(path, kind string, scale int, seed uint64, threads int) (*aquila.Directed, time.Duration, time.Duration, error) {
 	if path != "" {
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, err
+			return nil, 0, 0, err
 		}
 		defer f.Close()
 		r, err := aquila.MaybeGunzip(f)
 		if err != nil {
-			return nil, err
+			return nil, 0, 0, err
 		}
+		parse := func(r io.Reader) ([]aquila.Edge, int, error) { return aquila.ParseEdgeList(r) }
 		base := strings.TrimSuffix(path, ".gz")
 		switch {
 		case strings.HasSuffix(base, ".mtx"):
-			return aquila.LoadMatrixMarket(r)
+			parse = aquila.ParseMatrixMarket
 		case strings.HasSuffix(base, ".metis"), strings.HasSuffix(base, ".graph"):
-			u, err := aquila.LoadMETIS(r)
-			if err != nil {
-				return nil, err
-			}
-			// The query engine over a METIS file is undirected; rebuild as a
-			// symmetric directed graph so every query class is available.
-			var edges []aquila.Edge
-			for v := 0; v < u.NumVertices(); v++ {
-				for _, w := range u.Neighbors(aquila.V(v)) {
-					edges = append(edges, aquila.Edge{U: aquila.V(v), V: w})
-				}
-			}
-			return aquila.NewDirected(u.NumVertices(), edges), nil
-		default:
-			return aquila.LoadEdgeList(r)
+			// METIS lists every undirected edge in both directions, which is
+			// exactly a symmetric directed graph — build it straight away so
+			// every query class is available.
+			parse = aquila.ParseMETIS
 		}
+		parseStart := time.Now()
+		edges, n, err := parse(r)
+		parseDur := time.Since(parseStart)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		buildStart := time.Now()
+		g := aquila.NewDirectedThreads(n, edges, threads)
+		return g, parseDur, time.Since(buildStart), nil
 	}
+	genStart := time.Now()
+	var g *aquila.Directed
 	switch kind {
 	case "rmat":
-		return gen.RMAT(scale, 16, seed), nil
+		g = gen.RMAT(scale, 16, seed)
 	case "random":
 		n := scale * 1000
-		return gen.Random(n, 16*n, seed), nil
+		g = gen.Random(n, 16*n, seed)
 	case "social":
-		return gen.Social(gen.SocialConfig{
+		g = gen.Social(gen.SocialConfig{
 			GiantVertices: scale * 1000, GiantAvgDeg: 6,
 			SmallComps: scale * 40, SmallMaxSize: 6,
 			Isolated: scale * 20, MutualFrac: 0.4, Seed: seed,
-		}), nil
+		})
 	case "":
-		return nil, fmt.Errorf("need -graph FILE or -gen KIND")
+		return nil, 0, 0, fmt.Errorf("need -graph FILE or -gen KIND")
 	default:
-		return nil, fmt.Errorf("unknown generator %q", kind)
+		return nil, 0, 0, fmt.Errorf("unknown generator %q", kind)
 	}
+	return g, 0, time.Since(genStart), nil
 }

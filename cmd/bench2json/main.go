@@ -25,6 +25,9 @@ type result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	// Extra holds custom testing.B ReportMetric units (e.g. "edges/s",
+	// "MB/s") keyed by unit string.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 func main() {
@@ -85,6 +88,19 @@ func parseLine(line string) (result, bool) {
 		case "allocs/op":
 			if a, err := strconv.ParseInt(val, 10, 64); err == nil {
 				r.AllocsPerOp = &a
+			}
+		default:
+			// Custom b.ReportMetric units (edges/s, MB/s, ...): keep any
+			// parsable value-unit pair so throughput metrics survive the
+			// conversion.
+			if !strings.Contains(unit, "/") {
+				continue
+			}
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra[unit] = v
 			}
 		}
 	}

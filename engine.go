@@ -35,9 +35,19 @@ type Engine struct {
 	opt      Options
 	directed bool // fixed at construction; e.dir is non-nil iff directed
 
-	mu  sync.Mutex
-	dir *Directed // nil for engines over undirected input
-	und *Undirected
+	// dir/und are the compute graphs every kernel runs on. Under
+	// Options.Reorder they hold the cache-aware relabeled CSR; perm is then
+	// non-nil, origDir/origUnd keep the caller-id graphs, and eidMap
+	// translates original dense edge ids to compute edge ids. Results are
+	// mapped back to original ids at cache-fill time (see remap.go), so the
+	// relabeling never leaks out of the engine.
+	mu      sync.Mutex
+	dir     *Directed // nil for engines over undirected input
+	und     *Undirected
+	perm    *graph.Permutation
+	origDir *Directed
+	origUnd *Undirected
+	eidMap  []int64
 
 	// Incremental state (nil until the first Apply). deltaUnd/deltaDir hold
 	// inserted edges already unioned into inc but not yet materialized into
@@ -57,6 +67,10 @@ type Engine struct {
 	reachMu   sync.Mutex
 	reachFree []*bfs.ReachScratch
 
+	// ccRaw is the compute-space CC decomposition; its labels are min-id
+	// canonical in compute space, which inc.FromLabels requires. ccRes is the
+	// caller-facing (original-id) version — the same object when perm == nil.
+	ccRaw        *cc.Result
 	ccRes        *cc.Result
 	sccRes       *scc.Result
 	biccRes      *bicc.Result
@@ -70,29 +84,76 @@ type Engine struct {
 }
 
 // NewEngine returns an Engine over an undirected graph. SCC queries on an
-// undirected engine degenerate to CC.
+// undirected engine degenerate to CC. With Options.Reorder set, the engine
+// builds a relabeled copy once here and computes on it from then on.
 func NewEngine(g *Undirected, opt Options) *Engine {
-	return &Engine{opt: opt, und: g}
+	e := &Engine{opt: opt, und: g}
+	if opt.Reorder != ReorderNone {
+		switch opt.Reorder {
+		case ReorderDegree:
+			e.perm = graph.DegreeOrder(g, opt.Threads)
+		default:
+			e.perm = graph.BFSOrder(g, opt.Threads)
+		}
+		e.origUnd = g
+		e.und = e.perm.ApplyUndirected(g, opt.Threads)
+		e.eidMap = e.perm.EdgeIDMap(g, e.und, opt.Threads)
+	}
+	return e
 }
 
 // NewDirectedEngine returns an Engine over a directed graph. CC/BiCC/BgCC
 // queries run over the undirected view (computed once, per paper §6.1); SCC
-// and WCC use the directed graph.
+// and WCC use the directed graph. With Options.Reorder set, both views are
+// relabeled (ranked by total degree across the two CSRs).
 func NewDirectedEngine(g *Directed, opt Options) *Engine {
-	return &Engine{opt: opt, directed: true, dir: g, und: graph.Undirect(g)}
+	e := &Engine{opt: opt, directed: true, dir: g, und: graph.Undirect(g)}
+	if opt.Reorder != ReorderNone {
+		switch opt.Reorder {
+		case ReorderDegree:
+			e.perm = graph.DegreeOrderDirected(g, opt.Threads)
+		default:
+			e.perm = graph.BFSOrderDirected(g, opt.Threads)
+		}
+		e.origDir, e.origUnd = g, e.und
+		e.dir = e.perm.ApplyDirected(g, opt.Threads)
+		e.und = e.perm.ApplyUndirected(e.origUnd, opt.Threads)
+		e.eidMap = e.perm.EdgeIDMap(e.origUnd, e.und, opt.Threads)
+	}
+	return e
+}
+
+// mapV translates an original vertex id into the compute id space.
+func (e *Engine) mapV(v V) V {
+	if e.perm == nil {
+		return v
+	}
+	return e.perm.Perm[v]
+}
+
+// unmapV translates a compute-space vertex id back to the original space.
+func (e *Engine) unmapV(v V) V {
+	if e.perm == nil {
+		return v
+	}
+	return e.perm.Inv[v]
 }
 
 // Undirected returns the current (possibly derived) undirected view of the
-// engine's graph, materializing any pending Apply batches first.
+// engine's graph in original vertex ids, materializing any pending Apply
+// batches first.
 func (e *Engine) Undirected() *Undirected {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.materializeLocked()
+	if e.perm != nil {
+		return e.origUnd
+	}
 	return e.und
 }
 
-// Directed returns the current directed graph (materializing pending Apply
-// batches), or nil for undirected engines.
+// Directed returns the current directed graph in original vertex ids
+// (materializing pending Apply batches), or nil for undirected engines.
 func (e *Engine) Directed() *Directed {
 	if !e.directed {
 		return nil
@@ -100,6 +161,9 @@ func (e *Engine) Directed() *Directed {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.materializeLocked()
+	if e.perm != nil {
+		return e.origDir
+	}
 	return e.dir
 }
 
@@ -168,15 +232,31 @@ func (e *Engine) ccComplete() *cc.Result {
 	return e.ccCompleteLocked()
 }
 
-// ccCompleteLocked fills the CC cache under e.mu. Once incremental state
-// exists the result is derived from the union-find in O(|V|) — the paper's
-// workload-reduction philosophy applied to updates: no traversal reruns.
+// ccRawLocked fills the compute-space CC cache under e.mu. Once incremental
+// state exists the result is derived from the union-find in O(|V|) — the
+// paper's workload-reduction philosophy applied to updates: no traversal
+// reruns. Raw labels are min-id canonical in compute space; the incremental
+// layer is always seeded from these, never from the remapped caller view.
+func (e *Engine) ccRawLocked() *cc.Result {
+	if e.ccRaw == nil {
+		if e.inc != nil {
+			e.ccRaw = e.inc.CCResult(e.opt.Threads)
+		} else {
+			e.ccRaw = cc.Run(e.und, e.ccOptions())
+		}
+	}
+	return e.ccRaw
+}
+
+// ccCompleteLocked fills the caller-facing CC cache under e.mu, remapping the
+// raw decomposition to original ids when the engine is reordered.
 func (e *Engine) ccCompleteLocked() *cc.Result {
 	if e.ccRes == nil {
-		if e.inc != nil {
-			e.ccRes = e.inc.CCResult(e.opt.Threads)
+		raw := e.ccRawLocked()
+		if e.perm != nil {
+			e.ccRes = remapCC(raw, e.perm, e.opt.Threads)
 		} else {
-			e.ccRes = cc.Run(e.und, e.ccOptions())
+			e.ccRes = raw
 		}
 	}
 	return e.ccRes
@@ -187,7 +267,11 @@ func (e *Engine) sccComplete() *scc.Result {
 	defer e.mu.Unlock()
 	e.materializeLocked()
 	if e.sccRes == nil {
-		e.sccRes = scc.Run(e.dir, e.sccOptions())
+		raw := scc.Run(e.dir, e.sccOptions())
+		if e.perm != nil {
+			raw = remapSCC(raw, e.perm, e.opt.Threads)
+		}
+		e.sccRes = raw
 	}
 	return e.sccRes
 }
@@ -197,7 +281,11 @@ func (e *Engine) biccComplete() *bicc.Result {
 	defer e.mu.Unlock()
 	e.materializeLocked()
 	if e.biccRes == nil {
-		e.biccRes = bicc.Run(e.und, e.biccOptions(false))
+		raw := bicc.Run(e.und, e.biccOptions(false))
+		if e.perm != nil {
+			raw = remapBiCC(raw, e.perm, e.eidMap, e.opt.Threads)
+		}
+		e.biccRes = raw
 	}
 	return e.biccRes
 }
@@ -207,7 +295,11 @@ func (e *Engine) bgccComplete() *bgcc.Result {
 	defer e.mu.Unlock()
 	e.materializeLocked()
 	if e.bgccRes == nil {
-		e.bgccRes = bgcc.Run(e.und, e.bgccOptions(false))
+		raw := bgcc.Run(e.und, e.bgccOptions(false))
+		if e.perm != nil {
+			raw = remapBgCC(raw, e.perm, e.eidMap, e.opt.Threads)
+		}
+		e.bgccRes = raw
 	}
 	return e.bgccRes
 }
@@ -262,8 +354,9 @@ func (e *Engine) Apply(batch []Edge) (*ApplyResult, error) {
 		}
 	}
 	if e.inc == nil {
-		// First update: the static pipeline seeds the incremental state.
-		res := e.ccCompleteLocked()
+		// First update: the static pipeline seeds the incremental state from
+		// the raw compute-space labels (min-id canonical there).
+		res := e.ccRawLocked()
 		e.inc = inc.FromLabels(res.Label, res.NumComponents)
 		e.undSet = make(map[[2]V]struct{})
 		e.dirSet = make(map[[2]V]struct{})
@@ -272,20 +365,23 @@ func (e *Engine) Apply(batch []Edge) (*ApplyResult, error) {
 	}
 
 	// Split the batch into genuinely new undirected edges and directed arcs,
-	// checking both the materialized graphs and the pending delta.
+	// checking both the materialized graphs and the pending delta. Under a
+	// reorder the delta (like everything the kernels see) lives in compute
+	// ids, so endpoints are translated up front.
 	var newUnd, newDir []graph.Edge
 	for _, ed := range batch {
 		if ed.U == ed.V {
 			continue
 		}
+		eu, ev := e.mapV(ed.U), e.mapV(ed.V)
 		if e.directed {
-			key := [2]V{ed.U, ed.V}
-			if _, dup := e.dirSet[key]; !dup && !e.dir.HasArc(ed.U, ed.V) {
-				newDir = append(newDir, ed)
+			key := [2]V{eu, ev}
+			if _, dup := e.dirSet[key]; !dup && !e.dir.HasArc(eu, ev) {
+				newDir = append(newDir, graph.Edge{U: eu, V: ev})
 				e.dirSet[key] = struct{}{}
 			}
 		}
-		u, v := ed.U, ed.V
+		u, v := eu, ev
 		if u > v {
 			u, v = v, u
 		}
@@ -309,7 +405,7 @@ func (e *Engine) Apply(batch []Edge) (*ApplyResult, error) {
 
 	if len(newUnd) > 0 {
 		if res.Merged > 0 {
-			e.ccRes, e.largestCC = nil, nil
+			e.ccRaw, e.ccRes, e.largestCC = nil, nil, nil
 		}
 		e.biccRes, e.bgccRes, e.apOnly, e.brOnly = nil, nil, nil, nil
 		e.betweenness, e.coreness = nil, nil
@@ -334,6 +430,7 @@ func (e *Engine) materializeLocked() {
 	if len(e.deltaUnd) == 0 && len(e.deltaDir) == 0 {
 		return
 	}
+	th := e.opt.Threads
 	if e.directed {
 		edges := make([]graph.Edge, 0, int(e.dir.NumArcs())+len(e.deltaDir))
 		for u := 0; u < e.dir.NumVertices(); u++ {
@@ -342,8 +439,8 @@ func (e *Engine) materializeLocked() {
 			}
 		}
 		edges = append(edges, e.deltaDir...)
-		e.dir = graph.BuildDirected(e.dir.NumVertices(), edges)
-		e.und = graph.Undirect(e.dir)
+		e.dir = graph.BuildDirectedThreads(e.dir.NumVertices(), edges, th)
+		e.und = graph.UndirectThreads(e.dir, th)
 	} else {
 		eps := e.und.EdgeEndpoints()
 		edges := make([]graph.Edge, 0, len(eps)+len(e.deltaUnd))
@@ -351,7 +448,20 @@ func (e *Engine) materializeLocked() {
 			edges = append(edges, graph.Edge{U: ep[0], V: ep[1]})
 		}
 		edges = append(edges, e.deltaUnd...)
-		e.und = graph.BuildUndirected(e.und.NumVertices(), edges)
+		e.und = graph.BuildUndirectedThreads(e.und.NumVertices(), edges, th)
+	}
+	if e.perm != nil {
+		// The compute graphs absorbed the delta in compute ids; re-derive the
+		// caller-id graphs by applying the inverse relabeling, and refresh the
+		// edge-id translation (dense ids shift when edges are inserted).
+		inv := &graph.Permutation{Perm: e.perm.Inv, Inv: e.perm.Perm}
+		if e.directed {
+			e.origDir = inv.ApplyDirected(e.dir, th)
+			e.origUnd = graph.UndirectThreads(e.origDir, th)
+		} else {
+			e.origUnd = inv.ApplyUndirected(e.und, th)
+		}
+		e.eidMap = e.perm.EdgeIDMap(e.origUnd, e.und, th)
 	}
 	e.deltaUnd, e.deltaDir = nil, nil
 	e.undSet, e.dirSet = make(map[[2]V]struct{}), make(map[[2]V]struct{})
@@ -383,9 +493,9 @@ func (e *Engine) putReach(s *bfs.ReachScratch) {
 // decomposition.
 func (e *Engine) rebuildLocked() {
 	e.materializeLocked()
-	e.ccRes = cc.Run(e.und, e.ccOptions())
-	e.largestCC = nil
-	e.inc = inc.FromLabels(e.ccRes.Label, e.ccRes.NumComponents)
+	e.ccRaw = cc.Run(e.und, e.ccOptions())
+	e.ccRes, e.largestCC = nil, nil
+	e.inc = inc.FromLabels(e.ccRaw.Label, e.ccRaw.NumComponents)
 	e.baseEdges = e.und.NumEdges()
 	e.sinceRebuild = 0
 }

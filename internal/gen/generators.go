@@ -8,6 +8,14 @@ import "aquila/internal/graph"
 // self-loops are dropped by the CSR builder, so the realized edge count is
 // slightly below the nominal one — same as the original generator.
 func RMAT(scale int, edgeFactor int, seed uint64) *graph.Directed {
+	edges, n := RMATEdges(scale, edgeFactor, seed)
+	return graph.BuildDirected(n, edges)
+}
+
+// RMATEdges generates the raw R-MAT edge list (with its duplicates and
+// self-loops intact) plus the vertex count, without building a graph — the
+// input shape the build-throughput benchmarks feed to the CSR builders.
+func RMATEdges(scale int, edgeFactor int, seed uint64) ([]graph.Edge, int) {
 	n := 1 << scale
 	m := n * edgeFactor
 	rng := NewRNG(seed)
@@ -31,7 +39,7 @@ func RMAT(scale int, edgeFactor int, seed uint64) *graph.Directed {
 		}
 		edges = append(edges, graph.Edge{U: graph.V(u), V: graph.V(v)})
 	}
-	return graph.BuildDirected(n, edges)
+	return edges, n
 }
 
 // Random generates a directed uniform-random graph (GTgraph's random model,

@@ -1,9 +1,10 @@
 package graph
 
 import (
-	"runtime"
-	"sort"
-	"sync"
+	"slices"
+	"sync/atomic"
+
+	"aquila/internal/parallel"
 )
 
 // Edge is one directed edge (or one undirected edge given as an ordered pair)
@@ -12,20 +13,82 @@ type Edge struct {
 	U, V V
 }
 
+// minParallelBuild is the edge count below which the parallel builder's
+// coordination (histograms, atomic cursors, chunk scheduling) costs more than
+// it saves; smaller inputs take the serial path.
+const minParallelBuild = 1 << 14
+
+// buildGrainFloor is the minimum per-chunk edge budget for the degree-chunked
+// builder passes (segment sort, dedup, mate/eid); below this the dynamic
+// claim traffic dominates.
+const buildGrainFloor = 2048
+
+// buildThreads resolves the worker count for one build: Threads semantics
+// (n < 1 means GOMAXPROCS), clamped to 1 for inputs too small to split.
+func buildThreads(threads, m int) int {
+	if m < minParallelBuild {
+		return 1
+	}
+	return parallel.Threads(threads)
+}
+
 // BuildDirected constructs a Directed graph over n vertices from an edge
 // list. Self-loops are dropped and parallel edges deduplicated; adjacency
-// lists come out sorted. Endpoints must be < n.
-func BuildDirected(n int, edges []Edge) *Directed {
-	outOff, outAdj := buildCSR(n, edges, false)
-	inOff, inAdj := buildCSR(n, edges, true)
+// lists come out sorted. Endpoints must be < n. Construction is parallel on
+// large inputs (GOMAXPROCS workers); use BuildDirectedThreads to pin the
+// worker count.
+func BuildDirected(n int, edges []Edge) *Directed { return BuildDirectedThreads(n, edges, 0) }
+
+// BuildDirectedThreads is BuildDirected with an explicit worker count
+// (Threads semantics: values < 1 mean GOMAXPROCS). The result is identical to
+// BuildDirectedSerial for every worker count.
+func BuildDirectedThreads(n int, edges []Edge, threads int) *Directed {
+	p := buildThreads(threads, len(edges))
+	outOff, outAdj := buildCSR(n, edges, false, p)
+	inOff, inAdj := buildCSR(n, edges, true, p)
+	return &Directed{n: n, outOff: outOff, outAdj: outAdj, inOff: inOff, inAdj: inAdj}
+}
+
+// BuildDirectedSerial is the single-threaded seed builder, kept as the pinned
+// baseline for the parallel-ingestion differential tests and the
+// build-throughput benchmarks.
+func BuildDirectedSerial(n int, edges []Edge) *Directed {
+	outOff, outAdj := buildCSRSerial(n, edges, false)
+	inOff, inAdj := buildCSRSerial(n, edges, true)
 	return &Directed{n: n, outOff: outOff, outAdj: outAdj, inOff: inOff, inAdj: inAdj}
 }
 
 // BuildUndirected constructs an Undirected graph over n vertices. Each input
 // edge {u,v} is stored in both adjacency lists regardless of the order given;
 // duplicates (including a pair given in both orders) collapse to one edge.
-// Self-loops are dropped.
-func BuildUndirected(n int, edges []Edge) *Undirected {
+// Self-loops are dropped. Construction is parallel on large inputs; use
+// BuildUndirectedThreads to pin the worker count.
+func BuildUndirected(n int, edges []Edge) *Undirected { return BuildUndirectedThreads(n, edges, 0) }
+
+// BuildUndirectedThreads is BuildUndirected with an explicit worker count.
+// The result is identical to BuildUndirectedSerial for every worker count.
+func BuildUndirectedThreads(n int, edges []Edge, threads int) *Undirected {
+	p := buildThreads(threads, len(edges))
+	if p <= 1 {
+		return BuildUndirectedSerial(n, edges)
+	}
+	// Symmetrize at fixed positions so the fill parallelizes without cursors;
+	// self-loop pairs land as {u,u} twice and are dropped by the CSR builder.
+	sym := make([]Edge, 2*len(edges))
+	parallel.ForBlocks(0, len(edges), p, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			e := edges[i]
+			sym[2*i] = e
+			sym[2*i+1] = Edge{e.V, e.U}
+		}
+	})
+	off, adj := buildCSR(n, sym, false, p)
+	return finishUndirected(n, off, adj, p)
+}
+
+// BuildUndirectedSerial is the single-threaded seed builder for undirected
+// graphs — the pinned baseline mirroring BuildDirectedSerial.
+func BuildUndirectedSerial(n int, edges []Edge) *Undirected {
 	sym := make([]Edge, 0, 2*len(edges))
 	for _, e := range edges {
 		if e.U == e.V {
@@ -33,14 +96,37 @@ func BuildUndirected(n int, edges []Edge) *Undirected {
 		}
 		sym = append(sym, e, Edge{e.V, e.U})
 	}
-	off, adj := buildCSR(n, sym, false)
-	return finishUndirected(n, off, adj)
+	off, adj := buildCSRSerial(n, sym, false)
+	return finishUndirectedSerial(n, off, adj)
 }
 
 // Undirect converts a directed graph to the undirected graph used by CC,
 // BiCC and BgCC, per paper §6.1: create a reverse edge for any vertex pair
 // that shares only one directed edge, keeping the vertex count unchanged.
-func Undirect(g *Directed) *Undirected {
+func Undirect(g *Directed) *Undirected { return UndirectThreads(g, 0) }
+
+// UndirectThreads is Undirect with an explicit worker count.
+func UndirectThreads(g *Directed, threads int) *Undirected {
+	p := buildThreads(threads, len(g.outAdj))
+	if p <= 1 {
+		return undirectSerial(g)
+	}
+	// Every out-CSR slot expands to a fixed pair of positions; self-loop
+	// slots produce {u,u} twice, dropped by the builder.
+	edges := make([]Edge, 2*len(g.outAdj))
+	forDegreeChunks(g.outOff, p, func(u int) {
+		for s := g.outOff[u]; s < g.outOff[u+1]; s++ {
+			v := g.outAdj[s]
+			edges[2*s] = Edge{V(u), v}
+			edges[2*s+1] = Edge{v, V(u)}
+		}
+	})
+	off, adj := buildCSR(g.n, edges, false, p)
+	return finishUndirected(g.n, off, adj, p)
+}
+
+// undirectSerial is the seed implementation of Undirect.
+func undirectSerial(g *Directed) *Undirected {
 	edges := make([]Edge, 0, 2*len(g.outAdj))
 	for u := 0; u < g.n; u++ {
 		for _, v := range g.Out(V(u)) {
@@ -50,13 +136,76 @@ func Undirect(g *Directed) *Undirected {
 			edges = append(edges, Edge{V(u), v}, Edge{v, V(u)})
 		}
 	}
-	off, adj := buildCSR(g.n, edges, false)
-	return finishUndirected(g.n, off, adj)
+	off, adj := buildCSRSerial(g.n, edges, false)
+	return finishUndirectedSerial(g.n, off, adj)
 }
 
-// buildCSR counts, sorts and dedups an edge list into CSR arrays. If reverse
-// is true the edges are interpreted as (V -> U), producing the in-CSR.
-func buildCSR(n int, edges []Edge, reverse bool) ([]int64, []V) {
+// buildCSR counts, sorts and dedups an edge list into CSR arrays with up to p
+// workers. If reverse is true the edges are interpreted as (V -> U),
+// producing the in-CSR. The output is byte-identical to buildCSRSerial: the
+// scatter order differs under the atomic cursors, but the per-vertex sort and
+// dedup that follow erase it.
+func buildCSR(n int, edges []Edge, reverse bool, p int) ([]int64, []V) {
+	if p <= 1 {
+		return buildCSRSerial(n, edges, reverse)
+	}
+	// Degree histogram: one private histogram per worker over a contiguous
+	// block of the edge list (no atomics, no sharing), merged vertex-parallel.
+	hist := make([][]int32, p)
+	parallel.Run(p, func(w int) {
+		lo, hi := blockRange(len(edges), p, w)
+		h := make([]int32, n)
+		if reverse {
+			for _, e := range edges[lo:hi] {
+				if e.U != e.V {
+					h[e.V]++
+				}
+			}
+		} else {
+			for _, e := range edges[lo:hi] {
+				if e.U != e.V {
+					h[e.U]++
+				}
+			}
+		}
+		hist[w] = h
+	})
+	off := make([]int64, n+1)
+	parallel.For(0, n, p, func(v int) {
+		var d int64
+		for _, h := range hist {
+			d += int64(h[v])
+		}
+		off[v+1] = d
+	})
+	prefixInPlace(off, p)
+
+	// Scatter via per-vertex atomic cursors. Slot order within a vertex is
+	// nondeterministic here; the segment sort below restores determinism.
+	adj := make([]V, off[n])
+	cursor := make([]int64, n)
+	parallel.For(0, n, p, func(v int) { cursor[v] = off[v] })
+	parallel.ForBlocks(0, len(edges), p, func(lo, hi, _ int) {
+		for _, e := range edges[lo:hi] {
+			u, v := e.U, e.V
+			if u == v {
+				continue
+			}
+			if reverse {
+				u, v = v, u
+			}
+			slot := atomic.AddInt64(&cursor[u], 1) - 1
+			adj[slot] = v
+		}
+	})
+
+	sortSegments(n, off, adj, p)
+	return dedupSegments(n, off, adj, p)
+}
+
+// buildCSRSerial is the seed builder: count, prefix-sum, scatter, sort, dedup
+// — one thread, in place.
+func buildCSRSerial(n int, edges []Edge, reverse bool) ([]int64, []V) {
 	deg := make([]int64, n+1)
 	src := func(e Edge) V { return e.U }
 	dst := func(e Edge) V { return e.V }
@@ -84,9 +233,9 @@ func buildCSR(n int, edges []Edge, reverse bool) ([]int64, []V) {
 		adj[cursor[s]] = dst(e)
 		cursor[s]++
 	}
-	// Sort each adjacency list in parallel (the builder's dominant cost on
-	// large inputs), then dedup and compact serially.
-	sortSegments(n, off, adj)
+	for u := 0; u < n; u++ {
+		slices.Sort(adj[off[u]:off[u+1]])
+	}
 	newOff := make([]int64, n+1)
 	w := int64(0)
 	for u := 0; u < n; u++ {
@@ -108,40 +257,100 @@ func buildCSR(n int, edges []Edge, reverse bool) ([]int64, []V) {
 	return newOff, adj[:w:w]
 }
 
-// sortSegments sorts every vertex's adjacency segment, fanning the segments
-// out over the available CPUs. The graph package avoids a dependency on the
-// parallel package (which sits above it), so the worker loop is inlined.
-func sortSegments(n int, off []int64, adj []V) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 || n < 1024 {
+// sortSegments sorts every vertex's adjacency segment over degree-chunked
+// parallel work units, so one hub's giant segment cannot serialize a worker's
+// whole vertex range.
+func sortSegments(n int, off []int64, adj []V, p int) {
+	if p <= 1 {
 		for u := 0; u < n; u++ {
-			seg := adj[off[u]:off[u+1]]
-			sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+			slices.Sort(adj[off[u]:off[u+1]])
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			lo := w * n / workers
-			hi := (w + 1) * n / workers
-			for u := lo; u < hi; u++ {
-				seg := adj[off[u]:off[u+1]]
-				sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+	forDegreeChunks(off, p, func(u int) {
+		slices.Sort(adj[off[u]:off[u+1]])
+	})
+}
+
+// dedupSegments compacts sorted adjacency segments, dropping duplicates. It
+// counts the unique targets per vertex, prefix-sums the counts into the new
+// offsets, and writes the compacted segments — each pass vertex-parallel.
+func dedupSegments(n int, off []int64, adj []V, p int) ([]int64, []V) {
+	newOff := make([]int64, n+1)
+	forDegreeChunks(off, p, func(u int) {
+		var c int64
+		var prev V
+		first := true
+		for _, v := range adj[off[u]:off[u+1]] {
+			if first || v != prev {
+				c++
+				prev = v
+				first = false
 			}
-		}(w)
-	}
-	wg.Wait()
+		}
+		newOff[u+1] = c
+	})
+	prefixInPlace(newOff, p)
+	newAdj := make([]V, newOff[n])
+	forDegreeChunks(off, p, func(u int) {
+		w := newOff[u]
+		var prev V
+		first := true
+		for _, v := range adj[off[u]:off[u+1]] {
+			if first || v != prev {
+				newAdj[w] = v
+				w++
+				prev = v
+				first = false
+			}
+		}
+	})
+	return newOff, newAdj
 }
 
 // finishUndirected computes the mate-slot and dense-edge-id indexes for a
-// symmetric, sorted, deduplicated CSR.
-func finishUndirected(n int, off []int64, adj []V) *Undirected {
+// symmetric, sorted, deduplicated CSR with up to p workers. Edge ids are
+// assigned exactly as in the serial pass — dense in (lower endpoint, slot)
+// order — via a per-vertex prefix sum of lower-endpoint slot counts.
+func finishUndirected(n int, off []int64, adj []V, p int) *Undirected {
+	if p <= 1 || len(adj) < minParallelBuild {
+		return finishUndirectedSerial(n, off, adj)
+	}
+	mate := make([]int64, len(adj))
+	eid := make([]int64, len(adj))
+	base := make([]int64, n+1)
+	forDegreeChunks(off, p, func(u int) {
+		var c int64
+		for s := off[u]; s < off[u+1]; s++ {
+			if adj[s] > V(u) {
+				c++
+			}
+		}
+		base[u+1] = c
+	})
+	prefixInPlace(base, p)
+	forDegreeChunks(off, p, func(u int) {
+		k := base[u]
+		for s := off[u]; s < off[u+1]; s++ {
+			v := adj[s]
+			if v > V(u) {
+				// The worker owning the lesser endpoint writes both slots;
+				// every mate slot has exactly one owner, so the writes are
+				// disjoint across workers.
+				r := searchSlot(off, adj, v, V(u))
+				mate[s] = r
+				mate[r] = s
+				eid[s] = k
+				eid[r] = k
+				k++
+			}
+		}
+	})
+	return &Undirected{n: n, off: off, adj: adj, mate: mate, eid: eid, m: base[n]}
+}
+
+// finishUndirectedSerial is the seed single-threaded mate/eid pass.
+func finishUndirectedSerial(n int, off []int64, adj []V) *Undirected {
 	mate := make([]int64, len(adj))
 	eid := make([]int64, len(adj))
 	var m int64
@@ -176,4 +385,61 @@ func searchSlot(off []int64, adj []V, u, target V) int64 {
 		}
 	}
 	panic("graph: asymmetric CSR — reverse edge missing")
+}
+
+// forDegreeChunks runs body(u) for every vertex u in [0, len(off)-1), fanned
+// out over degree-weighted contiguous chunks (AppendRangeWorkChunks) claimed
+// dynamically — the builder-side twin of the traversal kernels' degree-aware
+// frontier scheduling.
+func forDegreeChunks(off []int64, p int, body func(u int)) {
+	n := len(off) - 1
+	bounds := AppendRangeWorkChunks(off, WorkGrain(off[n]+int64(n), p, buildGrainFloor), nil)
+	parallel.ForDynamic(0, len(bounds), p, 1, func(ci int) {
+		lo := 0
+		if ci > 0 {
+			lo = int(bounds[ci-1])
+		}
+		for u := lo; u < int(bounds[ci]); u++ {
+			body(u)
+		}
+	})
+}
+
+// prefixInPlace turns per-index weights into inclusive prefix sums:
+// a[0] is preserved (must be 0), a[i+1] becomes a[0]+w(0)+...+w(i) where
+// w(i) was stored in a[i+1]. Large arrays scan in parallel blocks.
+func prefixInPlace(a []int64, p int) {
+	n := len(a) - 1
+	if p <= 1 || n < 1<<15 {
+		for i := 0; i < n; i++ {
+			a[i+1] += a[i]
+		}
+		return
+	}
+	partial := make([]int64, p+1)
+	parallel.Run(p, func(w int) {
+		lo, hi := blockRange(n, p, w)
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += a[i+1]
+		}
+		partial[w+1] = s
+	})
+	for w := 0; w < p; w++ {
+		partial[w+1] += partial[w]
+	}
+	parallel.Run(p, func(w int) {
+		lo, hi := blockRange(n, p, w)
+		run := partial[w]
+		for i := lo; i < hi; i++ {
+			run += a[i+1]
+			a[i+1] = run
+		}
+	})
+}
+
+// blockRange is the [lo, hi) share of worker w under an even static split of
+// [0, n) into p blocks.
+func blockRange(n, p, w int) (int, int) {
+	return w * n / p, (w + 1) * n / p
 }

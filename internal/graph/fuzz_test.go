@@ -39,6 +39,81 @@ func FuzzReadEdgeList(f *testing.F) {
 	})
 }
 
+// FuzzReadEdgeListParity fuzzes the chunk-parallel parser against the serial
+// seed parser: identical edges, vertex count, and error text (the full
+// accepted/rejected behavior) on every input, at several thread counts.
+func FuzzReadEdgeListParity(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# c\n\n  5 6 junk\n% c\n7\t8\n")
+	f.Add("")
+	f.Add("bad line\n")
+	f.Add("1 2\n-3 4\n")
+	f.Add("9999999999999999999999 1\n")
+	f.Add("0 1\r\n2 3\r\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<21 {
+			return
+		}
+		wantEdges, wantN, wantErr := ReadEdgeListSerial(strings.NewReader(input))
+		for _, p := range []int{1, 3, 8} {
+			edges, n, err := ParseEdgeListBytes([]byte(input), p)
+			if (err == nil) != (wantErr == nil) {
+				t.Fatalf("p=%d: error presence mismatch: serial=%v parallel=%v", p, wantErr, err)
+			}
+			if err != nil {
+				if err.Error() != wantErr.Error() {
+					t.Fatalf("p=%d: error text: serial=%q parallel=%q", p, wantErr, err)
+				}
+				continue
+			}
+			if n != wantN || len(edges) != len(wantEdges) {
+				t.Fatalf("p=%d: shape mismatch", p)
+			}
+			for i := range edges {
+				if edges[i] != wantEdges[i] {
+					t.Fatalf("p=%d: edge %d: serial=%v parallel=%v", p, i, wantEdges[i], edges[i])
+				}
+			}
+		}
+	})
+}
+
+// FuzzParallelBuildParity fuzzes the parallel CSR builder against the serial
+// seed builder on small adversarial edge lists (the size clamp is bypassed by
+// driving buildCSR directly).
+func FuzzParallelBuildParity(f *testing.F) {
+	f.Add([]byte{4, 0, 1, 1, 2, 2, 2, 3, 0})
+	f.Add([]byte{1, 0, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			return
+		}
+		n := 1
+		if len(data) > 0 {
+			n += int(data[0]) % 64
+		}
+		var edges []Edge
+		for i := 1; i+1 < len(data); i += 2 {
+			edges = append(edges, Edge{V(int(data[i]) % n), V(int(data[i+1]) % n)})
+		}
+		wantD := BuildDirectedSerial(n, edges)
+		wantU := BuildUndirectedSerial(n, edges)
+		for _, p := range []int{2, 4} {
+			outOff, outAdj := buildCSR(n, edges, false, p)
+			inOff, inAdj := buildCSR(n, edges, true, p)
+			gotD := &Directed{n: n, outOff: outOff, outAdj: outAdj, inOff: inOff, inAdj: inAdj}
+			sameDirected(t, wantD, gotD)
+			sym := make([]Edge, 0, 2*len(edges))
+			for _, e := range edges {
+				sym = append(sym, e, Edge{e.V, e.U})
+			}
+			off, adj := buildCSR(n, sym, false, p)
+			sameUndirected(t, wantU, finishUndirectedSerial(n, off, adj))
+		}
+	})
+}
+
 // FuzzReadBinary hammers the binary loader: arbitrary bytes must either error
 // out or produce a structurally valid graph, never panic.
 func FuzzReadBinary(f *testing.F) {

@@ -2,17 +2,197 @@ package graph
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
+
+	"aquila/internal/parallel"
 )
+
+// maxEdgeListLine mirrors the seed scanner's 1 MiB token buffer: lines at or
+// beyond this length fail with bufio.ErrTooLong, exactly as the serial
+// scanner does when its buffer fills before the newline arrives.
+const maxEdgeListLine = 1 << 20
+
+// minParseChunk is the smallest byte range worth handing to a parser worker;
+// inputs below p*minParseChunk use fewer chunks (down to one).
+const minParseChunk = 1 << 16
 
 // ReadEdgeList parses a whitespace-separated edge list ("u v" per line;
 // '#'- or '%'-prefixed lines are comments, matching SNAP and KONECT dumps).
 // It returns the edge list and the implied vertex count (max id + 1).
+//
+// The input is slurped and parsed in parallel: the byte buffer is split at
+// newline boundaries into per-worker chunks whose edge slices concatenate in
+// input order. Accepted inputs, rejected inputs, error text and line numbers
+// are identical to the line-at-a-time seed parser (ReadEdgeListSerial), which
+// the differential and fuzz tests pin.
 func ReadEdgeList(r io.Reader) (edges []Edge, n int, err error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	return ParseEdgeListBytes(data, 0)
+}
+
+// ParseEdgeListBytes parses an in-memory edge list with up to threads workers
+// (Threads semantics: < 1 means GOMAXPROCS), with ReadEdgeList's exact
+// semantics.
+func ParseEdgeListBytes(data []byte, threads int) ([]Edge, int, error) {
+	p := parallel.Threads(threads)
+	if c := len(data) / minParseChunk; c < p {
+		p = c
+	}
+	if p < 1 {
+		p = 1
+	}
+	starts := splitAtLines(data, p)
+	chunks := make([]parseChunk, len(starts))
+	if len(starts) == 1 {
+		chunks[0] = parseEdgeChunk(data, 0)
+	} else {
+		// First pass: line counts per chunk (cheap newline scan) so every
+		// worker knows its absolute starting line for error messages.
+		lines := make([]int, len(starts)+1)
+		parallel.For(0, len(starts), p, func(i int) {
+			c := chunkBytes(data, starts, i)
+			nl := bytes.Count(c, []byte{'\n'})
+			if len(c) > 0 && c[len(c)-1] != '\n' {
+				nl++ // final line without trailing newline still counts
+			}
+			lines[i+1] = nl
+		})
+		for i := 0; i < len(starts); i++ {
+			lines[i+1] += lines[i]
+		}
+		parallel.For(0, len(starts), p, func(i int) {
+			chunks[i] = parseEdgeChunk(chunkBytes(data, starts, i), lines[i])
+		})
+	}
+
+	// The earliest chunk with an error wins: chunk order is line order, and
+	// within a chunk parsing stopped at its first bad line — together that is
+	// the first error the serial scan would have hit.
+	total := 0
+	maxID := int64(-1)
+	for i := range chunks {
+		if chunks[i].err != nil {
+			return nil, 0, chunks[i].err
+		}
+		total += len(chunks[i].edges)
+		if chunks[i].maxID > maxID {
+			maxID = chunks[i].maxID
+		}
+	}
+	if total == 0 {
+		return nil, int(maxID + 1), nil
+	}
+	edges := make([]Edge, total)
+	at := make([]int, len(chunks)+1)
+	for i := range chunks {
+		at[i+1] = at[i] + len(chunks[i].edges)
+	}
+	parallel.For(0, len(chunks), p, func(i int) {
+		copy(edges[at[i]:at[i+1]], chunks[i].edges)
+	})
+	return edges, int(maxID + 1), nil
+}
+
+// splitAtLines returns the start offsets of up to want chunks of data, each
+// boundary advanced to the byte after a newline so no line straddles chunks.
+func splitAtLines(data []byte, want int) []int {
+	starts := []int{0}
+	for i := 1; i < want; i++ {
+		pos := i * len(data) / want
+		prev := starts[len(starts)-1]
+		if pos <= prev {
+			continue
+		}
+		nl := bytes.IndexByte(data[pos:], '\n')
+		if nl < 0 {
+			break
+		}
+		if s := pos + nl + 1; s > prev && s < len(data) {
+			starts = append(starts, s)
+		}
+	}
+	return starts
+}
+
+// chunkBytes is chunk i of data under the start offsets.
+func chunkBytes(data []byte, starts []int, i int) []byte {
+	if i+1 < len(starts) {
+		return data[starts[i]:starts[i+1]]
+	}
+	return data[starts[i]:]
+}
+
+// parseChunk is one worker's share of a parallel edge-list parse.
+type parseChunk struct {
+	edges []Edge
+	maxID int64
+	err   error
+}
+
+// parseEdgeChunk parses one newline-aligned chunk, numbering lines from
+// startLine (lines before this chunk). The per-line rules replicate the seed
+// scanner parser byte for byte: trim, comment skip, >=2 whitespace fields,
+// ParseInt errors wrapped with the absolute line number.
+func parseEdgeChunk(data []byte, startLine int) parseChunk {
+	out := parseChunk{maxID: -1}
+	line := startLine
+	for len(data) > 0 {
+		var raw []byte
+		if nl := bytes.IndexByte(data, '\n'); nl >= 0 {
+			raw, data = data[:nl], data[nl+1:]
+		} else {
+			raw, data = data, nil
+		}
+		line++
+		if len(raw) >= maxEdgeListLine {
+			out.err = bufio.ErrTooLong
+			return out
+		}
+		text := strings.TrimSpace(string(raw))
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			out.err = fmt.Errorf("graph: line %d: want at least 2 fields, got %q", line, text)
+			return out
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			out.err = fmt.Errorf("graph: line %d: bad source id: %v", line, err)
+			return out
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			out.err = fmt.Errorf("graph: line %d: bad target id: %v", line, err)
+			return out
+		}
+		if u < 0 || v < 0 || u > int64(NoVertex)-1 || v > int64(NoVertex)-1 {
+			out.err = fmt.Errorf("graph: line %d: vertex id out of range", line)
+			return out
+		}
+		if u > out.maxID {
+			out.maxID = u
+		}
+		if v > out.maxID {
+			out.maxID = v
+		}
+		out.edges = append(out.edges, Edge{V(u), V(v)})
+	}
+	return out
+}
+
+// ReadEdgeListSerial is the seed line-at-a-time parser, kept verbatim as the
+// pinned reference the parallel parser is differentially tested against.
+func ReadEdgeListSerial(r io.Reader) (edges []Edge, n int, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	line := 0

@@ -1,0 +1,296 @@
+package graph
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// diffLCG is a tiny deterministic generator for differential inputs (the gen
+// package can't be imported here: it depends on graph).
+type diffLCG uint64
+
+func (r *diffLCG) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r) >> 11
+}
+
+func (r *diffLCG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// diffEdges generates m edges over n vertices: mostly uniform, a skewed slice
+// aimed at a handful of hubs, plus sprinkled self-loops and duplicates so the
+// drop/dedup paths are exercised.
+func diffEdges(n, m int, seed uint64) []Edge {
+	r := diffLCG(seed)
+	edges := make([]Edge, 0, m)
+	for i := 0; i < m; i++ {
+		u := V(r.intn(n))
+		v := V(r.intn(n))
+		switch r.intn(10) {
+		case 0: // hub edge
+			v = V(r.intn(1 + n/50))
+		case 1: // self-loop
+			v = u
+		case 2: // duplicate of an earlier edge
+			if len(edges) > 0 {
+				e := edges[r.intn(len(edges))]
+				u, v = e.U, e.V
+			}
+		}
+		edges = append(edges, Edge{u, v})
+	}
+	return edges
+}
+
+func sameDirected(t *testing.T, want, got *Directed) {
+	t.Helper()
+	if want.n != got.n {
+		t.Fatalf("n: want %d, got %d", want.n, got.n)
+	}
+	for _, c := range []struct {
+		name       string
+		wOff, gOff []int64
+		wAdj, gAdj []V
+	}{
+		{"out", want.outOff, got.outOff, want.outAdj, got.outAdj},
+		{"in", want.inOff, got.inOff, want.inAdj, got.inAdj},
+	} {
+		if !reflect.DeepEqual(c.wOff, c.gOff) {
+			t.Fatalf("%s-CSR offsets differ", c.name)
+		}
+		if !reflect.DeepEqual(c.wAdj, c.gAdj) {
+			t.Fatalf("%s-CSR adjacency differs", c.name)
+		}
+	}
+}
+
+func sameUndirected(t *testing.T, want, got *Undirected) {
+	t.Helper()
+	if want.n != got.n || want.m != got.m {
+		t.Fatalf("shape: want n=%d m=%d, got n=%d m=%d", want.n, want.m, got.n, got.m)
+	}
+	if !reflect.DeepEqual(want.off, got.off) {
+		t.Fatal("offsets differ")
+	}
+	if !reflect.DeepEqual(want.adj, got.adj) {
+		t.Fatal("adjacency differs")
+	}
+	if !reflect.DeepEqual(want.mate, got.mate) {
+		t.Fatal("mate index differs")
+	}
+	if !reflect.DeepEqual(want.eid, got.eid) {
+		t.Fatal("edge ids differ")
+	}
+}
+
+// TestBuildDirectedParallelMatchesSerial pins the tentpole determinism claim:
+// every worker count yields byte-identical CSR to the serial seed builder.
+// Large cases go through the public API (past the minParallelBuild clamp);
+// small cases drive buildCSR directly so degenerate shapes still hit the
+// parallel code path.
+func TestBuildDirectedParallelMatchesSerial(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{
+		{50, 400}, {1000, 5000}, {4000, minParallelBuild + 7}, {1 << 12, 1 << 16},
+	} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			edges := diffEdges(tc.n, tc.m, seed)
+			want := BuildDirectedSerial(tc.n, edges)
+			for _, p := range []int{2, 3, 4, 8} {
+				if tc.m >= minParallelBuild {
+					sameDirected(t, want, BuildDirectedThreads(tc.n, edges, p))
+				} else {
+					outOff, outAdj := buildCSR(tc.n, edges, false, p)
+					inOff, inAdj := buildCSR(tc.n, edges, true, p)
+					got := &Directed{n: tc.n, outOff: outOff, outAdj: outAdj, inOff: inOff, inAdj: inAdj}
+					sameDirected(t, want, got)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildUndirectedParallelMatchesSerial(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{
+		{50, 400}, {1000, 5000}, {1 << 12, minParallelBuild + 100}, {1 << 12, 1 << 16},
+	} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			edges := diffEdges(tc.n, tc.m, seed)
+			want := BuildUndirectedSerial(tc.n, edges)
+			for _, p := range []int{2, 4, 8} {
+				var got *Undirected
+				if tc.m >= minParallelBuild {
+					got = BuildUndirectedThreads(tc.n, edges, p)
+				} else {
+					// Force the parallel symmetrize+build+finish path below
+					// the size clamp.
+					sym := make([]Edge, 0, 2*len(edges))
+					for _, e := range edges {
+						sym = append(sym, e, Edge{e.V, e.U})
+					}
+					off, adj := buildCSR(tc.n, sym, false, p)
+					got = finishUndirectedSerial(tc.n, off, adj)
+				}
+				sameUndirected(t, want, got)
+			}
+		}
+	}
+}
+
+// TestFinishUndirectedParallelMatchesSerial targets the parallel mate/eid
+// assignment specifically, on inputs big enough to pass its size gate.
+func TestFinishUndirectedParallelMatchesSerial(t *testing.T) {
+	edges := diffEdges(1<<12, 1<<16, 7)
+	sym := make([]Edge, 0, 2*len(edges))
+	for _, e := range edges {
+		sym = append(sym, e, Edge{e.V, e.U})
+	}
+	off, adj := buildCSRSerial(1<<12, sym, false)
+	want := finishUndirectedSerial(1<<12, off, adj)
+	for _, p := range []int{2, 4, 8} {
+		sameUndirected(t, want, finishUndirected(1<<12, off, adj, p))
+	}
+}
+
+func TestUndirectParallelMatchesSerial(t *testing.T) {
+	g := BuildDirected(1<<12, diffEdges(1<<12, 1<<16, 11))
+	want := undirectSerial(g)
+	for _, p := range []int{2, 4, 8} {
+		sameUndirected(t, want, UndirectThreads(g, p))
+	}
+}
+
+// edgeListText renders lines edges of mixed formatting (comments, blanks,
+// extra whitespace, trailing fields) deterministically.
+func edgeListText(lines int, seed uint64) []byte {
+	r := diffLCG(seed)
+	var b bytes.Buffer
+	for i := 0; i < lines; i++ {
+		switch r.intn(12) {
+		case 0:
+			b.WriteString("# comment line\n")
+		case 1:
+			b.WriteString("% also a comment\n")
+		case 2:
+			b.WriteString("\n")
+		case 3:
+			b.WriteString("   \t \n")
+		case 4:
+			fmt.Fprintf(&b, "  %d\t%d   extra fields here\n", r.intn(5000), r.intn(5000))
+		default:
+			fmt.Fprintf(&b, "%d %d\n", r.intn(5000), r.intn(5000))
+		}
+	}
+	return b.Bytes()
+}
+
+// TestParseEdgeListParallelMatchesSerial feeds inputs large enough to split
+// into many chunks and requires identical (edges, n) for every thread count.
+func TestParseEdgeListParallelMatchesSerial(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		data := edgeListText(80_000, seed) // ~600 KB: ~9 chunks at minParseChunk
+		wantEdges, wantN, err := ReadEdgeListSerial(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{1, 2, 3, 4, 8} {
+			edges, n, err := ParseEdgeListBytes(data, p)
+			if err != nil {
+				t.Fatalf("p=%d: %v", p, err)
+			}
+			if n != wantN {
+				t.Fatalf("p=%d: n: want %d, got %d", p, wantN, n)
+			}
+			if !reflect.DeepEqual(wantEdges, edges) {
+				t.Fatalf("p=%d: edges differ", p)
+			}
+		}
+	}
+}
+
+// TestParseEdgeListErrorParity checks malformed-input parity: same error text
+// (including the absolute line number) as the serial scanner, with the bad
+// line planted in early, middle and late chunks of a multi-chunk input.
+func TestParseEdgeListErrorParity(t *testing.T) {
+	badLines := []string{
+		"0",                      // too few fields
+		"a b",                    // bad source
+		"0 x",                    // bad target
+		"-1 2",                   // out of range
+		"4294967295 0",           // NoVertex is reserved
+		"1 99999999999999999999", // target overflows int64
+	}
+	filler := strings.Repeat("1 2\n3 4\n", 40_000) // ~320 KB of valid lines
+	for _, bad := range badLines {
+		for _, at := range []float64{0, 0.4, 0.9} {
+			pos := int(at * float64(len(filler)))
+			for pos < len(filler) && filler[pos] != '\n' {
+				pos++
+			}
+			data := filler[:pos] + "\n" + bad + "\n" + filler[pos:]
+			_, _, wantErr := ReadEdgeListSerial(strings.NewReader(data))
+			if wantErr == nil {
+				t.Fatalf("serial accepted %q", bad)
+			}
+			for _, p := range []int{1, 2, 4, 8} {
+				_, _, err := ParseEdgeListBytes([]byte(data), p)
+				if err == nil || err.Error() != wantErr.Error() {
+					t.Fatalf("bad=%q at=%.1f p=%d: want error %q, got %v", bad, at, p, wantErr, err)
+				}
+			}
+		}
+	}
+}
+
+// TestParseEdgeListLongLineParity pins the bufio.ErrTooLong boundary: the
+// serial scanner fails once a line reaches its 1 MiB buffer; the parallel
+// parser must fail identically, and accept one byte less.
+func TestParseEdgeListLongLineParity(t *testing.T) {
+	okLine := "# " + strings.Repeat("x", maxEdgeListLine-3) // 1<<20 - 1 bytes
+	tooLong := okLine + "x"
+	for name, data := range map[string]string{
+		"ok":      okLine + "\n1 2\n",
+		"toolong": tooLong + "\n1 2\n",
+	} {
+		wantEdges, wantN, wantErr := ReadEdgeListSerial(strings.NewReader(data))
+		for _, p := range []int{1, 4} {
+			edges, n, err := ParseEdgeListBytes([]byte(data), p)
+			switch {
+			case wantErr == nil:
+				if err != nil {
+					t.Fatalf("%s p=%d: unexpected error %v", name, p, err)
+				}
+				if n != wantN || !reflect.DeepEqual(wantEdges, edges) {
+					t.Fatalf("%s p=%d: result mismatch", name, p)
+				}
+			default:
+				if !errors.Is(wantErr, bufio.ErrTooLong) {
+					t.Fatalf("%s: serial error %v, want ErrTooLong", name, wantErr)
+				}
+				if !errors.Is(err, bufio.ErrTooLong) {
+					t.Fatalf("%s p=%d: want ErrTooLong, got %v", name, p, err)
+				}
+			}
+		}
+	}
+}
+
+// TestReadEdgeListUsesParallelParser is a tripwire: the public entry point
+// must agree with the serial reference on a mixed-format input.
+func TestReadEdgeListUsesParallelParser(t *testing.T) {
+	data := edgeListText(5_000, 99)
+	wantEdges, wantN, err := ReadEdgeListSerial(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges, n, err := ReadEdgeList(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != wantN || !reflect.DeepEqual(wantEdges, edges) {
+		t.Fatal("ReadEdgeList diverges from ReadEdgeListSerial")
+	}
+}

@@ -75,7 +75,9 @@ func (e *Engine) Connected(u, v V) bool {
 	if e.inc != nil {
 		s := e.inc
 		e.mu.Unlock()
-		return s.Connected(u, v)
+		// The union-find lives in compute ids; translate the pair on the way
+		// in (mapV is the identity for unreordered engines).
+		return s.Connected(e.mapV(u), e.mapV(v))
 	}
 	res := e.ccCompleteLocked()
 	e.mu.Unlock()
@@ -221,12 +223,17 @@ func (e *Engine) LargestCC() *LargestResult {
 		size := visited.Count()
 		if 2*size >= n {
 			// The result keeps visited.Get, so the bitmap must survive the
-			// scratch's next checkout.
+			// scratch's next checkout. The traversal ran in compute ids:
+			// membership checks translate in, the pivot translates out.
 			rs.DetachVisited()
 			e.putReach(rs)
+			contains := visited.Get
+			if e.perm != nil {
+				contains = func(v V) bool { return visited.Get(e.perm.Perm[v]) }
+			}
 			return &LargestResult{
-				Size: size, Pivot: master, Partial: true,
-				contains: visited.Get,
+				Size: size, Pivot: e.unmapV(master), Partial: true,
+				contains: contains,
 			}
 		}
 		e.putReach(rs)
@@ -284,12 +291,14 @@ func (e *Engine) LargestSCC() (*LargestResult, error) {
 			}
 		}
 		if 2*size >= n {
-			// Both bitmaps escape into the result's contains closure.
+			// Both bitmaps escape into the result's contains closure; like
+			// LargestCC, the bitmaps are compute-space so membership checks
+			// translate in.
 			rs.DetachVisited()
 			e.putReach(rs)
 			return &LargestResult{
-				Size: size, Pivot: master, Partial: true,
-				contains: func(v V) bool { return fw.Get(v) && bw.Get(v) },
+				Size: size, Pivot: e.unmapV(master), Partial: true,
+				contains: func(v V) bool { v = e.mapV(v); return fw.Get(v) && bw.Get(v) },
 			}, nil
 		}
 		e.putReach(rs)
@@ -316,7 +325,11 @@ func (e *Engine) ArticulationPoints() []V {
 		e.mu.Lock()
 		e.materializeLocked()
 		if e.apOnly == nil {
-			e.apOnly = bicc.Run(e.und, e.biccOptions(true))
+			raw := bicc.Run(e.und, e.biccOptions(true))
+			if e.perm != nil {
+				raw = remapBiCC(raw, e.perm, e.eidMap, e.opt.Threads)
+			}
+			e.apOnly = raw
 		}
 		isAP = e.apOnly.IsAP
 		e.mu.Unlock()
@@ -345,16 +358,29 @@ func (e *Engine) IsArticulationPoint(v V) bool {
 func (e *Engine) Bridges() [][2]V {
 	e.mu.Lock()
 	e.materializeLocked()
+	// The kernel runs on the compute graph; the cached flags and the reported
+	// endpoints are both in original ids (flags remapped through eidMap).
 	g := e.und
+	if e.perm != nil {
+		g = e.origUnd
+	}
 	var isBridge []bool
 	if e.opt.DisablePartial {
 		if e.bgccRes == nil {
-			e.bgccRes = bgcc.Run(g, e.bgccOptions(false))
+			raw := bgcc.Run(e.und, e.bgccOptions(false))
+			if e.perm != nil {
+				raw = remapBgCC(raw, e.perm, e.eidMap, e.opt.Threads)
+			}
+			e.bgccRes = raw
 		}
 		isBridge = e.bgccRes.IsBridge
 	} else {
 		if e.brOnly == nil {
-			e.brOnly = bgcc.Run(g, e.bgccOptions(true))
+			raw := bgcc.Run(e.und, e.bgccOptions(true))
+			if e.perm != nil {
+				raw = remapBgCC(raw, e.perm, e.eidMap, e.opt.Threads)
+			}
+			e.brOnly = raw
 		}
 		isBridge = e.brOnly.IsBridge
 	}
