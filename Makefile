@@ -22,20 +22,25 @@ race:
 # The large-graph oracle cross-checks (skipped by `go test -short`).
 stress:
 	go test -run TestStress -count=1 .
+	go test -run TestServerInterleavingsStress -count=1 ./internal/serve/harness
 
 # testing.B benches: one per paper table/figure plus micro-benches.
 bench:
 	go test -bench=. -benchmem -run='^$$' ./...
 
 # Machine-readable snapshot of the perf-trajectory benchmarks: the PR 2
-# BFS / CC / scheduler set plus the PR 3 ingestion set (build + parse
-# throughput in edges/s, reorder ablation) into BENCH_PR3.json.
+# BFS / CC / scheduler set, the PR 3 ingestion set (build + parse
+# throughput in edges/s, reorder ablation), and the PR 4 serving set
+# (reader throughput with/without singleflight, Apply latency under read
+# load) into BENCH_PR4.json.
 bench-json:
 	( go test -bench='BFS|CC|Pool|Reach' -benchmem -benchtime=20x -run='^$$' \
 		. ./internal/bfs ./internal/parallel ; \
 	  go test -bench='Build|Parse|Reorder' -benchmem -benchtime=5x -run='^$$' \
-		./internal/bench ) \
-		| go run ./cmd/bench2json > BENCH_PR3.json
+		./internal/bench ; \
+	  go test -bench='ServerThroughput|ApplyUnderReadLoad' -benchmem -benchtime=5x -run='^$$' \
+		. ) \
+		| go run ./cmd/bench2json > BENCH_PR4.json
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:
@@ -48,3 +53,4 @@ fuzz:
 	go test -fuzz=FuzzParallelBuildParity -fuzztime=30s ./internal/graph
 	go test -fuzz=FuzzReadBinary -fuzztime=30s ./internal/graph
 	go test -fuzz=FuzzBiCCMatchesOracle -fuzztime=30s ./internal/bicc
+	go test -fuzz=FuzzServerSchedule -fuzztime=30s ./internal/serve/harness

@@ -17,9 +17,16 @@
 // With -updates, the file is replayed as batches of edge insertions through
 // the incremental connectivity layer before the query runs; see
 // internal/cli.ReplayUpdates for the script format.
+//
+// With -serve, updates and queries go through the concurrent serving layer
+// instead: every batch publishes a new epoch, every answer comes from a
+// pinned snapshot, and the script gains `pin` / `?? u v` directives that
+// query a pinned past epoch (see internal/cli.ReplayServed). -timeout sets a
+// per-query deadline.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -47,6 +54,8 @@ func main() {
 		threads    = flag.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
 		reorder    = flag.String("reorder", "none", "cache-aware vertex reordering: none, degree, bfs")
 		noPartial  = flag.Bool("no-partial", false, "disable query transformation (always complete computation)")
+		serve      = flag.Bool("serve", false, "route updates and queries through the concurrent serving layer (snapshot isolation, singleflight, admission control)")
+		timeout    = flag.Duration("timeout", 0, "per-query deadline in serve mode (0 = none)")
 		verbose    = flag.Bool("verbose", false, "print strategy and timing details")
 		explain    = flag.Bool("explain", false, "print the query classification and strategy before answering")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the query to this file")
@@ -83,13 +92,22 @@ func main() {
 		DisablePartial:   *noPartial,
 		RebuildThreshold: *rebuild,
 	})
+	var srv *aquila.Server
+	if *serve {
+		srv = aquila.NewServer(eng, aquila.ServerConfig{DefaultTimeout: *timeout})
+	}
 	if *updates != "" {
 		f, err := os.Open(*updates)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "aquila:", err)
 			os.Exit(1)
 		}
-		transcript, err := cli.ReplayUpdates(eng, f, *batchSize)
+		var transcript string
+		if srv != nil {
+			transcript, err = cli.ReplayServed(srv, f, *batchSize)
+		} else {
+			transcript, err = cli.ReplayUpdates(eng, f, *batchSize)
+		}
 		f.Close()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "aquila:", err)
@@ -113,7 +131,12 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 	start := time.Now()
-	out, err := cli.Answer(eng, *query)
+	var out string
+	if srv != nil {
+		out, err = cli.AnswerServed(context.Background(), srv, *query)
+	} else {
+		out, err = cli.Answer(eng, *query)
+	}
 	elapsed := time.Since(start)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aquila:", err)

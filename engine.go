@@ -1,6 +1,7 @@
 package aquila
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -27,10 +28,28 @@ import (
 // crosses Options.RebuildThreshold, Apply falls back to the static cc.Run
 // pipeline and reseeds the incremental state from the fresh decomposition.
 //
+// # Concurrency contract
+//
 // An Engine is safe for concurrent use by multiple goroutines, including
 // readers querying while another goroutine applies batches: answers are
 // always consistent snapshots, and connectivity is monotone (once two
-// vertices are connected, no later query disconnects them).
+// vertices are connected, no later query disconnects them). The contract,
+// precisely:
+//
+//   - e.mu guards the graph pointers, the incremental state, and every result
+//     cache. Cache fills for complete decompositions run *under* e.mu, so a
+//     query storm against a cold cache serializes behind one compute — the
+//     Server layer (snapshot isolation + singleflight) is the scalable path
+//     for that workload.
+//   - Published graph pointers are immutable: Apply/materialize build fresh
+//     CSRs and swap pointers, so a query that snapshotted e.und under the
+//     lock can traverse it lock-free afterwards.
+//   - Traversal scratches come from a shared race-clean ScratchPool (its own
+//     mutex, never held together with e.mu), so partial fast paths running
+//     outside the lock never contend with writers.
+//   - Cache fills computed outside e.mu (the partial fast paths) re-validate
+//     against cacheGen before storing, so a concurrent Apply's invalidation
+//     is never overwritten by a stale fill.
 type Engine struct {
 	opt      Options
 	directed bool // fixed at construction; e.dir is non-nil iff directed
@@ -60,12 +79,18 @@ type Engine struct {
 	baseEdges    int64 // undirected edge count at the last (re)build
 	sinceRebuild int64 // undirected edges inserted since then
 
-	// reachFree is a free list of traversal scratches shared by the partial
-	// fast paths (IsConnected, LargestCC, ...), so query storms reuse warm
-	// buffers instead of allocating per call. Guarded by reachMu, not e.mu:
-	// queries run their traversals outside the engine lock.
-	reachMu   sync.Mutex
-	reachFree []*bfs.ReachScratch
+	// reach pools traversal scratches for the partial fast paths
+	// (IsConnected, LargestCC, ...), so query storms reuse warm buffers
+	// instead of allocating per call. It has its own lock, not e.mu: queries
+	// run their traversals outside the engine lock, and serving snapshots
+	// share the same pool.
+	reach bfs.ScratchPool
+
+	// cacheGen increments (under e.mu) every time Apply or a rebuild
+	// invalidates result caches. Fills computed outside e.mu compare it to
+	// the value captured before computing and drop the fill on mismatch —
+	// otherwise a slow stale fill could overwrite a newer invalidation.
+	cacheGen uint64
 
 	// ccRaw is the compute-space CC decomposition; its labels are min-id
 	// canonical in compute space, which inc.FromLabels requires. ccRes is the
@@ -225,83 +250,150 @@ func (e *Engine) bgccOptions(bridgeOnly bool) bgcc.Options {
 	}
 }
 
-// ccComplete returns the cached complete CC decomposition, computing it once.
-func (e *Engine) ccComplete() *cc.Result {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.ccCompleteLocked()
+// ctxErr reports the context's error; a nil context never errs (it is the
+// engine-internal stand-in for context.Background without the interface call).
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
-// ccRawLocked fills the compute-space CC cache under e.mu. Once incremental
+// ccComplete returns the cached complete CC decomposition, computing it once.
+func (e *Engine) ccComplete() *cc.Result {
+	res, _ := e.ccCompleteCtx(nil)
+	return res
+}
+
+func (e *Engine) ccCompleteCtx(ctx context.Context) (*cc.Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ccCompleteLockedCtx(ctx)
+}
+
+// ccRawLockedCtx fills the compute-space CC cache under e.mu. Once incremental
 // state exists the result is derived from the union-find in O(|V|) — the
 // paper's workload-reduction philosophy applied to updates: no traversal
 // reruns. Raw labels are min-id canonical in compute space; the incremental
 // layer is always seeded from these, never from the remapped caller view.
-func (e *Engine) ccRawLocked() *cc.Result {
+// A cancelled ctx aborts the kernel; the partial result is discarded, never
+// cached, so a later call recomputes from scratch.
+func (e *Engine) ccRawLockedCtx(ctx context.Context) (*cc.Result, error) {
 	if e.ccRaw == nil {
 		if e.inc != nil {
 			e.ccRaw = e.inc.CCResult(e.opt.Threads)
 		} else {
-			e.ccRaw = cc.Run(e.und, e.ccOptions())
+			opt := e.ccOptions()
+			opt.Ctx = ctx
+			res := cc.Run(e.und, opt)
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+			e.ccRaw = res
 		}
 	}
-	return e.ccRaw
+	return e.ccRaw, nil
 }
 
-// ccCompleteLocked fills the caller-facing CC cache under e.mu, remapping the
-// raw decomposition to original ids when the engine is reordered.
-func (e *Engine) ccCompleteLocked() *cc.Result {
+// ccRawLocked is ccRawLockedCtx without cancellation (legacy callers).
+func (e *Engine) ccRawLocked() *cc.Result {
+	res, _ := e.ccRawLockedCtx(nil)
+	return res
+}
+
+// ccCompleteLockedCtx fills the caller-facing CC cache under e.mu, remapping
+// the raw decomposition to original ids when the engine is reordered.
+func (e *Engine) ccCompleteLockedCtx(ctx context.Context) (*cc.Result, error) {
 	if e.ccRes == nil {
-		raw := e.ccRawLocked()
+		raw, err := e.ccRawLockedCtx(ctx)
+		if err != nil {
+			return nil, err
+		}
 		if e.perm != nil {
 			e.ccRes = remapCC(raw, e.perm, e.opt.Threads)
 		} else {
 			e.ccRes = raw
 		}
 	}
-	return e.ccRes
+	return e.ccRes, nil
+}
+
+// ccCompleteLocked is ccCompleteLockedCtx without cancellation.
+func (e *Engine) ccCompleteLocked() *cc.Result {
+	res, _ := e.ccCompleteLockedCtx(nil)
+	return res
 }
 
 func (e *Engine) sccComplete() *scc.Result {
+	res, _ := e.sccCompleteCtx(nil)
+	return res
+}
+
+func (e *Engine) sccCompleteCtx(ctx context.Context) (*scc.Result, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.materializeLocked()
 	if e.sccRes == nil {
-		raw := scc.Run(e.dir, e.sccOptions())
+		opt := e.sccOptions()
+		opt.Ctx = ctx
+		raw := scc.Run(e.dir, opt)
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		if e.perm != nil {
 			raw = remapSCC(raw, e.perm, e.opt.Threads)
 		}
 		e.sccRes = raw
 	}
-	return e.sccRes
+	return e.sccRes, nil
 }
 
 func (e *Engine) biccComplete() *bicc.Result {
+	res, _ := e.biccCompleteCtx(nil)
+	return res
+}
+
+func (e *Engine) biccCompleteCtx(ctx context.Context) (*bicc.Result, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.materializeLocked()
 	if e.biccRes == nil {
-		raw := bicc.Run(e.und, e.biccOptions(false))
+		opt := e.biccOptions(false)
+		opt.Ctx = ctx
+		raw := bicc.Run(e.und, opt)
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		if e.perm != nil {
 			raw = remapBiCC(raw, e.perm, e.eidMap, e.opt.Threads)
 		}
 		e.biccRes = raw
 	}
-	return e.biccRes
+	return e.biccRes, nil
 }
 
 func (e *Engine) bgccComplete() *bgcc.Result {
+	res, _ := e.bgccCompleteCtx(nil)
+	return res
+}
+
+func (e *Engine) bgccCompleteCtx(ctx context.Context) (*bgcc.Result, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.materializeLocked()
 	if e.bgccRes == nil {
-		raw := bgcc.Run(e.und, e.bgccOptions(false))
+		opt := e.bgccOptions(false)
+		opt.Ctx = ctx
+		raw := bgcc.Run(e.und, opt)
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		if e.perm != nil {
 			raw = remapBgCC(raw, e.perm, e.eidMap, e.opt.Threads)
 		}
 		e.bgccRes = raw
 	}
-	return e.bgccRes
+	return e.bgccRes, nil
 }
 
 // ApplyResult summarizes one Apply batch.
@@ -403,6 +495,7 @@ func (e *Engine) Apply(batch []Edge) (*ApplyResult, error) {
 	e.deltaDir = append(e.deltaDir, newDir...)
 	e.sinceRebuild += int64(len(newUnd))
 
+	e.cacheGen++
 	if len(newUnd) > 0 {
 		if res.Merged > 0 {
 			e.ccRaw, e.ccRes, e.largestCC = nil, nil, nil
@@ -422,6 +515,61 @@ func (e *Engine) Apply(batch []Edge) (*ApplyResult, error) {
 	return res, nil
 }
 
+// graphSet bundles the graph pointers one materialization step transforms:
+// the compute CSRs, the caller-id CSRs (reordered engines only) and the
+// edge-id translation. Both the engine (under e.mu) and serving snapshots
+// (outside any lock) materialize through the same function.
+type graphSet struct {
+	dir     *Directed
+	und     *Undirected
+	origDir *Directed
+	origUnd *Undirected
+	eidMap  []int64
+}
+
+// materializeGraphs folds delta edges into fresh CSR graphs and returns the
+// updated set. It reads the input graphs but never mutates them, so a caller
+// holding only immutable snapshots (a serving Snapshot) can materialize
+// without any lock.
+func materializeGraphs(directed bool, perm *graph.Permutation, gs graphSet, deltaUnd, deltaDir []graph.Edge, th int) graphSet {
+	if len(deltaUnd) == 0 && len(deltaDir) == 0 {
+		return gs
+	}
+	if directed {
+		edges := make([]graph.Edge, 0, int(gs.dir.NumArcs())+len(deltaDir))
+		for u := 0; u < gs.dir.NumVertices(); u++ {
+			for _, v := range gs.dir.Out(V(u)) {
+				edges = append(edges, graph.Edge{U: V(u), V: v})
+			}
+		}
+		edges = append(edges, deltaDir...)
+		gs.dir = graph.BuildDirectedThreads(gs.dir.NumVertices(), edges, th)
+		gs.und = graph.UndirectThreads(gs.dir, th)
+	} else {
+		eps := gs.und.EdgeEndpoints()
+		edges := make([]graph.Edge, 0, len(eps)+len(deltaUnd))
+		for _, ep := range eps {
+			edges = append(edges, graph.Edge{U: ep[0], V: ep[1]})
+		}
+		edges = append(edges, deltaUnd...)
+		gs.und = graph.BuildUndirectedThreads(gs.und.NumVertices(), edges, th)
+	}
+	if perm != nil {
+		// The compute graphs absorbed the delta in compute ids; re-derive the
+		// caller-id graphs by applying the inverse relabeling, and refresh the
+		// edge-id translation (dense ids shift when edges are inserted).
+		inv := &graph.Permutation{Perm: perm.Inv, Inv: perm.Perm}
+		if directed {
+			gs.origDir = inv.ApplyDirected(gs.dir, th)
+			gs.origUnd = graph.UndirectThreads(gs.origDir, th)
+		} else {
+			gs.origUnd = inv.ApplyUndirected(gs.und, th)
+		}
+		gs.eidMap = perm.EdgeIDMap(gs.origUnd, gs.und, th)
+	}
+	return gs
+}
+
 // materializeLocked folds the pending delta edges into fresh CSR graphs.
 // Queries that walk adjacency call this lazily; pure union-find queries
 // never pay for it. Published graph pointers are never mutated in place, so
@@ -430,62 +578,24 @@ func (e *Engine) materializeLocked() {
 	if len(e.deltaUnd) == 0 && len(e.deltaDir) == 0 {
 		return
 	}
-	th := e.opt.Threads
-	if e.directed {
-		edges := make([]graph.Edge, 0, int(e.dir.NumArcs())+len(e.deltaDir))
-		for u := 0; u < e.dir.NumVertices(); u++ {
-			for _, v := range e.dir.Out(V(u)) {
-				edges = append(edges, graph.Edge{U: V(u), V: v})
-			}
-		}
-		edges = append(edges, e.deltaDir...)
-		e.dir = graph.BuildDirectedThreads(e.dir.NumVertices(), edges, th)
-		e.und = graph.UndirectThreads(e.dir, th)
-	} else {
-		eps := e.und.EdgeEndpoints()
-		edges := make([]graph.Edge, 0, len(eps)+len(e.deltaUnd))
-		for _, ep := range eps {
-			edges = append(edges, graph.Edge{U: ep[0], V: ep[1]})
-		}
-		edges = append(edges, e.deltaUnd...)
-		e.und = graph.BuildUndirectedThreads(e.und.NumVertices(), edges, th)
-	}
-	if e.perm != nil {
-		// The compute graphs absorbed the delta in compute ids; re-derive the
-		// caller-id graphs by applying the inverse relabeling, and refresh the
-		// edge-id translation (dense ids shift when edges are inserted).
-		inv := &graph.Permutation{Perm: e.perm.Inv, Inv: e.perm.Perm}
-		if e.directed {
-			e.origDir = inv.ApplyDirected(e.dir, th)
-			e.origUnd = graph.UndirectThreads(e.origDir, th)
-		} else {
-			e.origUnd = inv.ApplyUndirected(e.und, th)
-		}
-		e.eidMap = e.perm.EdgeIDMap(e.origUnd, e.und, th)
-	}
+	gs := materializeGraphs(e.directed, e.perm, graphSet{
+		dir: e.dir, und: e.und, origDir: e.origDir, origUnd: e.origUnd, eidMap: e.eidMap,
+	}, e.deltaUnd, e.deltaDir, e.opt.Threads)
+	e.dir, e.und, e.origDir, e.origUnd, e.eidMap = gs.dir, gs.und, gs.origDir, gs.origUnd, gs.eidMap
 	e.deltaUnd, e.deltaDir = nil, nil
 	e.undSet, e.dirSet = make(map[[2]V]struct{}), make(map[[2]V]struct{})
 }
 
-// getReach pops a traversal scratch off the free list (or makes one sized for
-// n vertices). Pair with putReach; a bitmap that must outlive the checkout is
-// taken with DetachVisited before the scratch goes back.
+// getReach pops a traversal scratch off the shared pool (or makes one sized
+// for n vertices). Pair with putReach; a bitmap that must outlive the checkout
+// is taken with DetachVisited before the scratch goes back.
 func (e *Engine) getReach(n int) *bfs.ReachScratch {
-	e.reachMu.Lock()
-	defer e.reachMu.Unlock()
-	if k := len(e.reachFree); k > 0 {
-		s := e.reachFree[k-1]
-		e.reachFree = e.reachFree[:k-1]
-		return s
-	}
-	return bfs.NewReachScratch(n, e.opt.Threads)
+	return e.reach.Get(n, e.opt.Threads)
 }
 
-// putReach returns a scratch to the free list for the next query.
+// putReach returns a scratch to the pool for the next query.
 func (e *Engine) putReach(s *bfs.ReachScratch) {
-	e.reachMu.Lock()
-	e.reachFree = append(e.reachFree, s)
-	e.reachMu.Unlock()
+	e.reach.Put(s)
 }
 
 // rebuildLocked is the fall-back-to-static path: materialize the delta, run
@@ -493,6 +603,7 @@ func (e *Engine) putReach(s *bfs.ReachScratch) {
 // decomposition.
 func (e *Engine) rebuildLocked() {
 	e.materializeLocked()
+	e.cacheGen++
 	e.ccRaw = cc.Run(e.und, e.ccOptions())
 	e.ccRes, e.largestCC = nil, nil
 	e.inc = inc.FromLabels(e.ccRaw.Label, e.ccRaw.NumComponents)

@@ -105,6 +105,7 @@ type ReachScratch struct {
 	// hot path: the bodies are created once and capture only the scratch).
 	adj       Adjacency
 	candidate func(graph.V) bool
+	done      <-chan struct{} // cancellation channel, nil when uncancellable
 	p         int
 	produced  int64
 
@@ -178,6 +179,7 @@ func (s *ReachScratch) Reach(adj Adjacency, master graph.V, candidate func(graph
 	s.ensure(adj.N, p)
 	s.adj = adj
 	s.candidate = candidate
+	s.done = parallel.Done(opt.Ctx)
 	visited := s.visited
 	visited.Reset()
 	if candidate != nil && !candidate(master) {
@@ -205,6 +207,9 @@ func (s *ReachScratch) Reach(adj Adjacency, master graph.V, candidate func(graph
 	bottomUp := false
 	n := adj.N
 	for {
+		if parallel.Stopped(s.done) {
+			break // cancelled: partial visited set; callers check opt.Ctx.Err()
+		}
 		if bottomUp {
 			produced := s.bottomUp(serial)
 			if produced == 0 {
@@ -243,10 +248,11 @@ func (s *ReachScratch) Reach(adj Adjacency, master graph.V, candidate func(graph
 }
 
 // release drops the per-run pinned references so a parked scratch does not
-// keep the graph or candidate closure alive.
+// keep the graph, candidate closure or context alive.
 func (s *ReachScratch) release() {
 	s.adj = Adjacency{}
 	s.candidate = nil
+	s.done = nil
 }
 
 // topDown is one synchronous top-down expansion step. The frontier is
@@ -274,9 +280,14 @@ func (s *ReachScratch) topDown(mf int64, serial, countChunks bool) {
 	s.frontier = next
 }
 
-// expandChunks maps degree-chunk indices to frontier ranges.
+// expandChunks maps degree-chunk indices to frontier ranges. Each chunk is a
+// cancellation boundary: a stopped run skips the remaining chunks (the level
+// stays incomplete, which the cancelled caller discards anyway).
 func (s *ReachScratch) expandChunks(clo, chi, w int) {
 	for c := clo; c < chi; c++ {
+		if parallel.Stopped(s.done) {
+			return
+		}
 		lo := 0
 		if c > 0 {
 			lo = int(s.bounds[c-1])
@@ -358,6 +369,9 @@ func (s *ReachScratch) bottomUpPass(lo, hi, _ int) {
 	vis := s.visited
 	var local int64
 	for v := lo; v < hi; v++ {
+		if v&8191 == 0 && parallel.Stopped(s.done) {
+			break // cancellation boundary inside a long bottom-up block
+		}
 		vv := graph.V(v)
 		if vis.Get(vv) || (cand != nil && !cand(vv)) {
 			continue
@@ -379,6 +393,9 @@ func (s *ReachScratch) bottomUpSerial() int64 {
 	words := s.visited.RawWords()
 	var local int64
 	for v := 0; v < s.adj.N; v++ {
+		if v&8191 == 0 && parallel.Stopped(s.done) {
+			break
+		}
 		vv := graph.V(v)
 		if words[vv>>6]&(1<<(vv&63)) != 0 || (cand != nil && !cand(vv)) {
 			continue
@@ -471,6 +488,9 @@ func (s *ReachScratch) asyncWorker(w int) {
 	local := s.locals[w][:0]
 	discovered := s.disc[w][:0]
 	for {
+		if parallel.Stopped(s.done) {
+			break // every worker checks here, so all exit within one batch
+		}
 		s.qmu.Lock()
 		if len(s.queue) == 0 {
 			if parallel.AddI64(&s.pending, 0) == 0 {
@@ -530,6 +550,9 @@ func (s *ReachScratch) asyncSerial() {
 	q := append(s.queue[:0], s.frontier...)
 	if cand := s.candidate; cand != nil {
 		for head := 0; head < len(q); head++ {
+			if head&1023 == 0 && parallel.Stopped(s.done) {
+				break
+			}
 			u := q[head]
 			for _, v := range arr[off[u]:off[u+1]] {
 				if cand(v) && vis.TrySetLocal(v) {
@@ -540,6 +563,9 @@ func (s *ReachScratch) asyncSerial() {
 	} else {
 		words := vis.RawWords()
 		for head := 0; head < len(q); head++ {
+			if head&1023 == 0 && parallel.Stopped(s.done) {
+				break
+			}
 			u := q[head]
 			for _, v := range arr[off[u]:off[u+1]] {
 				w := &words[v>>6]

@@ -1,0 +1,42 @@
+package bfs
+
+import "sync"
+
+// ScratchPool is a mutex-guarded free list of ReachScratch values shared by
+// concurrent query paths: the Engine's partial fast paths and every serving
+// snapshot draw from one pool, so query storms reuse warm buffers instead of
+// allocating per call. A ScratchPool is safe for concurrent use; the zero
+// value is ready to use.
+//
+// The pool hands out exclusive ownership: a scratch checked out by Get is used
+// by exactly one traversal at a time and must be returned with Put once its
+// result has been consumed (or detached via DetachVisited). Putting a scratch
+// back while its bitmap is still referenced is the caller's bug, exactly as
+// with a manually managed scratch.
+type ScratchPool struct {
+	mu   sync.Mutex
+	free []*ReachScratch
+}
+
+// Get pops a scratch from the pool, or makes a fresh one sized for n vertices
+// and threads workers. Scratches grow on demand, so a pooled scratch from a
+// smaller earlier request is still valid — Reach's ensure() resizes it.
+func (p *ScratchPool) Get(n, threads int) *ReachScratch {
+	p.mu.Lock()
+	if k := len(p.free); k > 0 {
+		s := p.free[k-1]
+		p.free[k-1] = nil
+		p.free = p.free[:k-1]
+		p.mu.Unlock()
+		return s
+	}
+	p.mu.Unlock()
+	return NewReachScratch(n, threads)
+}
+
+// Put returns a scratch to the pool for the next query.
+func (p *ScratchPool) Put(s *ReachScratch) {
+	p.mu.Lock()
+	p.free = append(p.free, s)
+	p.mu.Unlock()
+}

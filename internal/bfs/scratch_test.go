@@ -1,6 +1,7 @@
 package bfs
 
 import (
+	"context"
 	"testing"
 
 	"aquila/internal/gen"
@@ -117,28 +118,34 @@ func TestDetachVisited(t *testing.T) {
 
 // TestReachScratchZeroAlloc is the PR's headline regression test: once a
 // scratch is warm, repeated traversals must not allocate at all — in every
-// mode, with and without a candidate filter, serial and pooled.
+// mode, with and without a candidate filter, serial and pooled, and with a
+// live cancellable context plumbed through (cooperative cancellation checks
+// must stay off the allocation path).
 func TestReachScratchZeroAlloc(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are not meaningful under the race detector")
 	}
+	cancellable, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	g := graph.Undirect(gen.RMAT(10, 8, 7))
 	adj := UndirectedAdj(g)
 	root := g.MaxDegreeVertex()
 	for _, threads := range []int{1, 4} {
 		for _, mode := range []Mode{ModePlain, ModeDirOpt, ModeEnhanced} {
 			for _, cand := range []func(graph.V) bool{nil, evenVertex} {
-				s := NewReachScratch(adj.N, threads)
-				opt := Options{Threads: threads}
-				for i := 0; i < 3; i++ {
-					s.Reach(adj, root, cand, opt, mode) // grow to steady state
-				}
-				allocs := testing.AllocsPerRun(10, func() {
-					s.Reach(adj, root, cand, opt, mode)
-				})
-				if allocs != 0 {
-					t.Errorf("threads=%d mode=%d cand=%v: AllocsPerRun = %v, want 0",
-						threads, mode, cand != nil, allocs)
+				for _, ctx := range []context.Context{nil, cancellable} {
+					s := NewReachScratch(adj.N, threads)
+					opt := Options{Threads: threads, Ctx: ctx}
+					for i := 0; i < 3; i++ {
+						s.Reach(adj, root, cand, opt, mode) // grow to steady state
+					}
+					allocs := testing.AllocsPerRun(10, func() {
+						s.Reach(adj, root, cand, opt, mode)
+					})
+					if allocs != 0 {
+						t.Errorf("threads=%d mode=%d cand=%v ctx=%v: AllocsPerRun = %v, want 0",
+							threads, mode, cand != nil, ctx != nil, allocs)
+					}
 				}
 			}
 		}

@@ -10,6 +10,8 @@
 package bgcc
 
 import (
+	"context"
+
 	"aquila/internal/bfs"
 	"aquila/internal/bitmap"
 	"aquila/internal/graph"
@@ -32,6 +34,10 @@ type Options struct {
 	Mode bfs.Mode
 	// BridgeOnly skips the component labeling (the §3 partial bridge query).
 	BridgeOnly bool
+	// Ctx, if non-nil, cancels the run cooperatively at level and chunk
+	// boundaries. A cancelled Run returns a partial Result the caller must
+	// discard after checking Ctx.Err().
+	Ctx context.Context
 }
 
 // Stats quantifies the workload reduction (Fig. 6b numerators).
@@ -86,7 +92,11 @@ func Run(g *graph.Undirected, opt Options) *Result {
 	}
 
 	tree := bfs.NewTree(n)
-	tree.RunForest(g, coreMaxDegree(g, removed), removed, bfs.Options{Threads: p})
+	tree.RunForest(g, coreMaxDegree(g, removed), removed, bfs.Options{Threads: p, Ctx: opt.Ctx})
+	done := parallel.Done(opt.Ctx)
+	if parallel.Stopped(done) {
+		return res // partial: caller checks opt.Ctx.Err() and discards
+	}
 
 	var flags *spo.Flags
 	if !opt.NoSPO {
@@ -126,10 +136,16 @@ func Run(g *graph.Undirected, opt Options) *Result {
 	}
 	var skippedSPO, skippedMarked, ran, found int64
 	for lvl := tree.MaxLevel; lvl >= 1; lvl-- {
+		if parallel.Stopped(done) {
+			return res
+		}
 		verts := byLevel[lvl]
 		parallel.ForChunksDynamic(0, len(verts), threads, 8, func(lo, hi, w int) {
 			scratch := scratches[w]
 			for i := lo; i < hi; i++ {
+				if parallel.Stopped(done) {
+					return
+				}
 				v := verts[i]
 				if flags != nil && flags.SkipBridge[v] {
 					parallel.AddI64(&skippedSPO, 1)
@@ -175,8 +191,11 @@ func Run(g *graph.Undirected, opt Options) *Result {
 	res.Stats.Ran = int(ran)
 	res.Stats.Bridges += int(found)
 
+	if parallel.Stopped(done) {
+		return res
+	}
 	if !opt.BridgeOnly {
-		res.labelComponents(g, p)
+		res.labelComponents(g, p, done)
 	}
 	return res
 }
@@ -184,7 +203,7 @@ func Run(g *graph.Undirected, opt Options) *Result {
 // labelComponents computes CC over the graph minus bridges, adaptively: one
 // frontier BFS (with the bridge filter) for the component of the max-degree
 // vertex, then filtered min-label propagation for the rest.
-func (r *Result) labelComponents(g *graph.Undirected, p int) {
+func (r *Result) labelComponents(g *graph.Undirected, p int, done <-chan struct{}) {
 	n := g.NumVertices()
 	r.Label = make([]uint32, n)
 	for i := range r.Label {
@@ -198,6 +217,9 @@ func (r *Result) labelComponents(g *graph.Undirected, p int) {
 	visited.Set(master)
 	frontier := []graph.V{master}
 	for len(frontier) > 0 {
+		if parallel.Stopped(done) {
+			return // Label is partial; the cancelled caller discards it
+		}
 		locals := make([][]graph.V, p)
 		parallel.ForChunksDynamic(0, len(frontier), p, 64, func(lo, hi, w int) {
 			buf := locals[w]
@@ -246,7 +268,10 @@ func (r *Result) labelComponents(g *graph.Undirected, p int) {
 			r.Label[v] = uint32(v)
 		}
 	}
-	propagateMinFiltered(g, r.Label, active, r.IsBridge, p)
+	propagateMinFiltered(g, r.Label, active, r.IsBridge, p, done)
+	if parallel.Stopped(done) {
+		return // skip the census: labels are partial and will be discarded
+	}
 
 	counts := make([]int32, n)
 	parallel.ForBlocks(0, n, p, func(lo, hi, _ int) {
@@ -266,7 +291,7 @@ func (r *Result) labelComponents(g *graph.Undirected, p int) {
 
 // propagateMinFiltered is min-label propagation that never crosses a deleted
 // (bridge) edge and only touches active vertices.
-func propagateMinFiltered(g *graph.Undirected, label []uint32, active []bool, deleted []bool, p int) {
+func propagateMinFiltered(g *graph.Undirected, label []uint32, active []bool, deleted []bool, p int, done <-chan struct{}) {
 	frontier := make([]graph.V, 0, len(active))
 	for v := range active {
 		if active[v] {
@@ -276,6 +301,9 @@ func propagateMinFiltered(g *graph.Undirected, label []uint32, active []bool, de
 	inNext := make([]uint32, g.NumVertices())
 	epoch := uint32(0)
 	for len(frontier) > 0 {
+		if parallel.Stopped(done) {
+			return
+		}
 		epoch++
 		locals := make([][]graph.V, p)
 		parallel.ForChunksDynamic(0, len(frontier), p, 64, func(lo, hi, w int) {

@@ -16,6 +16,7 @@
 package bicc
 
 import (
+	"context"
 	"slices"
 
 	"aquila/internal/bfs"
@@ -43,6 +44,10 @@ type Options struct {
 	// APOnly skips block bookkeeping and stops checking a parent once it is
 	// known to be an articulation point (the §3 partial AP query).
 	APOnly bool
+	// Ctx, if non-nil, cancels the run cooperatively at level and parent-group
+	// boundaries. A cancelled Run returns a partial Result the caller must
+	// discard after checking Ctx.Err().
+	Ctx context.Context
 }
 
 // Stats quantifies the workload reduction (the Fig. 6 numerators).
@@ -107,8 +112,12 @@ func Run(g *graph.Undirected, opt Options) *Result {
 
 	// BFS forest over the core.
 	tree := bfs.NewTree(n)
-	tree.RunForest(g, coreMaxDegree(g, removed), removed, bfs.Options{Threads: p})
+	tree.RunForest(g, coreMaxDegree(g, removed), removed, bfs.Options{Threads: p, Ctx: opt.Ctx})
 	st.tree = tree
+	st.done = parallel.Done(opt.Ctx)
+	if parallel.Stopped(st.done) {
+		return res // partial: caller checks opt.Ctx.Err() and discards
+	}
 
 	if !opt.NoSPO {
 		st.spoFlags = spo.Compute(g, tree.Level, tree.Parent, removed, p)
@@ -126,6 +135,9 @@ func Run(g *graph.Undirected, opt Options) *Result {
 
 	st.buildLevelIndex()
 	for lvl := tree.MaxLevel; lvl >= 2; lvl-- {
+		if parallel.Stopped(st.done) {
+			return res
+		}
 		st.processLevel(lvl)
 	}
 	st.processRoots()
@@ -145,6 +157,7 @@ type state struct {
 	spoFlags  *spo.Flags
 	marked    *bitmap.Atomic
 	nextBlock int64
+	done      <-chan struct{}
 
 	// byLevel[l] lists the vertices at level l, sorted by parent so the
 	// children of one parent are contiguous.
@@ -203,6 +216,9 @@ func (s *state) processLevel(lvl int32) {
 	parallel.ForChunksDynamic(0, len(groups), threads, 1, func(lo, hi, w int) {
 		scratch := s.scratches[w]
 		for gi := lo; gi < hi; gi++ {
+			if parallel.Stopped(s.done) {
+				return
+			}
 			grp := groups[gi]
 			parent := s.tree.Parent[verts[grp[0]]]
 			for i := grp[0]; i < grp[1]; i++ {
@@ -264,6 +280,9 @@ func (s *state) processRoots() {
 	parallel.ForChunksDynamic(0, len(roots), threads, 1, func(lo, hi, w int) {
 		scratch := s.scratches[w]
 		for i := lo; i < hi; i++ {
+			if parallel.Stopped(s.done) {
+				return
+			}
 			root := roots[i]
 			groups := 0
 			rl, rh := s.g.SlotRange(root)

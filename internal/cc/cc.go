@@ -6,6 +6,8 @@
 package cc
 
 import (
+	"context"
+
 	"aquila/internal/bfs"
 	"aquila/internal/graph"
 	"aquila/internal/lp"
@@ -24,6 +26,10 @@ type Options struct {
 	NoAdaptive bool
 	// Mode selects the parallel-BFS flavour for the large component.
 	Mode bfs.Mode
+	// Ctx, if non-nil, cancels the run cooperatively at chunk boundaries.
+	// A cancelled Run returns a partial, inconsistent Result that the caller
+	// must discard after checking Ctx.Err(). nil costs one branch per check.
+	Ctx context.Context
 }
 
 // Stats reports where the work went.
@@ -62,6 +68,7 @@ func Run(g *graph.Undirected, opt Options) *Result {
 		return res
 	}
 	p := parallel.Threads(opt.Threads)
+	done := parallel.Done(opt.Ctx)
 
 	if !opt.NoTrim {
 		res.Stats.TrimmedOrphans = trim.Orphans(g, res.Label, p)
@@ -79,7 +86,10 @@ func Run(g *graph.Undirected, opt Options) *Result {
 	if res.Label[master] == graph.NoVertex {
 		visited := rs.Reach(bfs.UndirectedAdj(g), master,
 			func(v graph.V) bool { return res.Label[v] == graph.NoVertex },
-			bfs.Options{Threads: p}, opt.Mode)
+			bfs.Options{Threads: p, Ctx: opt.Ctx}, opt.Mode)
+		if parallel.Stopped(done) {
+			return res // partial: caller checks opt.Ctx.Err() and discards
+		}
 		minID := minVisited(visited.Get, n, p)
 		parallel.ForBlocks(0, n, p, func(lo, hi, _ int) {
 			for v := lo; v < hi; v++ {
@@ -92,9 +102,14 @@ func Run(g *graph.Undirected, opt Options) *Result {
 	}
 
 	if opt.NoAdaptive {
-		runBFSOnly(g, res, rs, p, opt.Mode)
+		runBFSOnly(g, res, rs, p, opt)
 	} else {
-		res.Stats.SmallByLP = lpSweep(g, res.Label, p)
+		res.Stats.SmallByLP = lpSweep(g, res.Label, p, done)
+	}
+	if parallel.Stopped(done) {
+		// Unlabeled vertices would crash the census; the cancelled caller
+		// discards the result anyway.
+		return res
 	}
 
 	res.summarize(n, p)
@@ -103,7 +118,7 @@ func Run(g *graph.Undirected, opt Options) *Result {
 
 // lpSweep labels every still-unassigned vertex by min-label propagation over
 // the unassigned subgraph. It returns the number of vertices swept.
-func lpSweep(g *graph.Undirected, label []uint32, p int) int {
+func lpSweep(g *graph.Undirected, label []uint32, p int, done <-chan struct{}) int {
 	n := g.NumVertices()
 	active := make([]bool, n)
 	swept := 0
@@ -117,7 +132,7 @@ func lpSweep(g *graph.Undirected, label []uint32, p int) int {
 	if swept == 0 {
 		return 0
 	}
-	lp.MinLabelCC(g, label, func(v graph.V) bool { return active[v] }, p)
+	lp.MinLabelCCDone(g, label, func(v graph.V) bool { return active[v] }, p, done)
 	return swept
 }
 
@@ -125,15 +140,19 @@ func lpSweep(g *graph.Undirected, label []uint32, p int) int {
 // component, all through the shared scratch. Iterating vertex ids ascending
 // makes each new root the minimum id of its component, so labels stay
 // canonical.
-func runBFSOnly(g *graph.Undirected, res *Result, rs *bfs.ReachScratch, p int, mode bfs.Mode) {
+func runBFSOnly(g *graph.Undirected, res *Result, rs *bfs.ReachScratch, p int, opt Options) {
 	n := g.NumVertices()
+	done := parallel.Done(opt.Ctx)
 	for v := 0; v < n; v++ {
 		if res.Label[v] != graph.NoVertex {
 			continue
 		}
+		if parallel.Stopped(done) {
+			return
+		}
 		visited := rs.Reach(bfs.UndirectedAdj(g), graph.V(v),
 			func(u graph.V) bool { return res.Label[u] == graph.NoVertex },
-			bfs.Options{Threads: p}, mode)
+			bfs.Options{Threads: p, Ctx: opt.Ctx}, opt.Mode)
 		parallel.ForBlocks(0, n, p, func(lo, hi, _ int) {
 			for u := lo; u < hi; u++ {
 				if visited.Get(graph.V(u)) {

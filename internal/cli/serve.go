@@ -1,0 +1,238 @@
+package cli
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"aquila"
+)
+
+// AnswerServed runs one query through the serving layer — every answer comes
+// from a pinned snapshot with singleflight batching and admission control in
+// front of the kernels — and returns the same printable form as Answer.
+func AnswerServed(ctx context.Context, srv *aquila.Server, query string) (string, error) {
+	switch {
+	case query == "connected":
+		ok, err := srv.IsConnected(ctx)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%v", ok), nil
+	case strings.HasPrefix(query, "connected="):
+		u, v, err := parsePair(strings.TrimPrefix(query, "connected="))
+		if err != nil {
+			return "", err
+		}
+		sn := srv.Acquire()
+		if int(u) >= sn.NumVertices() || int(v) >= sn.NumVertices() {
+			return "", fmt.Errorf("vertex out of range [0,%d)", sn.NumVertices())
+		}
+		ok, err := sn.Connected(ctx, u, v)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%v", ok), nil
+	case query == "strongly-connected":
+		res, err := srv.SCC(ctx)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%v", res.NumComponents == 1), nil
+	case query == "num-cc":
+		cnt, err := srv.CountCC(ctx)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%d connected components", cnt), nil
+	case query == "num-scc":
+		res, err := srv.SCC(ctx)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%d strongly connected components", res.NumComponents), nil
+	case query == "num-bicc":
+		res, err := srv.BiCC(ctx)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%d biconnected components", res.NumBlocks), nil
+	case query == "num-bgcc":
+		res, err := srv.BgCC(ctx)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%d bridgeless connected components", res.NumComponents), nil
+	case query == "largest-cc":
+		res, err := srv.LargestCC(ctx)
+		if err != nil {
+			return "", err
+		}
+		how := "complete computation"
+		if res.Partial {
+			how = "partial computation"
+		}
+		return fmt.Sprintf("largest CC: %d vertices (via %s)", res.Size, how), nil
+	case strings.HasPrefix(query, "in-largest-cc="):
+		u, err := strconv.ParseUint(strings.TrimPrefix(query, "in-largest-cc="), 10, 32)
+		if err != nil {
+			return "", fmt.Errorf("bad vertex id: %v", err)
+		}
+		if int(u) >= srv.Acquire().NumVertices() {
+			return "", fmt.Errorf("vertex %d out of range", u)
+		}
+		res, err := srv.LargestCC(ctx)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%v", res.Contains(aquila.V(u))), nil
+	case query == "aps":
+		aps, err := srv.ArticulationPoints(ctx)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%d articulation points: %v", len(aps), truncate(aps, 20)), nil
+	case query == "bridges":
+		brs, err := srv.Bridges(ctx)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%d bridges: %v", len(brs), truncatePairs(brs, 20)), nil
+	case query == "histogram":
+		hist, err := srv.CCSizeHistogram(ctx)
+		if err != nil {
+			return "", err
+		}
+		sizes := make([]int, 0, len(hist))
+		for s := range hist {
+			sizes = append(sizes, s)
+		}
+		sort.Ints(sizes)
+		var b strings.Builder
+		fmt.Fprintf(&b, "CC size histogram (%d distinct sizes):\n", len(sizes))
+		for _, s := range sizes {
+			fmt.Fprintf(&b, "  size %8d: %d component(s)\n", s, hist[s])
+		}
+		return strings.TrimRight(b.String(), "\n"), nil
+	default:
+		return "", fmt.Errorf("query %q is not served (serve-mode queries: connected, connected=<u>,<v>, strongly-connected, num-cc, num-scc, num-bicc, num-bgcc, largest-cc, in-largest-cc=<v>, aps, bridges, histogram)", query)
+	}
+}
+
+// ReplayServed replays an update script through the serving layer. It accepts
+// the ReplayUpdates format plus two serve-only directives that exercise
+// snapshot isolation from the command line:
+//
+//	pin        pin the current epoch's snapshot
+//	?? u v     answer "are u and v connected?" from the pinned snapshot
+//	           (the epoch it was pinned at, regardless of later batches)
+//
+// `? u v` answers from the live epoch, as in ReplayUpdates. Without a prior
+// pin, `??` uses the epoch-0 snapshot.
+func ReplayServed(srv *aquila.Server, r io.Reader, batchSize int) (string, error) {
+	ctx := context.Background()
+	var (
+		out     strings.Builder
+		staged  []aquila.Edge
+		batchNo int
+	)
+	pinned := srv.Acquire()
+	n := pinned.NumVertices()
+	flush := func() error {
+		if len(staged) == 0 {
+			return nil
+		}
+		res, err := srv.Apply(staged)
+		if err != nil {
+			return err
+		}
+		batchNo++
+		fmt.Fprintf(&out, "batch %d -> epoch %d: %d edges in, %d new, %d merges, %d components",
+			batchNo, srv.Epoch(), len(staged), res.NewEdges, res.Merged, res.Components)
+		if res.Rebuilt {
+			out.WriteString(" (rebuilt)")
+		}
+		out.WriteByte('\n')
+		staged = staged[:0]
+		return nil
+	}
+	answer := func(sn *aquila.Snapshot, u, v aquila.V, label string) error {
+		ok, err := sn.Connected(ctx, u, v)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&out, "%s(%d, %d) @epoch %d = %v\n", label, u, v, sn.Epoch(), ok)
+		return nil
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		switch {
+		case text == "" || text == "---":
+			if err := flush(); err != nil {
+				return "", fmt.Errorf("line %d: %v", line, err)
+			}
+		case strings.HasPrefix(text, "#"):
+			// comment
+		case text == "pin":
+			if err := flush(); err != nil {
+				return "", fmt.Errorf("line %d: %v", line, err)
+			}
+			pinned = srv.Acquire()
+			fmt.Fprintf(&out, "pinned epoch %d\n", pinned.Epoch())
+		case strings.HasPrefix(text, "??"):
+			u, v, err := parsePair(strings.TrimSpace(strings.TrimPrefix(text, "??")))
+			if err != nil {
+				return "", fmt.Errorf("line %d: %v", line, err)
+			}
+			if int(u) >= n || int(v) >= n {
+				return "", fmt.Errorf("line %d: vertex out of range [0,%d)", line, n)
+			}
+			// Deliberately no flush: the pinned snapshot answers as of its
+			// epoch whatever has been staged or applied since.
+			if err := answer(pinned, u, v, "pinned connected"); err != nil {
+				return "", fmt.Errorf("line %d: %v", line, err)
+			}
+		case strings.HasPrefix(text, "?"):
+			u, v, err := parsePair(strings.TrimSpace(strings.TrimPrefix(text, "?")))
+			if err != nil {
+				return "", fmt.Errorf("line %d: %v", line, err)
+			}
+			if int(u) >= n || int(v) >= n {
+				return "", fmt.Errorf("line %d: vertex out of range [0,%d)", line, n)
+			}
+			if err := flush(); err != nil {
+				return "", fmt.Errorf("line %d: %v", line, err)
+			}
+			if err := answer(srv.Acquire(), u, v, "connected"); err != nil {
+				return "", fmt.Errorf("line %d: %v", line, err)
+			}
+		default:
+			u, v, err := parsePair(text)
+			if err != nil {
+				return "", fmt.Errorf("line %d: %v", line, err)
+			}
+			staged = append(staged, aquila.Edge{U: u, V: v})
+			if batchSize > 0 && len(staged) >= batchSize {
+				if err := flush(); err != nil {
+					return "", fmt.Errorf("line %d: %v", line, err)
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	if err := flush(); err != nil {
+		return "", err
+	}
+	return strings.TrimRight(out.String(), "\n"), nil
+}

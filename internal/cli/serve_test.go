@@ -1,0 +1,132 @@
+package cli
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"aquila"
+)
+
+func paperServer() *aquila.Server {
+	return aquila.NewServer(paperEngine(), aquila.ServerConfig{})
+}
+
+func TestAnswerServedAllQueries(t *testing.T) {
+	srv := paperServer()
+	ctx := context.Background()
+	want := map[string]string{
+		"connected":          "false",
+		"connected=0,5":      "true",
+		"connected=0,12":     "false",
+		"strongly-connected": "false",
+		"num-cc":             "3 connected components",
+		"num-scc":            "6 strongly connected components",
+		"num-bicc":           "6 biconnected components",
+		"num-bgcc":           "6 bridgeless connected components",
+		"in-largest-cc=5":    "true",
+		"in-largest-cc=13":   "false",
+	}
+	for q, expect := range want {
+		got, err := AnswerServed(ctx, srv, q)
+		if err != nil {
+			t.Errorf("query %q: %v", q, err)
+			continue
+		}
+		if got != expect {
+			t.Errorf("query %q = %q, want %q", q, got, expect)
+		}
+	}
+	// The serving layer may answer largest-cc from the census or a partial
+	// traversal depending on which caches warmed first, so only the size is
+	// stable — not the "(via ...)" strategy note.
+	if got, err := AnswerServed(ctx, srv, "largest-cc"); err != nil || !strings.HasPrefix(got, "largest CC: 8 vertices") {
+		t.Errorf("largest-cc = %q, %v", got, err)
+	}
+	// Served answers must agree with the direct engine path for every query
+	// both sides support.
+	eng := paperEngine()
+	for _, q := range []string{"aps", "bridges", "histogram"} {
+		served, err := AnswerServed(ctx, srv, q)
+		if err != nil {
+			t.Errorf("served %q: %v", q, err)
+			continue
+		}
+		direct, err := Answer(eng, q)
+		if err != nil {
+			t.Errorf("direct %q: %v", q, err)
+			continue
+		}
+		if served != direct {
+			t.Errorf("query %q: served %q, direct %q", q, served, direct)
+		}
+	}
+	if _, err := AnswerServed(ctx, srv, "stats"); err == nil {
+		t.Error("stats: want not-served error")
+	}
+	if _, err := AnswerServed(ctx, srv, "nonsense"); err == nil {
+		t.Error("nonsense: want error")
+	}
+}
+
+func TestReplayServedSnapshotIsolation(t *testing.T) {
+	// Pin before the bridging batch: `??` must keep answering from the old
+	// epoch while `?` sees every applied edge.
+	script := `pin
+? 0 12
+0 8
+---
+? 0 8
+?? 0 8
+8 12
+---
+? 1 13
+?? 0 8
+`
+	out, err := ReplayServed(paperServer(), strings.NewReader(script), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	want := []string{
+		"pinned epoch 0",
+		"connected(0, 12) @epoch 0 = false",
+		"batch 1 -> epoch 1: 1 edges in, 1 new, 1 merges, 2 components",
+		"connected(0, 8) @epoch 1 = true",
+		"pinned connected(0, 8) @epoch 0 = false",
+		"batch 2 -> epoch 2: 1 edges in, 1 new, 1 merges, 1 components",
+		"connected(1, 13) @epoch 2 = true",
+		"pinned connected(0, 8) @epoch 0 = false",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("transcript:\n%s\nwant %d lines", out, len(want))
+	}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Errorf("line %d = %q, want %q", i, lines[i], w)
+		}
+	}
+}
+
+func TestReplayServedRepin(t *testing.T) {
+	script := "0 8\n---\npin\n?? 0 8\n"
+	out, err := ReplayServed(paperServer(), strings.NewReader(script), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "pinned epoch 1") || !strings.Contains(out, "@epoch 1 = true") {
+		t.Fatalf("re-pin transcript wrong:\n%s", out)
+	}
+}
+
+func TestReplayServedErrors(t *testing.T) {
+	for _, script := range []string{
+		"?? 1\n",     // malformed pinned query
+		"?? 0 999\n", // out-of-range pinned query
+		"0\n",        // not a pair
+	} {
+		if _, err := ReplayServed(paperServer(), strings.NewReader(script), 0); err == nil {
+			t.Errorf("script %q: want error", script)
+		}
+	}
+}

@@ -20,6 +20,14 @@ import (
 // on return, every active vertex holds the minimum initial label of its
 // active-subgraph component — a canonical component id.
 func MinLabelCC(g *graph.Undirected, label []uint32, active func(graph.V) bool, threads int) {
+	MinLabelCCDone(g, label, active, threads, nil)
+}
+
+// MinLabelCCDone is MinLabelCC with a cancellation channel: done is polled at
+// round and chunk boundaries, and a closed channel abandons the propagation
+// mid-fixed-point (labels are then partial — cancelled callers discard them).
+// A nil channel never cancels and costs one branch per check.
+func MinLabelCCDone(g *graph.Undirected, label []uint32, active func(graph.V) bool, threads int, done <-chan struct{}) {
 	p := parallel.Threads(threads)
 	off, adj := g.CSR()
 	// Initial frontier: all active vertices.
@@ -36,6 +44,9 @@ func MinLabelCC(g *graph.Undirected, label []uint32, active func(graph.V) bool, 
 	body := func(clo, chi, w int) {
 		buf := locals[w]
 		for c := clo; c < chi; c++ {
+			if parallel.Stopped(done) {
+				break
+			}
 			lo := 0
 			if c > 0 {
 				lo = int(bounds[c-1])
@@ -60,6 +71,9 @@ func MinLabelCC(g *graph.Undirected, label []uint32, active func(graph.V) bool, 
 		locals[w] = buf
 	}
 	for len(frontier) > 0 {
+		if parallel.Stopped(done) {
+			return
+		}
 		epoch++
 		var work int64
 		for _, u := range frontier {
@@ -108,6 +122,12 @@ func MaxColorForward(g *graph.Directed, color []uint32, active func(graph.V) boo
 // callers that already track the live vertex set avoid the O(|V|) scan.
 // The frontier slice is consumed (reused as scratch).
 func MaxColorForwardList(g *graph.Directed, color []uint32, active func(graph.V) bool, frontier []graph.V, threads int) {
+	MaxColorForwardListDone(g, color, active, frontier, threads, nil)
+}
+
+// MaxColorForwardListDone is MaxColorForwardList with a cancellation channel
+// polled at round and chunk boundaries (MinLabelCCDone semantics).
+func MaxColorForwardListDone(g *graph.Directed, color []uint32, active func(graph.V) bool, frontier []graph.V, threads int, done <-chan struct{}) {
 	p := parallel.Threads(threads)
 	off, adj := g.OutCSR()
 	inNext := make([]uint32, g.NumVertices())
@@ -117,6 +137,9 @@ func MaxColorForwardList(g *graph.Directed, color []uint32, active func(graph.V)
 	body := func(clo, chi, w int) {
 		buf := locals[w]
 		for c := clo; c < chi; c++ {
+			if parallel.Stopped(done) {
+				break
+			}
 			lo := 0
 			if c > 0 {
 				lo = int(bounds[c-1])
@@ -139,6 +162,9 @@ func MaxColorForwardList(g *graph.Directed, color []uint32, active func(graph.V)
 		locals[w] = buf
 	}
 	for len(frontier) > 0 {
+		if parallel.Stopped(done) {
+			return
+		}
 		epoch++
 		var work int64
 		for _, u := range frontier {

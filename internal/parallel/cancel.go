@@ -1,0 +1,31 @@
+package parallel
+
+import "context"
+
+// Done extracts the cancellation channel of ctx once, so hot loops can poll a
+// plain channel instead of calling an interface method per check. A nil ctx
+// (and context.Background, whose Done is nil) yields a nil channel, which
+// Stopped treats as "never cancelled" at the cost of a single branch — this is
+// what keeps cancellation free on the warm zero-allocation paths.
+func Done(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+// Stopped reports whether done is closed, without blocking. Kernels call it at
+// chunk boundaries (one level, one queue batch, one worker block), never per
+// edge, so a cancelled traversal returns within a bounded number of chunk
+// boundaries while an uncancellable run pays only the nil-channel branch.
+func Stopped(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}

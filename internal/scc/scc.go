@@ -6,6 +6,8 @@
 package scc
 
 import (
+	"context"
+
 	"aquila/internal/bfs"
 	"aquila/internal/graph"
 	"aquila/internal/lp"
@@ -24,6 +26,10 @@ type Options struct {
 	NoAdaptive bool
 	// Mode selects the parallel-BFS flavour for the FW-BW reachability sweeps.
 	Mode bfs.Mode
+	// Ctx, if non-nil, cancels the run cooperatively at chunk boundaries
+	// (FW-BW sweeps, coloring rounds). A cancelled Run returns a partial
+	// Result the caller must discard after checking Ctx.Err().
+	Ctx context.Context
 }
 
 // Stats reports where the work went.
@@ -60,6 +66,7 @@ func Run(g *graph.Directed, opt Options) *Result {
 		return res
 	}
 	p := parallel.Threads(opt.Threads)
+	done := parallel.Done(opt.Ctx)
 	unassigned := func(v graph.V) bool { return res.Label[v] == graph.NoVertex }
 
 	if !opt.NoTrim {
@@ -77,17 +84,20 @@ func Run(g *graph.Directed, opt Options) *Result {
 	// max-degree pivot; the intersection is its SCC.
 	master := maxLiveDegree(g, res.Label)
 	if master != graph.NoVertex {
-		res.Stats.GiantSize = fwbwAssign(g, master, res.Label, fwS, bwS, p, opt.Mode)
+		res.Stats.GiantSize = fwbwAssign(g, master, res.Label, fwS, bwS, p, opt)
 	}
 
 	if opt.NoAdaptive {
 		// BFS-only baseline: repeated FW-BW from the highest-degree live pivot.
 		for {
+			if parallel.Stopped(done) {
+				return res // partial: caller checks opt.Ctx.Err() and discards
+			}
 			pivot := maxLiveDegree(g, res.Label)
 			if pivot == graph.NoVertex {
 				break
 			}
-			fwbwAssign(g, pivot, res.Label, fwS, bwS, p, opt.Mode)
+			fwbwAssign(g, pivot, res.Label, fwS, bwS, p, opt)
 		}
 	} else {
 		// Coloring sweep for the remaining small SCCs. All per-round work is
@@ -101,6 +111,9 @@ func Run(g *graph.Directed, opt Options) *Result {
 		}
 		scratch := make([]graph.V, 0, 1024)
 		for {
+			if parallel.Stopped(done) {
+				return res // partial: caller checks opt.Ctx.Err() and discards
+			}
 			if !opt.NoTrim {
 				// Peeling the giant SCC exposes new trimmable chains; the
 				// iterated size-1/size-2 trims collapse them instead of
@@ -118,8 +131,11 @@ func Run(g *graph.Directed, opt Options) *Result {
 				color[v] = uint32(v)
 			}
 			scratch = append(scratch[:0], live...)
-			lp.MaxColorForwardList(g, color, unassigned, scratch, p)
-			assignColorSCCs(g, color, res.Label, live, p)
+			lp.MaxColorForwardListDone(g, color, unassigned, scratch, p, done)
+			if parallel.Stopped(done) {
+				return res
+			}
+			assignColorSCCs(g, color, res.Label, live, p, done)
 			next := live[:0]
 			for _, v := range live {
 				if res.Label[v] == graph.NoVertex {
@@ -130,6 +146,11 @@ func Run(g *graph.Directed, opt Options) *Result {
 		}
 	}
 
+	if parallel.Stopped(done) {
+		// Unlabeled vertices would crash the census; the cancelled caller
+		// discards the result anyway.
+		return res
+	}
 	res.summarize(n, p)
 	return res
 }
@@ -137,10 +158,15 @@ func Run(g *graph.Directed, opt Options) *Result {
 // fwbwAssign labels the SCC of pivot (forward ∩ backward reachability among
 // unassigned vertices) and returns its size. The two scratches are reused
 // across calls; both bitmaps are consumed before the caller's next sweep.
-func fwbwAssign(g *graph.Directed, pivot graph.V, label []uint32, fwS, bwS *bfs.ReachScratch, p int, mode bfs.Mode) int {
+func fwbwAssign(g *graph.Directed, pivot graph.V, label []uint32, fwS, bwS *bfs.ReachScratch, p int, opt Options) int {
 	unassigned := func(v graph.V) bool { return label[v] == graph.NoVertex }
-	fw := fwS.Reach(bfs.ForwardAdj(g), pivot, unassigned, bfs.Options{Threads: p}, mode)
-	bw := bwS.Reach(bfs.BackwardAdj(g), pivot, unassigned, bfs.Options{Threads: p}, mode)
+	fw := fwS.Reach(bfs.ForwardAdj(g), pivot, unassigned, bfs.Options{Threads: p, Ctx: opt.Ctx}, opt.Mode)
+	bw := bwS.Reach(bfs.BackwardAdj(g), pivot, unassigned, bfs.Options{Threads: p, Ctx: opt.Ctx}, opt.Mode)
+	if parallel.Stopped(parallel.Done(opt.Ctx)) {
+		// Either traversal may be partial; skip the intersection entirely so
+		// no vertex is mislabeled from a half-finished sweep.
+		return 0
+	}
 	n := g.NumVertices()
 	inSCC := func(v graph.V) bool { return fw.Get(v) && bw.Get(v) }
 	minID := uint32(graph.NoVertex)
@@ -170,7 +196,7 @@ func fwbwAssign(g *graph.Directed, pivot graph.V, label []uint32, fwS, bwS *bfs.
 // that reach the root backward within color class c. Distinct color classes
 // are vertex-disjoint, so roots are processed task-parallel with per-worker
 // scratch and no atomics on the label array.
-func assignColorSCCs(g *graph.Directed, color, label []uint32, live []graph.V, p int) {
+func assignColorSCCs(g *graph.Directed, color, label []uint32, live []graph.V, p int, done <-chan struct{}) {
 	// Gather roots: live vertices whose color equals their own id.
 	var roots []graph.V
 	for _, v := range live {
@@ -181,6 +207,9 @@ func assignColorSCCs(g *graph.Directed, color, label []uint32, live []graph.V, p
 	parallel.ForChunksDynamic(0, len(roots), p, 1, func(lo, hi, _ int) {
 		queue := make([]graph.V, 0, 64)
 		for i := lo; i < hi; i++ {
+			if parallel.Stopped(done) {
+				return
+			}
 			r := roots[i]
 			c := uint32(r)
 			// Backward BFS within the color class; label doubles as the

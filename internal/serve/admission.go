@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrOverloaded is returned by Gate.Acquire when every kernel slot is busy
+// and the overflow queue is full: the caller should shed the request (or
+// retry with backoff) rather than pile up unbounded goroutines.
+var ErrOverloaded = errors.New("serve: overloaded (all kernel slots busy, admission queue full)")
+
+// Gate is the admission controller: at most `slots` kernel executions run at
+// once, up to `maxQueue` more wait FIFO, and everything beyond that is
+// rejected fast with ErrOverloaded. Waiting respects the request's context —
+// a deadline that expires in the queue abandons the slot cleanly.
+type Gate struct {
+	mu       sync.Mutex
+	free     int
+	queue    []chan struct{}
+	maxQueue int
+}
+
+// NewGate returns a gate with the given concurrency and queue bounds
+// (minimums of 1 slot and 0 queue are enforced).
+func NewGate(slots, maxQueue int) *Gate {
+	if slots < 1 {
+		slots = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Gate{free: slots, maxQueue: maxQueue}
+}
+
+// Acquire claims a kernel slot, waiting in FIFO order if none is free. It
+// returns nil on success (pair with Release), ErrOverloaded when the queue is
+// full, or ctx.Err() if ctx finishes first. A nil ctx waits indefinitely.
+func (g *Gate) Acquire(ctx context.Context) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	if g.free > 0 {
+		g.free--
+		g.mu.Unlock()
+		return nil
+	}
+	if len(g.queue) >= g.maxQueue {
+		g.mu.Unlock()
+		return ErrOverloaded
+	}
+	ch := make(chan struct{})
+	g.queue = append(g.queue, ch)
+	g.mu.Unlock()
+
+	select {
+	case <-ch:
+		return nil
+	case <-ctxDone(ctx):
+		g.mu.Lock()
+		for i, w := range g.queue {
+			if w == ch {
+				g.queue = append(g.queue[:i], g.queue[i+1:]...)
+				g.mu.Unlock()
+				return ctx.Err()
+			}
+		}
+		g.mu.Unlock()
+		// Release already handed us the slot concurrently with the
+		// cancellation; pass it on so it is not leaked.
+		g.Release()
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot, handing it to the longest-waiting Acquire if any.
+func (g *Gate) Release() {
+	g.mu.Lock()
+	if len(g.queue) > 0 {
+		ch := g.queue[0]
+		g.queue = g.queue[1:]
+		g.mu.Unlock()
+		close(ch)
+		return
+	}
+	g.free++
+	g.mu.Unlock()
+}

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// call is one in-flight compute attempt shared by every waiter that joined
+// while it ran.
+type call[T any] struct {
+	done    chan struct{} // closed when the compute returns
+	val     T
+	err     error
+	waiters int
+	cancel  context.CancelFunc
+}
+
+// Cell is a lazily computed, singleflighted value: the first Get triggers the
+// compute and every Get that arrives while it runs joins as a waiter and
+// shares the result. Cancellation is waiter-refcounted — the compute's
+// context is cancelled only when every waiter has given up, so one impatient
+// client never aborts work others still want. A cancelled or failed compute
+// is not cached: the next Get retries from scratch.
+//
+// The zero value is ready to use. A Cell is safe for concurrent use.
+type Cell[T any] struct {
+	mu  sync.Mutex
+	has bool
+	val T
+	cur *call[T]
+}
+
+// Get returns the cell's value, computing it via compute if needed. The
+// compute receives a private context that is cancelled once all waiters have
+// abandoned the call; it must return promptly after cancellation (partial
+// results are discarded). Get returns ctx.Err() if ctx is done before the
+// shared compute finishes. A nil ctx never cancels.
+func (c *Cell[T]) Get(ctx context.Context, compute func(context.Context) (T, error)) (T, error) {
+	c.mu.Lock()
+	if c.has {
+		v := c.val
+		c.mu.Unlock()
+		return v, nil
+	}
+	cl := c.cur
+	if cl == nil {
+		cctx, cancel := context.WithCancel(context.Background())
+		cl = &call[T]{done: make(chan struct{}), cancel: cancel}
+		c.cur = cl
+		go func() {
+			v, err := compute(cctx)
+			c.mu.Lock()
+			cl.val, cl.err = v, err
+			if err == nil && !c.has {
+				c.has, c.val = true, v
+			}
+			if c.cur == cl {
+				c.cur = nil
+			}
+			c.mu.Unlock()
+			cancel() // release the context's resources
+			close(cl.done)
+		}()
+	}
+	cl.waiters++
+	c.mu.Unlock()
+
+	select {
+	case <-cl.done:
+		return cl.val, cl.err
+	case <-ctxDone(ctx):
+		c.mu.Lock()
+		cl.waiters--
+		last := cl.waiters == 0
+		if last && c.cur == cl {
+			// Detach the doomed call so a Get arriving after this point
+			// starts a fresh compute instead of inheriting the cancellation.
+			c.cur = nil
+		}
+		c.mu.Unlock()
+		if last {
+			// Every waiter has left: abort the compute so the kernel stops
+			// burning cores on an answer nobody wants. The attempt is not
+			// cached, so a later Get recomputes.
+			cl.cancel()
+		}
+		var zero T
+		return zero, ctxErr(ctx)
+	}
+}
+
+// Peek returns the cached value without triggering a compute.
+func (c *Cell[T]) Peek() (T, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.val, c.has
+}
+
+// Seed stores v as the cell's value if nothing is cached yet. It never
+// replaces an existing value and does not interrupt an in-flight compute
+// (whose waiters keep their shared result; later Gets see the seed or the
+// compute's value, whichever landed first).
+func (c *Cell[T]) Seed(v T) {
+	c.mu.Lock()
+	if !c.has {
+		c.has, c.val = true, v
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,200 @@
+package harness
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"aquila"
+	"aquila/internal/baseline/serialdfs"
+	"aquila/internal/verify"
+)
+
+// FuzzServerSchedule drives a deterministic, single-threaded op schedule
+// decoded from the fuzz input — queries, Apply batches, snapshot pins,
+// cancelled queries and near-zero deadlines — against a live Server, checking
+// every successful answer against a serial-DFS oracle evaluated on an
+// incrementally maintained edge-set mirror. Unlike TestServerInterleavings
+// (which explores thread interleavings), this explores the *schedule* space:
+// weird Apply/pin/cancel orders that the random schedules are unlikely to hit.
+func FuzzServerSchedule(f *testing.F) {
+	f.Add([]byte{0x01, 0x02, 0x13, 0x24, 0x35, 0x46, 0x57})
+	f.Add([]byte{0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99})
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0x07, 0x70, 0x07, 0x70})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 24
+		mirror := newMirror(n)
+		base := []aquila.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 5, V: 6}}
+		mirror.add(base)
+		srv := aquila.NewServer(
+			aquila.NewEngine(aquila.NewUndirected(n, base), aquila.Options{Threads: 2}),
+			aquila.ServerConfig{MaxQueue: 64})
+		ctx := context.Background()
+
+		// One pinned snapshot slot: op 6 re-pins it, ops 7.. query whichever
+		// snapshot is pinned (initially epoch 0) against its frozen mirror.
+		pinned := srv.Acquire()
+		pinnedEdges := mirror.snapshot()
+
+		pos := 0
+		next := func() (byte, bool) {
+			if pos >= len(data) {
+				return 0, false
+			}
+			b := data[pos]
+			pos++
+			return b, true
+		}
+		for steps := 0; steps < 64; steps++ {
+			op, ok := next()
+			if !ok {
+				break
+			}
+			switch op % 8 {
+			case 0: // Apply a decoded batch
+				k, ok := next()
+				if !ok {
+					return
+				}
+				batch := make([]aquila.Edge, 0, int(k%5)+1)
+				for j := 0; j <= int(k%5); j++ {
+					ub, ok1 := next()
+					vb, ok2 := next()
+					if !ok1 || !ok2 {
+						break
+					}
+					batch = append(batch, aquila.Edge{
+						U: aquila.V(int(ub) % n), V: aquila.V(int(vb) % n)})
+				}
+				if len(batch) == 0 {
+					continue
+				}
+				if _, err := srv.Apply(batch); err != nil {
+					t.Fatalf("Apply: %v", err)
+				}
+				mirror.add(batch)
+			case 1: // Connected on the live epoch
+				ub, _ := next()
+				vb, _ := next()
+				u, v := aquila.V(int(ub)%n), aquila.V(int(vb)%n)
+				got, err := srv.Connected(ctx, u, v)
+				if err != nil {
+					t.Fatalf("Connected: %v", err)
+				}
+				truth := serialdfs.CC(mirror.graph())
+				if want := truth[u] == truth[v]; got != want {
+					t.Fatalf("Connected(%d,%d) = %v, oracle %v (edges %v)", u, v, got, want, mirror.edges)
+				}
+			case 2: // full CC decomposition on the live epoch
+				res, err := srv.CC(ctx)
+				if err != nil {
+					t.Fatalf("CC: %v", err)
+				}
+				if err := verify.SamePartition(res.Label, serialdfs.CC(mirror.graph())); err != nil {
+					t.Fatalf("CC: %v", err)
+				}
+			case 3: // articulation points on the live epoch
+				aps, err := srv.ArticulationPoints(ctx)
+				if err != nil {
+					t.Fatalf("APs: %v", err)
+				}
+				checkAPs(t, aps, mirror.graph())
+			case 4: // cancelled query: context error or a correct answer
+				cctx, cancel := context.WithCancel(ctx)
+				cancel()
+				if cnt, err := srv.CountCC(cctx); err == nil {
+					if want := countDistinct(serialdfs.CC(mirror.graph())); cnt != want {
+						t.Fatalf("cancelled CountCC = %d, oracle %d", cnt, want)
+					}
+				}
+			case 5: // near-zero deadline: either outcome, answers must be right
+				us, _ := next()
+				dctx, cancel := context.WithTimeout(ctx, time.Duration(us%50)*time.Microsecond)
+				if ok2, err := srv.IsConnected(dctx); err == nil {
+					if want := countDistinct(serialdfs.CC(mirror.graph())) == 1; ok2 != want {
+						cancel()
+						t.Fatalf("deadline IsConnected = %v, oracle %v", ok2, want)
+					}
+				}
+				cancel()
+			case 6: // re-pin the snapshot slot at the live epoch
+				pinned = srv.Acquire()
+				pinnedEdges = mirror.snapshot()
+			case 7: // query the pinned snapshot against its frozen edge set
+				ub, _ := next()
+				vb, _ := next()
+				u, v := aquila.V(int(ub)%n), aquila.V(int(vb)%n)
+				got, err := pinned.Connected(ctx, u, v)
+				if err != nil {
+					t.Fatalf("pinned Connected: %v", err)
+				}
+				truth := serialdfs.CC(aquila.NewUndirected(n, pinnedEdges))
+				if want := truth[u] == truth[v]; got != want {
+					t.Fatalf("pinned(epoch %d) Connected(%d,%d) = %v, oracle %v",
+						pinned.Epoch(), u, v, got, want)
+				}
+			}
+		}
+		// Whatever the schedule did, the live epoch must equal the mirror.
+		res, err := srv.CC(ctx)
+		if err != nil {
+			t.Fatalf("final CC: %v", err)
+		}
+		if err := verify.SamePartition(res.Label, serialdfs.CC(mirror.graph())); err != nil {
+			t.Fatalf("final CC: %v", err)
+		}
+	})
+}
+
+// mirror incrementally maintains the deduped simple edge set the engine holds
+// after a sequence of Apply calls.
+type mirror struct {
+	n     int
+	seen  map[[2]aquila.V]struct{}
+	edges []aquila.Edge
+}
+
+func newMirror(n int) *mirror {
+	return &mirror{n: n, seen: make(map[[2]aquila.V]struct{})}
+}
+
+func (m *mirror) add(es []aquila.Edge) {
+	for _, e := range es {
+		u, v := e.U, e.V
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		k := [2]aquila.V{u, v}
+		if _, dup := m.seen[k]; dup {
+			continue
+		}
+		m.seen[k] = struct{}{}
+		m.edges = append(m.edges, aquila.Edge{U: u, V: v})
+	}
+}
+
+func (m *mirror) graph() *aquila.Undirected { return aquila.NewUndirected(m.n, m.edges) }
+
+func (m *mirror) snapshot() []aquila.Edge {
+	out := make([]aquila.Edge, len(m.edges))
+	copy(out, m.edges)
+	return out
+}
+
+func checkAPs(t *testing.T, got []aquila.V, g *aquila.Undirected) {
+	t.Helper()
+	want := serialdfs.APs(g)
+	gotSet := make([]bool, g.NumVertices())
+	for _, v := range got {
+		gotSet[v] = true
+	}
+	if want == nil {
+		want = make([]bool, g.NumVertices())
+	}
+	if err := verify.SameBoolSet(gotSet, want, "AP"); err != nil {
+		t.Fatal(err)
+	}
+}

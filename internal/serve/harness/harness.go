@@ -1,0 +1,566 @@
+// Package harness is the linearizability-style concurrency test layer for
+// aquila.Server (the PR 4 tentpole's proof obligation): randomized
+// reader/writer schedules run against a live Server while every reader
+// records (epoch, query, result) triples from pinned snapshots; afterwards
+// each record is checked exactly against a serial-DFS oracle evaluated on the
+// reconstructed graph of that epoch.
+//
+// The property being checked is snapshot consistency: an answer obtained
+// from a snapshot pinned at epoch k must equal the oracle's answer on
+// "base graph + the first k update batches", no matter how reads interleave
+// with concurrent Applies, cancellations, or deadline expiries. Connectivity
+// monotonicity and freedom from torn reads follow: a record can never mix
+// state from two epochs without failing its epoch's oracle.
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"aquila"
+	"aquila/internal/baseline/serialdfs"
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+	"aquila/internal/verify"
+)
+
+// T is the subset of *testing.T the harness reports through (kept as an
+// interface so the package does not import testing into non-test binaries).
+type T interface {
+	Helper()
+	Fatalf(format string, args ...any)
+	Logf(format string, args ...any)
+}
+
+// Class is one graph family schedules run over. Build must be deterministic
+// in seed and must return a simple base edge list (no duplicates, no
+// self-loops) so the oracle's reconstruction matches the engine's dedup.
+type Class struct {
+	Name     string
+	Directed bool
+	Build    func(seed uint64) (n int, base []aquila.Edge, batches [][]aquila.Edge)
+}
+
+// Config sizes one RunClass invocation.
+type Config struct {
+	// Schedules is the number of randomized interleavings to run.
+	Schedules int
+	// MaxReaders bounds the concurrent readers per schedule (>=1).
+	MaxReaders int
+	// OpsPerReader is the number of queries each reader issues.
+	OpsPerReader int
+	// Seed offsets the deterministic schedule seeds, so different tiers
+	// (unit, stress, race) explore different interleavings.
+	Seed uint64
+}
+
+type opKind int
+
+const (
+	opConnected opKind = iota
+	opCountCC
+	opIsConnected
+	opLargest
+	opCC
+	opSCC
+	opAPs
+	opBridges
+	numOpKinds
+)
+
+func (k opKind) String() string {
+	return [...]string{"Connected", "CountCC", "IsConnected", "LargestCC",
+		"CC", "SCC", "APs", "Bridges"}[k]
+}
+
+// record is one completed query as observed by a reader.
+type record struct {
+	epoch uint64
+	kind  opKind
+	u, v  aquila.V // opConnected endpoints; opLargest membership sample in u
+
+	boolRes    bool
+	intRes     int
+	labels     []uint32      // opCC / opSCC: decomposition labels (shared, read-only)
+	pairs      [][2]aquila.V // opBridges
+	aps        []aquila.V    // opAPs
+	largePivot aquila.V      // opLargest
+}
+
+// RunClass executes cfg.Schedules randomized schedules over the class and
+// fails t on the first oracle divergence.
+func RunClass(t T, cls Class, cfg Config) {
+	t.Helper()
+	for i := 0; i < cfg.Schedules; i++ {
+		seed := cfg.Seed + uint64(i)*0x9e3779b97f4a7c15
+		if err := runSchedule(cls, cfg, seed); err != nil {
+			t.Fatalf("class %s schedule %d (seed %#x): %v", cls.Name, i, seed, err)
+		}
+	}
+}
+
+// runSchedule runs one randomized interleaving and checks every record.
+func runSchedule(cls Class, cfg Config, seed uint64) error {
+	rng := gen.NewRNG(seed)
+	n, base, batches := cls.Build(seed)
+
+	threads := 1
+	if rng.Intn(2) == 0 {
+		threads = 2
+	}
+	opt := aquila.Options{Threads: threads}
+	if rng.Intn(4) == 0 {
+		// Occasionally exercise the cache-aware relabeling layer: snapshot
+		// answers must be identical in original ids.
+		opt.Reorder = aquila.ReorderDegree
+	}
+
+	var eng *aquila.Engine
+	if cls.Directed {
+		eng = aquila.NewDirectedEngine(aquila.NewDirected(n, base), opt)
+	} else {
+		eng = aquila.NewEngine(aquila.NewUndirected(n, base), opt)
+	}
+	srv := aquila.NewServer(eng, aquila.ServerConfig{
+		MaxInFlight: 1 + rng.Intn(3),
+		MaxQueue:    256, // deep enough that tiny test kernels never shed load
+	})
+
+	readers := 1 + rng.Intn(cfg.MaxReaders)
+	recs := make([][]record, readers)
+	errs := make([]error, readers)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			recs[r], errs[r] = runReader(srv, cls, n, cfg.OpsPerReader, seed+uint64(r)+1)
+		}(r)
+	}
+	// The writer runs on this goroutine, racing the readers batch by batch.
+	for bi, b := range batches {
+		if _, err := srv.Apply(b); err != nil {
+			return fmt.Errorf("Apply batch %d: %w", bi, err)
+		}
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return fmt.Errorf("reader %d: %w", r, err)
+		}
+	}
+	if got, want := srv.Epoch(), uint64(len(batches)); got != want {
+		return fmt.Errorf("final epoch = %d, want %d", got, want)
+	}
+
+	orc := newOracle(cls, n, base, batches)
+	for r, rs := range recs {
+		for i := range rs {
+			if err := orc.check(&rs[i]); err != nil {
+				return fmt.Errorf("reader %d op %d: %w", r, i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// runReader issues ops against pinned snapshots, recording each answer with
+// the snapshot's epoch. A slice of the ops run with cancelled or
+// near-expired contexts: those may fail (with a context error) — what they
+// must never do is return a wrong answer or wedge the server.
+func runReader(srv *aquila.Server, cls Class, n, ops int, seed uint64) ([]record, error) {
+	rng := gen.NewRNG(seed)
+	out := make([]record, 0, ops)
+	for i := 0; i < ops; i++ {
+		sn := srv.Acquire()
+		rec := record{epoch: sn.Epoch(), kind: opKind(rng.Intn(int(numOpKinds)))}
+		if rec.kind == opSCC && !cls.Directed {
+			rec.kind = opCC
+		}
+
+		ctx := context.Background()
+		switch rng.Intn(8) {
+		case 0: // pre-cancelled: must fail fast, never wedge
+			c, cancel := context.WithCancel(ctx)
+			cancel()
+			ctx = c
+		case 1: // racing deadline: either outcome is fine, answers must be right
+			c, cancel := context.WithTimeout(ctx, time.Duration(rng.Intn(200))*time.Microsecond)
+			defer cancel()
+			ctx = c
+		}
+
+		var err error
+		switch rec.kind {
+		case opConnected:
+			rec.u, rec.v = aquila.V(rng.Intn(n)), aquila.V(rng.Intn(n))
+			rec.boolRes, err = sn.Connected(ctx, rec.u, rec.v)
+		case opCountCC:
+			rec.intRes, err = sn.CountCC(ctx)
+		case opIsConnected:
+			rec.boolRes, err = sn.IsConnected(ctx)
+		case opLargest:
+			var res *aquila.LargestResult
+			res, err = sn.LargestCC(ctx)
+			if err == nil {
+				rec.intRes = res.Size
+				rec.largePivot = res.Pivot
+				rec.u = aquila.V(rng.Intn(n))
+				rec.boolRes = res.Contains(rec.u)
+			}
+		case opCC:
+			var res *aquila.CCResult
+			res, err = sn.CC(ctx)
+			if err == nil {
+				rec.labels = res.Label
+			}
+		case opSCC:
+			var res *aquila.SCCResult
+			res, err = sn.SCC(ctx)
+			if err == nil {
+				rec.labels = res.Label
+			}
+		case opAPs:
+			rec.aps, err = sn.ArticulationPoints(ctx)
+		case opBridges:
+			rec.pairs, err = sn.Bridges(ctx)
+		}
+		if err != nil {
+			if context.Cause(ctx) == nil {
+				return nil, fmt.Errorf("%v on epoch %d failed with live context: %w", rec.kind, rec.epoch, err)
+			}
+			continue // context-induced failure: legal, nothing to record
+		}
+		// Note a pre-cancelled context may still be answered from a warm
+		// cache (no kernel needed) — then the answer is recorded and must
+		// check out like any other.
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// oracle lazily evaluates serial-DFS ground truth per epoch over
+// reconstructed graphs.
+type oracle struct {
+	und []*graph.Undirected // per-epoch undirected view
+	dir []*graph.Directed   // per-epoch directed graph (directed classes)
+
+	cc      [][]uint32
+	scc     [][]uint32
+	aps     [][]bool
+	bridges [][]bool
+}
+
+// newOracle reconstructs every epoch's graph: epoch k holds the base plus
+// the first k batches, deduplicated exactly like Engine.Apply dedups.
+func newOracle(cls Class, n int, base []aquila.Edge, batches [][]aquila.Edge) *oracle {
+	epochs := len(batches) + 1
+	o := &oracle{
+		und:     make([]*graph.Undirected, epochs),
+		cc:      make([][]uint32, epochs),
+		aps:     make([][]bool, epochs),
+		bridges: make([][]bool, epochs),
+	}
+	if cls.Directed {
+		o.dir = make([]*graph.Directed, epochs)
+		o.scc = make([][]uint32, epochs)
+		seen := make(map[[2]aquila.V]struct{}, len(base))
+		var arcs []aquila.Edge
+		add := func(es []aquila.Edge) {
+			for _, e := range es {
+				if e.U == e.V {
+					continue
+				}
+				k := [2]aquila.V{e.U, e.V}
+				if _, dup := seen[k]; dup {
+					continue
+				}
+				seen[k] = struct{}{}
+				arcs = append(arcs, e)
+			}
+		}
+		add(base)
+		o.dir[0] = aquila.NewDirected(n, arcs)
+		o.und[0] = graph.Undirect(o.dir[0])
+		for i, b := range batches {
+			add(b)
+			o.dir[i+1] = aquila.NewDirected(n, arcs)
+			o.und[i+1] = graph.Undirect(o.dir[i+1])
+		}
+		return o
+	}
+	seen := make(map[[2]aquila.V]struct{}, len(base))
+	var edges []aquila.Edge
+	add := func(es []aquila.Edge) {
+		for _, e := range es {
+			u, v := e.U, e.V
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			k := [2]aquila.V{u, v}
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			edges = append(edges, aquila.Edge{U: u, V: v})
+		}
+	}
+	add(base)
+	o.und[0] = aquila.NewUndirected(n, edges)
+	for i, b := range batches {
+		add(b)
+		o.und[i+1] = aquila.NewUndirected(n, edges)
+	}
+	return o
+}
+
+func (o *oracle) ccAt(ep uint64) []uint32 {
+	if o.cc[ep] == nil {
+		o.cc[ep] = serialdfs.CC(o.und[ep])
+	}
+	return o.cc[ep]
+}
+
+func (o *oracle) sccAt(ep uint64) []uint32 {
+	if o.scc[ep] == nil {
+		o.scc[ep] = serialdfs.SCC(o.dir[ep])
+	}
+	return o.scc[ep]
+}
+
+func (o *oracle) apsAt(ep uint64) []bool {
+	if o.aps[ep] == nil {
+		aps := serialdfs.APs(o.und[ep])
+		if aps == nil {
+			aps = make([]bool, o.und[ep].NumVertices())
+		}
+		o.aps[ep] = aps
+	}
+	return o.aps[ep]
+}
+
+func (o *oracle) bridgesAt(ep uint64) []bool {
+	if o.bridges[ep] == nil {
+		br := serialdfs.Bridges(o.und[ep])
+		if br == nil {
+			br = make([]bool, 0)
+		}
+		o.bridges[ep] = br
+	}
+	return o.bridges[ep]
+}
+
+func countDistinct(labels []uint32) int {
+	seen := make(map[uint32]struct{}, 16)
+	for _, l := range labels {
+		seen[l] = struct{}{}
+	}
+	return len(seen)
+}
+
+func componentSizes(labels []uint32) map[uint32]int {
+	sizes := make(map[uint32]int, 16)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	return sizes
+}
+
+// check validates one record against the oracle at the record's epoch.
+func (o *oracle) check(r *record) error {
+	switch r.kind {
+	case opConnected:
+		truth := o.ccAt(r.epoch)
+		if want := truth[r.u] == truth[r.v]; r.boolRes != want {
+			return fmt.Errorf("epoch %d: Connected(%d,%d) = %v, oracle %v", r.epoch, r.u, r.v, r.boolRes, want)
+		}
+	case opCountCC:
+		if want := countDistinct(o.ccAt(r.epoch)); r.intRes != want {
+			return fmt.Errorf("epoch %d: CountCC = %d, oracle %d", r.epoch, r.intRes, want)
+		}
+	case opIsConnected:
+		if want := countDistinct(o.ccAt(r.epoch)) == 1; r.boolRes != want {
+			return fmt.Errorf("epoch %d: IsConnected = %v, oracle %v", r.epoch, r.boolRes, want)
+		}
+	case opLargest:
+		truth := o.ccAt(r.epoch)
+		sizes := componentSizes(truth)
+		maxSize := 0
+		for _, s := range sizes {
+			if s > maxSize {
+				maxSize = s
+			}
+		}
+		if r.intRes != maxSize {
+			return fmt.Errorf("epoch %d: LargestCC.Size = %d, oracle %d", r.epoch, r.intRes, maxSize)
+		}
+		// The pivot must sit in a maximum-size component, and the membership
+		// sample must agree with "same component as the pivot" (ties between
+		// equal-size components make the pivot's component the only
+		// well-defined reference).
+		if sizes[truth[r.largePivot]] != maxSize {
+			return fmt.Errorf("epoch %d: LargestCC pivot %d lies in a size-%d component, max is %d",
+				r.epoch, r.largePivot, sizes[truth[r.largePivot]], maxSize)
+		}
+		if want := truth[r.u] == truth[r.largePivot]; r.boolRes != want {
+			return fmt.Errorf("epoch %d: LargestCC.Contains(%d) = %v, oracle %v", r.epoch, r.u, r.boolRes, want)
+		}
+	case opCC:
+		if err := verify.SamePartition(r.labels, o.ccAt(r.epoch)); err != nil {
+			return fmt.Errorf("epoch %d: CC: %w", r.epoch, err)
+		}
+	case opSCC:
+		if err := verify.SamePartition(r.labels, o.sccAt(r.epoch)); err != nil {
+			return fmt.Errorf("epoch %d: SCC: %w", r.epoch, err)
+		}
+	case opAPs:
+		want := o.apsAt(r.epoch)
+		got := make([]bool, len(want))
+		for _, v := range r.aps {
+			got[v] = true
+		}
+		if err := verify.SameBoolSet(got, want, "AP"); err != nil {
+			return fmt.Errorf("epoch %d: %w", r.epoch, err)
+		}
+	case opBridges:
+		wantFlags := o.bridgesAt(r.epoch)
+		eps := o.und[r.epoch].EdgeEndpoints()
+		want := make(map[[2]aquila.V]struct{})
+		for id, b := range wantFlags {
+			if b {
+				want[normPair(eps[id])] = struct{}{}
+			}
+		}
+		got := make(map[[2]aquila.V]struct{})
+		for _, p := range r.pairs {
+			got[normPair(p)] = struct{}{}
+		}
+		if len(got) != len(want) {
+			return fmt.Errorf("epoch %d: %d bridges, oracle %d", r.epoch, len(got), len(want))
+		}
+		for p := range want {
+			if _, ok := got[p]; !ok {
+				return fmt.Errorf("epoch %d: oracle bridge %v missing", r.epoch, p)
+			}
+		}
+	}
+	return nil
+}
+
+func normPair(p [2]aquila.V) [2]aquila.V {
+	if p[0] > p[1] {
+		p[0], p[1] = p[1], p[0]
+	}
+	return p
+}
+
+// Classes returns the harness's standard graph families: a sparse random
+// undirected graph (several mid-size components), a social-like undirected
+// graph (one giant component plus a long tail), and a directed graph with
+// cyclic structure for SCC coverage. All are small enough that thousands of
+// schedules run in seconds.
+func Classes() []Class {
+	return []Class{
+		{
+			Name: "sparse-random",
+			Build: func(seed uint64) (int, []aquila.Edge, [][]aquila.Edge) {
+				rng := gen.NewRNG(seed)
+				n := 48 + rng.Intn(80)
+				base := randomEdges(rng, n, n) // avg degree ~2: fragmented
+				return n, base, randomBatches(rng, n, 2+rng.Intn(4), 1+rng.Intn(8))
+			},
+		},
+		{
+			Name: "social-tail",
+			Build: func(seed uint64) (int, []aquila.Edge, [][]aquila.Edge) {
+				rng := gen.NewRNG(seed)
+				giant := 60 + rng.Intn(60)
+				tail := 24 + rng.Intn(24)
+				n := giant + tail
+				// Dense-ish giant prefix, untouched tail of small pieces.
+				base := randomEdges(rng, giant, giant*2)
+				for v := giant; v+1 < n; v += 2 + rng.Intn(2) {
+					base = append(base, aquila.Edge{U: aquila.V(v), V: aquila.V(v + 1)})
+				}
+				return n, dedup(base), randomBatches(rng, n, 2+rng.Intn(4), 1+rng.Intn(6))
+			},
+		},
+		{
+			Name:     "directed-cyclic",
+			Directed: true,
+			Build: func(seed uint64) (int, []aquila.Edge, [][]aquila.Edge) {
+				rng := gen.NewRNG(seed)
+				n := 40 + rng.Intn(60)
+				var base []aquila.Edge
+				// A few directed rings plus random chords: rich SCC structure.
+				for start := 0; start < n; {
+					size := 3 + rng.Intn(8)
+					if start+size > n {
+						size = n - start
+					}
+					for i := 0; i < size; i++ {
+						base = append(base, aquila.Edge{
+							U: aquila.V(start + i), V: aquila.V(start + (i+1)%size)})
+					}
+					start += size
+				}
+				base = append(base, randomEdges(rng, n, n/2)...)
+				return n, dedup(base), randomBatches(rng, n, 2+rng.Intn(4), 1+rng.Intn(6))
+			},
+		},
+	}
+}
+
+// randomEdges draws m simple random edges over n vertices (deduplicated).
+func randomEdges(rng *gen.RNG, n, m int) []aquila.Edge {
+	edges := make([]aquila.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		u, v := aquila.V(rng.Intn(n)), aquila.V(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		edges = append(edges, aquila.Edge{U: u, V: v})
+	}
+	return dedup(edges)
+}
+
+// randomBatches draws `count` update batches of up to `maxEdges` random
+// candidate edges each (duplicates across batches are fine: Apply dedups,
+// and the oracle reconstruction dedups identically).
+func randomBatches(rng *gen.RNG, n, count, maxEdges int) [][]aquila.Edge {
+	batches := make([][]aquila.Edge, count)
+	for i := range batches {
+		k := 1 + rng.Intn(maxEdges)
+		b := make([]aquila.Edge, 0, k)
+		for j := 0; j < k; j++ {
+			b = append(b, aquila.Edge{U: aquila.V(rng.Intn(n)), V: aquila.V(rng.Intn(n))})
+		}
+		batches[i] = b
+	}
+	return batches
+}
+
+// dedup removes self-loops and duplicate undirected pairs, preserving order.
+// Directed callers rely on (u,v) vs (v,u) being distinct, so ordering is
+// normalized only through the map key for undirected use via normPair at
+// check time; here both orientations are kept distinct to stay usable for
+// both graph kinds — the engine and the oracle apply their own dedup rules
+// on top.
+func dedup(edges []aquila.Edge) []aquila.Edge {
+	seen := make(map[[2]aquila.V]struct{}, len(edges))
+	out := edges[:0]
+	for _, e := range edges {
+		k := [2]aquila.V{e.U, e.V}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, e)
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestServerInterleavings is the headline concurrency proof: 1000 randomized
+// reader/writer interleavings per graph class, every recorded answer checked
+// against the serial-DFS oracle at its pinned epoch. Runs in the default test
+// tier (small graphs keep it to a few seconds) and, via the CI race row, under
+// the race detector.
+func TestServerInterleavings(t *testing.T) {
+	for _, cls := range Classes() {
+		cls := cls
+		t.Run(cls.Name, func(t *testing.T) {
+			t.Parallel()
+			RunClass(t, cls, Config{
+				Schedules:    1000,
+				MaxReaders:   3,
+				OpsPerReader: 12,
+				Seed:         0xA11A,
+			})
+		})
+	}
+}
+
+// TestServerInterleavingsStress deepens the search: more schedules, more
+// readers, more ops each. Skipped in short mode (the CI test row runs -short;
+// the stress row runs it in full under -race).
+func TestServerInterleavingsStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress tier: skipped in -short mode")
+	}
+	for _, cls := range Classes() {
+		cls := cls
+		t.Run(cls.Name, func(t *testing.T) {
+			t.Parallel()
+			RunClass(t, cls, Config{
+				Schedules:    3000,
+				MaxReaders:   4,
+				OpsPerReader: 24,
+				Seed:         0x57E55,
+			})
+		})
+	}
+}

@@ -1,0 +1,30 @@
+// Package serve holds the concurrency machinery behind aquila.Server: a
+// generic singleflight cell (lazy, deduplicated computes with
+// waiter-refcounted cancellation) and an admission gate (bounded in-flight
+// kernel slots with a FIFO overflow queue).
+//
+// The package is deliberately graph-agnostic — it knows nothing about CSRs or
+// kernels — so its invariants can be tested exhaustively in isolation, and
+// the serving layer in the root package stays a thin composition: snapshot
+// isolation from the engine, dedup and admission from here.
+package serve
+
+import "context"
+
+// ctxDone extracts a context's done channel, treating nil as a context that
+// never cancels. A nil channel blocks forever in a select, which is exactly
+// the wanted behaviour for both helpers below.
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+// ctxErr is ctx.Err() with nil treated as context.Background.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}

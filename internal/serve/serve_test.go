@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCellSingleflight(t *testing.T) {
+	var cell Cell[int]
+	var computes atomic.Int32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	const waiters = 32
+	results := make([]int, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			v, err := cell.Get(context.Background(), func(context.Context) (int, error) {
+				computes.Add(1)
+				time.Sleep(5 * time.Millisecond) // let every waiter join
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("computes = %d, want 1 (singleflight)", got)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("waiter %d got %d, want 42", i, v)
+		}
+	}
+	// Warm path: no further computes.
+	if v, err := cell.Get(nil, func(context.Context) (int, error) {
+		t.Fatal("compute ran on warm cell")
+		return 0, nil
+	}); err != nil || v != 42 {
+		t.Fatalf("warm Get = (%d, %v)", v, err)
+	}
+}
+
+func TestCellCancelLastWaiterAbortsCompute(t *testing.T) {
+	var cell Cell[int]
+	aborted := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := cell.Get(ctx, func(cctx context.Context) (int, error) {
+			<-cctx.Done() // blocks until the waiter-refcount hits zero
+			close(aborted)
+			return 0, cctx.Err()
+		})
+		done <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Get err = %v, want Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Get did not return after cancel")
+	}
+	select {
+	case <-aborted:
+	case <-time.After(time.Second):
+		t.Fatal("compute ctx was not cancelled after last waiter left")
+	}
+	// The aborted attempt must not be cached: a fresh Get recomputes.
+	v, err := cell.Get(context.Background(), func(context.Context) (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry Get = (%d, %v), want (7, nil)", v, err)
+	}
+}
+
+func TestCellCancelOneWaiterKeepsComputeAlive(t *testing.T) {
+	var cell Cell[int]
+	release := make(chan struct{})
+	var computeCancelled atomic.Bool
+	ctx1, cancel1 := context.WithCancel(context.Background())
+
+	patient := make(chan int, 1)
+	started := make(chan struct{})
+	go func() {
+		v, err := cell.Get(context.Background(), func(cctx context.Context) (int, error) {
+			close(started)
+			<-release
+			if cctx.Err() != nil {
+				computeCancelled.Store(true)
+			}
+			return 9, nil
+		})
+		if err != nil {
+			t.Errorf("patient waiter: %v", err)
+		}
+		patient <- v
+	}()
+	<-started
+	impatientDone := make(chan error, 1)
+	go func() {
+		_, err := cell.Get(ctx1, func(context.Context) (int, error) {
+			t.Error("second compute started despite singleflight")
+			return 0, nil
+		})
+		impatientDone <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancel1()
+	if err := <-impatientDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("impatient waiter err = %v, want Canceled", err)
+	}
+	close(release)
+	if v := <-patient; v != 9 {
+		t.Fatalf("patient waiter got %d, want 9", v)
+	}
+	if computeCancelled.Load() {
+		t.Fatal("compute was cancelled while a waiter remained")
+	}
+}
+
+func TestCellSeed(t *testing.T) {
+	var cell Cell[string]
+	cell.Seed("seeded")
+	v, err := cell.Get(nil, func(context.Context) (string, error) {
+		t.Fatal("compute ran on seeded cell")
+		return "", nil
+	})
+	if err != nil || v != "seeded" {
+		t.Fatalf("Get = (%q, %v)", v, err)
+	}
+	cell.Seed("later") // must not replace
+	if v, _ := cell.Peek(); v != "seeded" {
+		t.Fatalf("Peek after second Seed = %q, want seeded", v)
+	}
+}
+
+func TestGateBoundsConcurrency(t *testing.T) {
+	g := NewGate(2, 64)
+	var inFlight, maxSeen atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.Acquire(context.Background()); err != nil {
+				t.Errorf("Acquire: %v", err)
+				return
+			}
+			cur := inFlight.Add(1)
+			for {
+				m := maxSeen.Load()
+				if cur <= m || maxSeen.CompareAndSwap(m, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inFlight.Add(-1)
+			g.Release()
+		}()
+	}
+	wg.Wait()
+	if m := maxSeen.Load(); m > 2 {
+		t.Fatalf("max in-flight = %d, want <= 2", m)
+	}
+}
+
+func TestGateOverload(t *testing.T) {
+	g := NewGate(1, 1)
+	if err := g.Acquire(nil); err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan error, 1)
+	go func() { queued <- g.Acquire(context.Background()) }()
+	time.Sleep(2 * time.Millisecond) // let the waiter enqueue
+	if err := g.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third Acquire err = %v, want ErrOverloaded", err)
+	}
+	g.Release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued Acquire err = %v", err)
+	}
+	g.Release()
+	// Both slots cycled; the gate must be usable again.
+	if err := g.Acquire(nil); err != nil {
+		t.Fatal(err)
+	}
+	g.Release()
+}
+
+func TestGateDeadlineInQueue(t *testing.T) {
+	g := NewGate(1, 4)
+	if err := g.Acquire(nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	if err := g.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued Acquire err = %v, want DeadlineExceeded", err)
+	}
+	g.Release()
+	// The expired waiter must have left the queue: the slot is free again.
+	if err := g.Acquire(nil); err != nil {
+		t.Fatalf("Acquire after expiry: %v", err)
+	}
+	g.Release()
+}
+
+func TestGateFIFO(t *testing.T) {
+	g := NewGate(1, 8)
+	if err := g.Acquire(nil); err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := g.Acquire(context.Background()); err != nil {
+				t.Errorf("Acquire %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			g.Release()
+		}(i)
+		time.Sleep(2 * time.Millisecond) // enqueue in index order
+	}
+	g.Release()
+	wg.Wait()
+	for i := 1; i < len(order); i++ {
+		if order[i-1] > order[i] {
+			t.Fatalf("queue served out of FIFO order: %v", order)
+		}
+	}
+}

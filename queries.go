@@ -1,6 +1,7 @@
 package aquila
 
 import (
+	"context"
 	"errors"
 
 	"aquila/internal/bfs"
@@ -36,6 +37,33 @@ func (e *Engine) CC() *CCResult { return e.ccComplete() }
 
 // WCC is CC under its directed-graph name: the weakly connected components.
 func (e *Engine) WCC() *CCResult { return e.ccComplete() }
+
+// CCContext is CC with cooperative cancellation: a cold-cache compute polls
+// ctx at chunk boundaries and a cancelled call returns ctx.Err() without
+// caching the partial result (a retry recomputes from scratch). A warm cache
+// answers immediately regardless of ctx. A nil ctx behaves like
+// context.Background.
+func (e *Engine) CCContext(ctx context.Context) (*CCResult, error) {
+	return e.ccCompleteCtx(ctx)
+}
+
+// SCCContext is SCC with cooperative cancellation (CCContext semantics).
+func (e *Engine) SCCContext(ctx context.Context) (*SCCResult, error) {
+	if !e.directed {
+		return nil, ErrNotDirected
+	}
+	return e.sccCompleteCtx(ctx)
+}
+
+// BiCCContext is BiCC with cooperative cancellation (CCContext semantics).
+func (e *Engine) BiCCContext(ctx context.Context) (*BiCCResult, error) {
+	return e.biccCompleteCtx(ctx)
+}
+
+// BgCCContext is BgCC with cooperative cancellation (CCContext semantics).
+func (e *Engine) BgCCContext(ctx context.Context) (*BgCCResult, error) {
+	return e.bgccCompleteCtx(ctx)
+}
 
 // SCC returns the complete strongly-connected-components decomposition.
 func (e *Engine) SCC() (*SCCResult, error) {
@@ -100,21 +128,37 @@ func (e *Engine) CCSizeHistogram() map[int]int {
 // immediately — and otherwise runs a single traversal from a randomly chosen
 // vertex. Under incremental updates the component counter answers directly.
 func (e *Engine) IsConnected() bool {
+	ok, _ := e.isConnectedCtx(nil)
+	return ok
+}
+
+// IsConnectedContext is IsConnected with cooperative cancellation: the
+// traversal polls ctx at chunk boundaries, and a cancelled call returns
+// ctx.Err() with no answer (nothing is cached, so a retry recomputes). A nil
+// ctx behaves like context.Background.
+func (e *Engine) IsConnectedContext(ctx context.Context) (bool, error) {
+	return e.isConnectedCtx(ctx)
+}
+
+func (e *Engine) isConnectedCtx(ctx context.Context) (bool, error) {
 	e.mu.Lock()
 	n := e.und.NumVertices()
 	if n <= 1 {
 		e.mu.Unlock()
-		return true
+		return true, nil
 	}
 	if e.inc != nil {
 		cnt := e.inc.ComponentCount()
 		e.mu.Unlock()
-		return cnt == 1
+		return cnt == 1, nil
 	}
 	if e.opt.DisablePartial {
-		res := e.ccCompleteLocked()
+		res, err := e.ccCompleteLockedCtx(ctx)
 		e.mu.Unlock()
-		return res.NumComponents == 1
+		if err != nil {
+			return false, err
+		}
+		return res.NumComponents == 1, nil
 	}
 	g := e.und
 	e.mu.Unlock()
@@ -122,14 +166,14 @@ func (e *Engine) IsConnected() bool {
 	// separate component.
 	for v := 0; v < n; v++ {
 		if g.Degree(graph.V(v)) == 0 {
-			return false
+			return false, nil
 		}
 	}
 	for v := 0; v < n && n > 2; v++ {
 		if g.Degree(graph.V(v)) == 1 {
 			u := g.Neighbors(graph.V(v))[0]
 			if g.Degree(u) == 1 {
-				return false
+				return false, nil
 			}
 		}
 	}
@@ -138,10 +182,13 @@ func (e *Engine) IsConnected() bool {
 	pivot := graph.V(rng.Intn(n))
 	rs := e.getReach(n)
 	visited := rs.Reach(bfs.UndirectedAdj(g), pivot, nil,
-		bfs.Options{Threads: e.opt.Threads}, e.opt.Traversal.mode())
+		bfs.Options{Threads: e.opt.Threads, Ctx: ctx}, e.opt.Traversal.mode())
 	connected := visited.Count() == n
 	e.putReach(rs)
-	return connected
+	if err := ctxErr(ctx); err != nil {
+		return false, err
+	}
+	return connected, nil
 }
 
 // IsStronglyConnected answers "is this graph strongly connected?" with
@@ -202,15 +249,31 @@ func (l *LargestResult) Contains(v V) bool { return l.contains(v) }
 // back to the complete computation. Under incremental updates the answer
 // comes from the union-find census instead of any traversal.
 func (e *Engine) LargestCC() *LargestResult {
+	res, _ := e.largestCCCtx(nil)
+	return res
+}
+
+// LargestCCContext is LargestCC with cooperative cancellation: both the
+// partial-computation traversal and the complete-decomposition fallback poll
+// ctx at chunk boundaries. A cancelled call returns ctx.Err() and caches
+// nothing. A nil ctx behaves like context.Background.
+func (e *Engine) LargestCCContext(ctx context.Context) (*LargestResult, error) {
+	return e.largestCCCtx(ctx)
+}
+
+func (e *Engine) largestCCCtx(ctx context.Context) (*LargestResult, error) {
 	e.mu.Lock()
 	if e.inc != nil {
-		res := e.ccCompleteLocked()
+		res, err := e.ccCompleteLockedCtx(ctx)
 		e.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
 		lbl := res.LargestLabel
 		return &LargestResult{
 			Size: res.LargestSize, Pivot: V(lbl),
 			contains: func(v V) bool { return res.Label[v] == lbl },
-		}
+		}, nil
 	}
 	g := e.und
 	e.mu.Unlock()
@@ -219,7 +282,11 @@ func (e *Engine) LargestCC() *LargestResult {
 		master := g.MaxDegreeVertex()
 		rs := e.getReach(n)
 		visited := rs.Reach(bfs.UndirectedAdj(g), master, nil,
-			bfs.Options{Threads: e.opt.Threads}, e.opt.Traversal.mode())
+			bfs.Options{Threads: e.opt.Threads, Ctx: ctx}, e.opt.Traversal.mode())
+		if err := ctxErr(ctx); err != nil {
+			e.putReach(rs)
+			return nil, err
+		}
 		size := visited.Count()
 		if 2*size >= n {
 			// The result keeps visited.Get, so the bitmap must survive the
@@ -234,11 +301,14 @@ func (e *Engine) LargestCC() *LargestResult {
 			return &LargestResult{
 				Size: size, Pivot: e.unmapV(master), Partial: true,
 				contains: contains,
-			}
+			}, nil
 		}
 		e.putReach(rs)
 	}
-	res := e.ccComplete()
+	res, err := e.ccCompleteCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
 	lbl := res.LargestLabel
 	return &LargestResult{
 		Size:  res.LargestSize,
@@ -246,18 +316,26 @@ func (e *Engine) LargestCC() *LargestResult {
 		contains: func(v V) bool {
 			return res.Label[v] == lbl
 		},
-	}
+	}, nil
 }
 
 // InLargestCC reports whether v is in the largest connected component.
 func (e *Engine) InLargestCC(v V) bool {
 	e.mu.Lock()
 	cached := e.largestCC
+	gen := e.cacheGen
 	e.mu.Unlock()
 	if cached == nil {
 		cached = e.LargestCC()
 		e.mu.Lock()
-		e.largestCC = cached
+		// The fill ran outside the lock; a concurrent Apply may have
+		// invalidated the cache in the meantime. Storing the stale fill would
+		// erase that invalidation, so it is kept only if no invalidation
+		// happened (the answer itself is still consistent: it linearizes at
+		// the point the fill read the engine state).
+		if e.cacheGen == gen {
+			e.largestCC = cached
+		}
 		e.mu.Unlock()
 	}
 	return cached.Contains(v)
