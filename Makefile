@@ -30,17 +30,19 @@ bench:
 
 # Machine-readable snapshot of the perf-trajectory benchmarks: the PR 2
 # BFS / CC / scheduler set, the PR 3 ingestion set (build + parse
-# throughput in edges/s, reorder ablation), and the PR 4 serving set
-# (reader throughput with/without singleflight, Apply latency under read
-# load) into BENCH_PR4.json.
+# throughput in edges/s, reorder ablation), the PR 4 serving set (reader
+# throughput with/without singleflight, Apply latency under read load),
+# and the PR 5 HTTP front-end throughput, into BENCH_PR5.json.
 bench-json:
 	( go test -bench='BFS|CC|Pool|Reach' -benchmem -benchtime=20x -run='^$$' \
 		. ./internal/bfs ./internal/parallel ; \
 	  go test -bench='Build|Parse|Reorder' -benchmem -benchtime=5x -run='^$$' \
 		./internal/bench ; \
 	  go test -bench='ServerThroughput|ApplyUnderReadLoad' -benchmem -benchtime=5x -run='^$$' \
-		. ) \
-		| go run ./cmd/bench2json > BENCH_PR4.json
+		. ; \
+	  go test -bench='HTTPThroughput' -benchmem -benchtime=2s -run='^$$' \
+		./internal/httpd ) \
+		| go run ./cmd/bench2json > BENCH_PR5.json
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

@@ -311,3 +311,45 @@ func TestReorderPermutationInvariants(t *testing.T) {
 		t.Fatal("BFS order does not start at a max-degree hub")
 	}
 }
+
+// TestEngineLargestCCContainsOutOfRange mirrors the snapshot-layer
+// regression on the Engine path: every LargestCC/LargestSCC contains closure
+// (partial traversal, permuted partial, census fallback) must answer false
+// for out-of-range vertices instead of indexing the permutation or the label
+// array past its end.
+func TestEngineLargestCCContainsOutOfRange(t *testing.T) {
+	edges := []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4},
+		{U: 4, V: 5}, {U: 5, V: 6}, {U: 6, V: 7}}
+	const n = 10
+	for _, mode := range []Reorder{ReorderNone, ReorderDegree} {
+		for _, disablePartial := range []bool{false, true} {
+			e := NewEngine(NewUndirected(n, edges),
+				Options{Threads: 2, Reorder: mode, DisablePartial: disablePartial})
+			res := e.LargestCC()
+			if res.Size != 8 || !res.Contains(0) || res.Contains(9) {
+				t.Fatalf("reorder=%v partial=%v: in-range answers wrong", mode, !disablePartial)
+			}
+			for _, v := range []V{n, 1 << 20, graph.NoVertex} {
+				if res.Contains(v) {
+					t.Fatalf("reorder=%v partial=%v: Contains(%d) = true out of range", mode, !disablePartial, v)
+				}
+			}
+			if e.InLargestCC(graph.NoVertex) {
+				t.Fatalf("reorder=%v partial=%v: InLargestCC out of range = true", mode, !disablePartial)
+			}
+		}
+		// Directed twin: LargestSCC's forward/backward closure.
+		d := NewDirectedEngine(NewDirected(n, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0},
+			{U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 2}, {U: 4, V: 5}, {U: 5, V: 6}, {U: 6, V: 4}}),
+			Options{Threads: 2, Reorder: mode})
+		sres, err := d.LargestSCC()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range []V{n, graph.NoVertex} {
+			if sres.Contains(v) {
+				t.Fatalf("reorder=%v: LargestSCC.Contains(%d) = true out of range", mode, v)
+			}
+		}
+	}
+}

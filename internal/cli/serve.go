@@ -3,6 +3,7 @@ package cli
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -12,10 +13,31 @@ import (
 	"aquila"
 )
 
+// serveErr maps serving-layer failures onto operator-actionable messages.
+// Shed load keeps its errors.Is(err, aquila.ErrOverloaded) classification —
+// the same one the HTTP front-end turns into 429 Too Many Requests — but
+// reads as an explicit retry notice instead of a generic failure.
+func serveErr(err error) error {
+	if errors.Is(err, aquila.ErrOverloaded) {
+		return fmt.Errorf("overloaded, retry: %w", err)
+	}
+	return err
+}
+
 // AnswerServed runs one query through the serving layer — every answer comes
 // from a pinned snapshot with singleflight batching and admission control in
 // front of the kernels — and returns the same printable form as Answer.
+// Requests shed by admission control surface as an "overloaded, retry"
+// error that still matches aquila.ErrOverloaded under errors.Is.
 func AnswerServed(ctx context.Context, srv *aquila.Server, query string) (string, error) {
+	out, err := answerServed(ctx, srv, query)
+	if err != nil {
+		return "", serveErr(err)
+	}
+	return out, nil
+}
+
+func answerServed(ctx context.Context, srv *aquila.Server, query string) (string, error) {
 	switch {
 	case query == "connected":
 		ok, err := srv.IsConnected(ctx)
@@ -163,7 +185,7 @@ func ReplayServed(srv *aquila.Server, r io.Reader, batchSize int) (string, error
 	answer := func(sn *aquila.Snapshot, u, v aquila.V, label string) error {
 		ok, err := sn.Connected(ctx, u, v)
 		if err != nil {
-			return err
+			return serveErr(err)
 		}
 		fmt.Fprintf(&out, "%s(%d, %d) @epoch %d = %v\n", label, u, v, sn.Epoch(), ok)
 		return nil

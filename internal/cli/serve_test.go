@@ -2,10 +2,13 @@ package cli
 
 import (
 	"context"
+	"errors"
 	"strings"
+	"sync"
 	"testing"
 
 	"aquila"
+	"aquila/internal/gen"
 )
 
 func paperServer() *aquila.Server {
@@ -129,4 +132,60 @@ func TestReplayServedErrors(t *testing.T) {
 			t.Errorf("script %q: want error", script)
 		}
 	}
+}
+
+// TestAnswerServedOverloaded saturates a 1-slot/0-queue server and asserts
+// shed queries surface as the explicit "overloaded, retry" classification
+// (still matching aquila.ErrOverloaded under errors.Is) instead of a generic
+// error string. Singleflight is disabled so concurrent identical queries
+// cannot coalesce into one admission slot.
+func TestAnswerServedOverloaded(t *testing.T) {
+	// The kernel pass must outlive a scheduler preemption slice (~10ms) so
+	// concurrent callers interleave even on a single-CPU host; a ~1M-edge
+	// graph keeps one CC pass well past that.
+	g := gen.RandomUndirected(300000, 1000000, 7)
+	ctx := context.Background()
+	const callers = 8
+	for round := 0; round < 10; round++ {
+		// Fresh server per round: after a successful round the snapshot's
+		// cells are warm and no caller would need a slot again.
+		srv := aquila.NewServer(aquila.NewEngine(g, aquila.Options{Threads: 1}),
+			aquila.ServerConfig{MaxInFlight: 1, MaxQueue: -1, DisableSingleflight: true})
+		start := make(chan struct{})
+		errs := make(chan error, callers)
+		var wg sync.WaitGroup
+		for i := 0; i < callers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				_, err := AnswerServed(ctx, srv, "num-cc")
+				errs <- err
+			}()
+		}
+		close(start)
+		wg.Wait()
+		close(errs)
+		var shed, ok int
+		for err := range errs {
+			switch {
+			case err == nil:
+				ok++
+			case errors.Is(err, aquila.ErrOverloaded):
+				if !strings.HasPrefix(err.Error(), "overloaded, retry") {
+					t.Fatalf("shed query error = %q, want explicit overloaded-retry message", err)
+				}
+				shed++
+			default:
+				t.Fatalf("unexpected error: %v", err)
+			}
+		}
+		if shed > 0 {
+			if ok == 0 {
+				t.Fatal("every caller was shed; one should hold the slot and succeed")
+			}
+			return // saturation observed and classified correctly
+		}
+	}
+	t.Fatal("never saturated the 1-slot/0-queue server in 10 rounds")
 }

@@ -1,0 +1,65 @@
+package httpd_test
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"aquila"
+	"aquila/internal/gen"
+	"aquila/internal/httpd"
+)
+
+// BenchmarkHTTPThroughput measures end-to-end request throughput through the
+// full stack — HTTP parsing, routing, snapshot resolution, the warm CC label
+// cell, JSON encoding — with parallel keep-alive clients issuing point
+// connectivity queries. This is the serving-path number for EXPERIMENTS.md:
+// after the first request computes the epoch's labels, every /v1/connected
+// is an O(1) lookup, so the benchmark isolates the front-end overhead.
+func BenchmarkHTTPThroughput(b *testing.B) {
+	g := gen.RandomUndirected(100000, 400000, 17)
+	n := g.NumVertices()
+	eng := aquila.NewEngine(g, aquila.Options{})
+	front := httpd.New(aquila.NewServer(eng, aquila.ServerConfig{}), httpd.Config{})
+	ts := httptest.NewUnstartedServer(front.Handler())
+	ts.Config.BaseContext = front.BaseContext
+	ts.Start()
+	defer func() {
+		ts.Close()
+		front.Close()
+	}()
+
+	// Warm the epoch's CC labels so the measured loop serves cached answers.
+	warm, err := http.Get(ts.URL + "/v1/connected?u=0&v=1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, warm.Body)
+	warm.Body.Close()
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(rand.Int63()))
+		client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+		for pb.Next() {
+			u, v := rng.Intn(n), rng.Intn(n)
+			resp, err := client.Get(fmt.Sprintf("%s/v1/connected?u=%d&v=%d", ts.URL, u, v))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+	})
+	b.StopTimer()
+	elapsed := b.Elapsed()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)/elapsed.Seconds(), "req/s")
+	}
+}

@@ -1,0 +1,545 @@
+// Package httpd is the stdlib-only HTTP/JSON front-end over aquila.Server:
+// the network face of the serving layer, so the paper's target workload —
+// huge volumes of cheap connectivity queries punctuated by batch updates —
+// can arrive from many clients instead of goroutines in one process.
+//
+// One GET endpoint per served query (`/v1/connected`, `/v1/cc`, ...,
+// `/v1/histogram`), `POST /v1/apply` for edge batches, and `GET /metrics`
+// for observability. Three serving contracts ride on top of aquila.Server:
+//
+//   - Pinned-epoch reads: an `Aquila-Epoch: k` request header answers from
+//     epoch k's snapshot, served out of a bounded LRU of retained epochs;
+//     an evicted epoch is 410 Gone, an unpublished one 404.
+//   - Deadlines: a `timeout` query parameter (Go duration syntax) bounds the
+//     kernel work, clamped by Config.MaxTimeout — every request is
+//     deadline-bounded even when the client asks for nothing.
+//   - Load shedding: admission-gate rejections (aquila.ErrOverloaded)
+//     become 429 Too Many Requests with a Retry-After hint; deadline
+//     expiries become 504.
+//
+// Graceful shutdown is split the way net/http wants it: http.Server.Shutdown
+// stops accepting and drains handlers, and Close cancels the drain context
+// that every request context derives from (via BaseContext), so kernels
+// still running when the grace period expires abort at their next
+// cancellation checkpoint instead of leaking.
+package httpd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aquila"
+)
+
+// EpochHeader is the request header that pins a read to one epoch's
+// snapshot. Without it, queries answer on the epoch current at arrival.
+const EpochHeader = "Aquila-Epoch"
+
+// statusClientClosed is nginx's conventional code for "client closed the
+// connection before the response"; it never reaches the (gone) client but
+// keeps access logs and metrics honest about why the kernel was abandoned.
+const statusClientClosed = 499
+
+// Config tunes the front-end. The zero value gives sensible defaults.
+type Config struct {
+	// DefaultTimeout bounds queries that carry no `timeout` parameter.
+	// 0 means MaxTimeout: requests are never unbounded.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps every per-request deadline, including explicit
+	// `timeout` parameters asking for more. Default 30s.
+	MaxTimeout time.Duration
+	// RetainEpochs bounds the LRU of past snapshots served to Aquila-Epoch
+	// readers (the current epoch is always available). Default 8.
+	RetainEpochs int
+	// MaxListItems caps the aps/bridges response arrays (a `limit` parameter
+	// below the cap narrows further; responses flag truncation). Default 1000.
+	MaxListItems int
+	// MaxBatchEdges caps one POST /v1/apply batch. Default 1<<20.
+	MaxBatchEdges int
+	// RetryAfter is the hint attached to 429 responses. Default 1s.
+	RetryAfter time.Duration
+	// AccessLog, when non-nil, receives one structured record per request.
+	AccessLog *slog.Logger
+}
+
+// Server routes HTTP requests into an aquila.Server. Create with New, mount
+// via Handler, wire BaseContext into the http.Server, and pair Shutdown's
+// grace expiry with Close.
+type Server struct {
+	srv *aquila.Server
+	cfg Config
+	mux *http.ServeMux
+	met *metrics
+
+	base     context.Context
+	stop     context.CancelFunc
+	inflight atomic.Int64
+
+	// mu guards the retained-epoch LRU: map for lookup, order for recency
+	// (least recently used first).
+	mu       sync.Mutex
+	retained map[uint64]*aquila.Snapshot
+	order    []uint64
+}
+
+// New wraps srv. The epoch current at construction is the first retained
+// snapshot, so Aquila-Epoch readers can pin it even after later applies.
+func New(srv *aquila.Server, cfg Config) *Server {
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 30 * time.Second
+	}
+	if cfg.DefaultTimeout <= 0 || cfg.DefaultTimeout > cfg.MaxTimeout {
+		cfg.DefaultTimeout = cfg.MaxTimeout
+	}
+	if cfg.RetainEpochs <= 0 {
+		cfg.RetainEpochs = 8
+	}
+	if cfg.MaxListItems <= 0 {
+		cfg.MaxListItems = 1000
+	}
+	if cfg.MaxBatchEdges <= 0 {
+		cfg.MaxBatchEdges = 1 << 20
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	base, stop := context.WithCancel(context.Background())
+	s := &Server{
+		srv: srv, cfg: cfg, mux: http.NewServeMux(), met: newMetrics(),
+		base: base, stop: stop, retained: make(map[uint64]*aquila.Snapshot),
+	}
+	s.retain(srv.Acquire())
+
+	s.mux.HandleFunc("GET /v1/connected", s.wrap("connected", s.handleConnected))
+	s.mux.HandleFunc("GET /v1/cc", s.wrap("cc", s.handleCC))
+	s.mux.HandleFunc("GET /v1/scc", s.wrap("scc", s.handleSCC))
+	s.mux.HandleFunc("GET /v1/bicc", s.wrap("bicc", s.handleBiCC))
+	s.mux.HandleFunc("GET /v1/bgcc", s.wrap("bgcc", s.handleBgCC))
+	s.mux.HandleFunc("GET /v1/largest-cc", s.wrap("largest-cc", s.handleLargestCC))
+	s.mux.HandleFunc("GET /v1/aps", s.wrap("aps", s.handleAPs))
+	s.mux.HandleFunc("GET /v1/bridges", s.wrap("bridges", s.handleBridges))
+	s.mux.HandleFunc("GET /v1/histogram", s.wrap("histogram", s.handleHistogram))
+	s.mux.HandleFunc("POST /v1/apply", s.wrap("apply", s.handleApply))
+	s.mux.HandleFunc("GET /v1/epoch", s.wrap("epoch", s.handleEpoch))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the routable front-end.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// BaseContext plugs into http.Server.BaseContext so every request context
+// derives from the drain context and Close reaches in-flight kernels.
+func (s *Server) BaseContext(net.Listener) context.Context { return s.base }
+
+// Close cancels the drain context: every in-flight kernel aborts at its next
+// cooperative checkpoint. Call it after http.Server.Shutdown returns (clean
+// drain) or gives up (grace expired with kernels still running).
+func (s *Server) Close() { s.stop() }
+
+// InFlight reports how many requests are currently inside handlers.
+func (s *Server) InFlight() int64 { return s.inflight.Load() }
+
+// httpError carries an explicit status through the handler error path.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// wrap is the per-endpoint middleware: in-flight accounting, JSON rendering,
+// error-to-status mapping, latency metrics, and access logging.
+func (s *Server) wrap(kind string, fn func(*http.Request) (any, error)) http.HandlerFunc {
+	km := s.met.kind(kind)
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		start := time.Now()
+		res, err := fn(r)
+		status := http.StatusOK
+		if err != nil {
+			status = s.writeErr(w, err)
+		} else {
+			writeJSON(w, http.StatusOK, res)
+		}
+		dur := time.Since(start)
+		km.observe(status, dur)
+		if status == http.StatusTooManyRequests {
+			s.met.rejects.Add(1)
+		}
+		if lg := s.cfg.AccessLog; lg != nil {
+			lg.LogAttrs(context.Background(), slog.LevelInfo, "request",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("query", r.URL.RawQuery),
+				slog.Int("status", status),
+				slog.Duration("dur", dur),
+				slog.String("pinned", r.Header.Get(EpochHeader)),
+				slog.Uint64("epoch", s.srv.Epoch()),
+				slog.String("remote", r.RemoteAddr),
+			)
+		}
+	}
+}
+
+// writeErr maps a handler error onto the front-end's status contract and
+// writes the JSON error body; it returns the status for metrics/logging.
+func (s *Server) writeErr(w http.ResponseWriter, err error) int {
+	var he *httpError
+	status := http.StatusInternalServerError
+	switch {
+	case errors.As(err, &he):
+		status = he.status
+	case errors.Is(err, aquila.ErrOverloaded):
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After",
+			strconv.Itoa(int(max(1, s.cfg.RetryAfter.Round(time.Second)/time.Second))))
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		if s.base.Err() != nil {
+			// Drain-initiated abort, not a client hangup.
+			status = http.StatusServiceUnavailable
+		} else {
+			status = statusClientClosed
+		}
+	case errors.Is(err, aquila.ErrNotDirected):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+	return status
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(buf, '\n'))
+}
+
+// reqCtx derives the kernel context for one request: the client's context
+// (hangups propagate), the drain context (Close propagates), and the
+// clamped per-request deadline.
+func (s *Server) reqCtx(r *http.Request) (context.Context, context.CancelFunc, error) {
+	d := s.cfg.DefaultTimeout
+	if raw := r.URL.Query().Get("timeout"); raw != "" {
+		dur, err := time.ParseDuration(raw)
+		if err != nil || dur <= 0 {
+			return nil, nil, &httpError{http.StatusBadRequest,
+				fmt.Sprintf("bad timeout %q (want a positive Go duration, e.g. 250ms)", raw)}
+		}
+		d = min(dur, s.cfg.MaxTimeout)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	unhook := context.AfterFunc(s.base, cancel)
+	return ctx, func() { unhook(); cancel() }, nil
+}
+
+// snapshot resolves which epoch the request reads: the current one, or the
+// Aquila-Epoch pin served from the retained LRU.
+func (s *Server) snapshot(r *http.Request) (*aquila.Snapshot, error) {
+	cur := s.srv.Acquire()
+	raw := r.Header.Get(EpochHeader)
+	if raw == "" {
+		return cur, nil
+	}
+	ep, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return nil, &httpError{http.StatusBadRequest,
+			fmt.Sprintf("bad %s header %q (want a decimal epoch)", EpochHeader, raw)}
+	}
+	if ep == cur.Epoch() {
+		return cur, nil
+	}
+	if ep > cur.Epoch() {
+		return nil, &httpError{http.StatusNotFound,
+			fmt.Sprintf("epoch %d not yet published (current epoch %d)", ep, cur.Epoch())}
+	}
+	if sn, ok := s.lookup(ep); ok {
+		return sn, nil
+	}
+	return nil, &httpError{http.StatusGone,
+		fmt.Sprintf("epoch %d evicted from the retained window (current epoch %d, retaining %d)",
+			ep, cur.Epoch(), s.cfg.RetainEpochs)}
+}
+
+// query composes snapshot resolution and context derivation for the read
+// endpoints.
+func (s *Server) query(r *http.Request, f func(context.Context, *aquila.Snapshot) (any, error)) (any, error) {
+	sn, err := s.snapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel, err := s.reqCtx(r)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	return f(ctx, sn)
+}
+
+// retain inserts sn into the pinned-epoch LRU, evicting the least recently
+// used epoch beyond the bound.
+func (s *Server) retain(sn *aquila.Snapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ep := sn.Epoch()
+	if _, ok := s.retained[ep]; ok {
+		s.touchLocked(ep)
+		return
+	}
+	s.retained[ep] = sn
+	s.order = append(s.order, ep)
+	for len(s.order) > s.cfg.RetainEpochs {
+		old := s.order[0]
+		s.order = s.order[1:]
+		delete(s.retained, old)
+	}
+}
+
+func (s *Server) lookup(ep uint64) (*aquila.Snapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sn, ok := s.retained[ep]
+	if ok {
+		s.touchLocked(ep)
+	}
+	return sn, ok
+}
+
+func (s *Server) touchLocked(ep uint64) {
+	for i, e := range s.order {
+		if e == ep {
+			copy(s.order[i:], s.order[i+1:])
+			s.order[len(s.order)-1] = ep
+			return
+		}
+	}
+}
+
+func (s *Server) retainedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.retained)
+}
+
+// parseV reads a required vertex parameter, bounds-checked against n.
+func parseV(q url.Values, key string, n int) (aquila.V, error) {
+	raw := q.Get(key)
+	if raw == "" {
+		return 0, &httpError{http.StatusBadRequest, "missing parameter " + key}
+	}
+	x, err := strconv.ParseUint(raw, 10, 32)
+	if err != nil {
+		return 0, &httpError{http.StatusBadRequest, fmt.Sprintf("bad vertex %s=%q", key, raw)}
+	}
+	if int(x) >= n {
+		return 0, &httpError{http.StatusBadRequest,
+			fmt.Sprintf("vertex %s=%d out of range [0,%d)", key, x, n)}
+	}
+	return aquila.V(x), nil
+}
+
+func (s *Server) handleConnected(r *http.Request) (any, error) {
+	return s.query(r, func(ctx context.Context, sn *aquila.Snapshot) (any, error) {
+		q := r.URL.Query()
+		u, err := parseV(q, "u", sn.NumVertices())
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseV(q, "v", sn.NumVertices())
+		if err != nil {
+			return nil, err
+		}
+		ok, err := sn.Connected(ctx, u, v)
+		if err != nil {
+			return nil, err
+		}
+		return ConnectedResponse{Epoch: sn.Epoch(), U: u, V: v, Connected: ok}, nil
+	})
+}
+
+func (s *Server) handleCC(r *http.Request) (any, error) {
+	return s.query(r, func(ctx context.Context, sn *aquila.Snapshot) (any, error) {
+		res, err := sn.CC(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return CCResponse{Epoch: sn.Epoch(), NumComponents: res.NumComponents,
+			LargestSize: res.LargestSize}, nil
+	})
+}
+
+func (s *Server) handleSCC(r *http.Request) (any, error) {
+	return s.query(r, func(ctx context.Context, sn *aquila.Snapshot) (any, error) {
+		res, err := sn.SCC(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return CCResponse{Epoch: sn.Epoch(), NumComponents: res.NumComponents,
+			LargestSize: res.LargestSize}, nil
+	})
+}
+
+func (s *Server) handleBiCC(r *http.Request) (any, error) {
+	return s.query(r, func(ctx context.Context, sn *aquila.Snapshot) (any, error) {
+		res, err := sn.BiCC(ctx)
+		if err != nil {
+			return nil, err
+		}
+		aps := 0
+		for _, ap := range res.IsAP {
+			if ap {
+				aps++
+			}
+		}
+		return BiCCResponse{Epoch: sn.Epoch(), NumBlocks: res.NumBlocks,
+			NumArticulationPoints: aps}, nil
+	})
+}
+
+func (s *Server) handleBgCC(r *http.Request) (any, error) {
+	return s.query(r, func(ctx context.Context, sn *aquila.Snapshot) (any, error) {
+		res, err := sn.BgCC(ctx)
+		if err != nil {
+			return nil, err
+		}
+		bridges := 0
+		for _, b := range res.IsBridge {
+			if b {
+				bridges++
+			}
+		}
+		return BgCCResponse{Epoch: sn.Epoch(), NumComponents: res.NumComponents,
+			LargestSize: res.LargestSize, NumBridges: bridges}, nil
+	})
+}
+
+func (s *Server) handleLargestCC(r *http.Request) (any, error) {
+	return s.query(r, func(ctx context.Context, sn *aquila.Snapshot) (any, error) {
+		res, err := sn.LargestCC(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out := LargestCCResponse{Epoch: sn.Epoch(), Size: res.Size,
+			Pivot: res.Pivot, Partial: res.Partial}
+		if raw := r.URL.Query().Get("contains"); raw != "" {
+			x, err := strconv.ParseUint(raw, 10, 32)
+			if err != nil {
+				return nil, &httpError{http.StatusBadRequest,
+					fmt.Sprintf("bad vertex contains=%q", raw)}
+			}
+			// Out-of-range ids are answered (false), not rejected: Contains
+			// is total.
+			in := res.Contains(aquila.V(x))
+			out.Contains = &in
+		}
+		return out, nil
+	})
+}
+
+// listLimit resolves the effective aps/bridges array cap.
+func (s *Server) listLimit(q url.Values) (int, error) {
+	limit := s.cfg.MaxListItems
+	if raw := q.Get("limit"); raw != "" {
+		x, err := strconv.Atoi(raw)
+		if err != nil || x < 0 {
+			return 0, &httpError{http.StatusBadRequest, fmt.Sprintf("bad limit %q", raw)}
+		}
+		limit = min(x, limit)
+	}
+	return limit, nil
+}
+
+func (s *Server) handleAPs(r *http.Request) (any, error) {
+	return s.query(r, func(ctx context.Context, sn *aquila.Snapshot) (any, error) {
+		limit, err := s.listLimit(r.URL.Query())
+		if err != nil {
+			return nil, err
+		}
+		aps, err := sn.ArticulationPoints(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out := APsResponse{Epoch: sn.Epoch(), Count: len(aps), ArticulationPoints: aps}
+		if len(aps) > limit {
+			out.ArticulationPoints = aps[:limit]
+			out.Truncated = true
+		}
+		return out, nil
+	})
+}
+
+func (s *Server) handleBridges(r *http.Request) (any, error) {
+	return s.query(r, func(ctx context.Context, sn *aquila.Snapshot) (any, error) {
+		limit, err := s.listLimit(r.URL.Query())
+		if err != nil {
+			return nil, err
+		}
+		brs, err := sn.Bridges(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out := BridgesResponse{Epoch: sn.Epoch(), Count: len(brs), Bridges: brs}
+		if len(brs) > limit {
+			out.Bridges = brs[:limit]
+			out.Truncated = true
+		}
+		return out, nil
+	})
+}
+
+func (s *Server) handleHistogram(r *http.Request) (any, error) {
+	return s.query(r, func(ctx context.Context, sn *aquila.Snapshot) (any, error) {
+		hist, err := sn.CCSizeHistogram(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return HistogramResponse{Epoch: sn.Epoch(), Histogram: hist}, nil
+	})
+}
+
+func (s *Server) handleApply(r *http.Request) (any, error) {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<26))
+	dec.DisallowUnknownFields()
+	var req ApplyRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, &httpError{http.StatusBadRequest, "bad apply body: " + err.Error()}
+	}
+	if len(req.Edges) > s.cfg.MaxBatchEdges {
+		return nil, &httpError{http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d edges exceeds the %d-edge cap", len(req.Edges), s.cfg.MaxBatchEdges)}
+	}
+	batch := make([]aquila.Edge, len(req.Edges))
+	for i, e := range req.Edges {
+		batch[i] = aquila.Edge{U: e[0], V: e[1]}
+	}
+	res, err := s.srv.Apply(batch)
+	if err != nil {
+		return nil, &httpError{http.StatusBadRequest, err.Error()}
+	}
+	sn := s.srv.Acquire()
+	s.retain(sn)
+	return ApplyResponse{Epoch: sn.Epoch(), NewEdges: res.NewEdges, NewArcs: res.NewArcs,
+		Merged: res.Merged, Components: res.Components, Rebuilt: res.Rebuilt}, nil
+}
+
+func (s *Server) handleEpoch(r *http.Request) (any, error) {
+	sn := s.srv.Acquire()
+	return EpochResponse{Epoch: sn.Epoch(), Vertices: sn.NumVertices()}, nil
+}

@@ -1,0 +1,95 @@
+package httpd
+
+import "aquila"
+
+// errorResponse is the uniform error body for every non-2xx status.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ConnectedResponse answers GET /v1/connected.
+type ConnectedResponse struct {
+	Epoch     uint64   `json:"epoch"`
+	U         aquila.V `json:"u"`
+	V         aquila.V `json:"v"`
+	Connected bool     `json:"connected"`
+}
+
+// CCResponse answers GET /v1/cc and GET /v1/scc (same shape, different
+// decomposition).
+type CCResponse struct {
+	Epoch         uint64 `json:"epoch"`
+	NumComponents int    `json:"num_components"`
+	LargestSize   int    `json:"largest_size"`
+}
+
+// BiCCResponse answers GET /v1/bicc.
+type BiCCResponse struct {
+	Epoch                 uint64 `json:"epoch"`
+	NumBlocks             int    `json:"num_blocks"`
+	NumArticulationPoints int    `json:"num_articulation_points"`
+}
+
+// BgCCResponse answers GET /v1/bgcc.
+type BgCCResponse struct {
+	Epoch         uint64 `json:"epoch"`
+	NumComponents int    `json:"num_components"`
+	LargestSize   int    `json:"largest_size"`
+	NumBridges    int    `json:"num_bridges"`
+}
+
+// LargestCCResponse answers GET /v1/largest-cc. Contains is present only
+// when the request carried a `contains` vertex parameter.
+type LargestCCResponse struct {
+	Epoch    uint64   `json:"epoch"`
+	Size     int      `json:"size"`
+	Pivot    aquila.V `json:"pivot"`
+	Partial  bool     `json:"partial"`
+	Contains *bool    `json:"contains,omitempty"`
+}
+
+// APsResponse answers GET /v1/aps. Count is the true total even when the
+// array is truncated to the list cap.
+type APsResponse struct {
+	Epoch              uint64     `json:"epoch"`
+	Count              int        `json:"count"`
+	ArticulationPoints []aquila.V `json:"articulation_points"`
+	Truncated          bool       `json:"truncated,omitempty"`
+}
+
+// BridgesResponse answers GET /v1/bridges. Count is the true total even when
+// the array is truncated to the list cap.
+type BridgesResponse struct {
+	Epoch     uint64        `json:"epoch"`
+	Count     int           `json:"count"`
+	Bridges   [][2]aquila.V `json:"bridges"`
+	Truncated bool          `json:"truncated,omitempty"`
+}
+
+// HistogramResponse answers GET /v1/histogram; keys are component sizes,
+// values how many components have that size (JSON object keys are strings).
+type HistogramResponse struct {
+	Epoch     uint64      `json:"epoch"`
+	Histogram map[int]int `json:"histogram"`
+}
+
+// ApplyRequest is the POST /v1/apply body: a batch of edges as [u,v] pairs.
+type ApplyRequest struct {
+	Edges [][2]aquila.V `json:"edges"`
+}
+
+// ApplyResponse reports one applied batch and the epoch it published.
+type ApplyResponse struct {
+	Epoch      uint64 `json:"epoch"`
+	NewEdges   int    `json:"new_edges"`
+	NewArcs    int    `json:"new_arcs"`
+	Merged     int    `json:"merged"`
+	Components int    `json:"components"`
+	Rebuilt    bool   `json:"rebuilt"`
+}
+
+// EpochResponse answers GET /v1/epoch.
+type EpochResponse struct {
+	Epoch    uint64 `json:"epoch"`
+	Vertices int    `json:"vertices"`
+}

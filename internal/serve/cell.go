@@ -3,7 +3,23 @@ package serve
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 )
+
+// CellStats accumulates singleflight telemetry across any number of cells: a
+// hit is a Get answered from the cached value or by joining an in-flight
+// compute, a miss is a Get that had to start the compute itself. One
+// collector is typically shared by every cell of a serving layer (see
+// Cell.SetStats) so a front-end can report an aggregate hit rate. The zero
+// value is ready to use; all methods are safe for concurrent use.
+type CellStats struct {
+	hits, misses atomic.Uint64
+}
+
+// Counts returns the accumulated hit and miss totals.
+func (s *CellStats) Counts() (hits, misses uint64) {
+	return s.hits.Load(), s.misses.Load()
+}
 
 // call is one in-flight compute attempt shared by every waiter that joined
 // while it ran.
@@ -24,10 +40,20 @@ type call[T any] struct {
 //
 // The zero value is ready to use. A Cell is safe for concurrent use.
 type Cell[T any] struct {
-	mu  sync.Mutex
-	has bool
-	val T
-	cur *call[T]
+	mu    sync.Mutex
+	has   bool
+	val   T
+	cur   *call[T]
+	stats *CellStats
+}
+
+// SetStats attaches st as the cell's telemetry collector (nil detaches).
+// Call it once after construction, before the cell is queried; Peek and Seed
+// are never counted, only Get's hit-or-miss outcome.
+func (c *Cell[T]) SetStats(st *CellStats) {
+	c.mu.Lock()
+	c.stats = st
+	c.mu.Unlock()
 }
 
 // Get returns the cell's value, computing it via compute if needed. The
@@ -38,11 +64,21 @@ type Cell[T any] struct {
 func (c *Cell[T]) Get(ctx context.Context, compute func(context.Context) (T, error)) (T, error) {
 	c.mu.Lock()
 	if c.has {
+		if c.stats != nil {
+			c.stats.hits.Add(1)
+		}
 		v := c.val
 		c.mu.Unlock()
 		return v, nil
 	}
 	cl := c.cur
+	if st := c.stats; st != nil {
+		if cl == nil {
+			st.misses.Add(1)
+		} else {
+			st.hits.Add(1)
+		}
+	}
 	if cl == nil {
 		cctx, cancel := context.WithCancel(context.Background())
 		cl = &call[T]{done: make(chan struct{}), cancel: cancel}

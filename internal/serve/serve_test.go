@@ -218,6 +218,136 @@ func TestGateDeadlineInQueue(t *testing.T) {
 	g.Release()
 }
 
+func TestCellStats(t *testing.T) {
+	var st CellStats
+	var cell Cell[int]
+	cell.SetStats(&st)
+	if _, err := cell.Get(nil, func(context.Context) (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := st.Counts(); h != 0 || m != 1 {
+		t.Fatalf("after cold Get: hits=%d misses=%d, want 0/1", h, m)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := cell.Get(nil, func(context.Context) (int, error) {
+			t.Fatal("compute ran on warm cell")
+			return 0, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h, m := st.Counts(); h != 3 || m != 1 {
+		t.Fatalf("after warm Gets: hits=%d misses=%d, want 3/1", h, m)
+	}
+
+	// Joining an in-flight compute counts as a hit for every joiner.
+	var joined Cell[int]
+	joined.SetStats(&st)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		joined.Get(nil, func(context.Context) (int, error) {
+			close(started)
+			<-release
+			return 2, nil
+		})
+	}()
+	<-started
+	joinDone := make(chan struct{})
+	go func() {
+		defer close(joinDone)
+		joined.Get(nil, func(context.Context) (int, error) {
+			t.Error("second compute started despite singleflight")
+			return 0, nil
+		})
+	}()
+	// The joiner increments the hit counter before parking on the shared
+	// call, so the count is observable without finishing the compute.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if h, _ := st.Counts(); h == 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			h, m := st.Counts()
+			t.Fatalf("joiner not counted: hits=%d misses=%d, want 4/2", h, m)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	<-done
+	<-joinDone
+	if h, m := st.Counts(); h != 4 || m != 2 {
+		t.Fatalf("final: hits=%d misses=%d, want 4/2", h, m)
+	}
+}
+
+// TestGateAcquireCancelHandoffRace choreographs the narrow interleaving in
+// which a queued Acquire's context is cancelled at the same moment Release
+// hands it the slot: the waiter wakes on the cancellation branch, finds its
+// channel already gone from the queue (the handoff won), and must pass the
+// slot on instead of leaking it. The fuzzer only reaches this branch
+// probabilistically; here it is forced by freezing the gate's mutex while
+// performing the handoff exactly as Release would.
+func TestGateAcquireCancelHandoffRace(t *testing.T) {
+	g := NewGate(1, 1)
+	if err := g.Acquire(context.Background()); err != nil { // occupy the slot
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() { errc <- g.Acquire(ctx) }()
+
+	// Wait for the waiter to enqueue.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		g.mu.Lock()
+		n := len(g.queue)
+		g.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never enqueued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Freeze the gate and fire the cancellation: the waiter's select has
+	// exactly one ready case (ctx.Done — its channel is not closed yet), so
+	// it deterministically enters the cancellation branch and parks on g.mu.
+	g.mu.Lock()
+	cancel()
+	time.Sleep(50 * time.Millisecond)
+	// Perform the handoff exactly as Release would, while the waiter is
+	// parked: pop its channel and close it. The waiter's dequeue scan will
+	// then miss, forcing the "Release already handed us the slot" branch.
+	ch := g.queue[0]
+	g.queue = g.queue[1:]
+	close(ch)
+	g.mu.Unlock()
+
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Acquire = %v, want context.Canceled", err)
+	}
+	// The handed-off slot must have been passed on, not leaked: the gate
+	// drains back to full capacity (the manual close played the part of the
+	// slot holder's Release).
+	g.mu.Lock()
+	free, qlen := g.free, len(g.queue)
+	g.mu.Unlock()
+	if free != 1 || qlen != 0 {
+		t.Fatalf("gate after handoff race: free=%d queue=%d, want free=1 queue=0", free, qlen)
+	}
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatalf("Acquire on drained gate: %v", err)
+	}
+	g.Release()
+}
+
 func TestGateFIFO(t *testing.T) {
 	g := NewGate(1, 8)
 	if err := g.Acquire(nil); err != nil {

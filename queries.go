@@ -272,7 +272,7 @@ func (e *Engine) largestCCCtx(ctx context.Context) (*LargestResult, error) {
 		lbl := res.LargestLabel
 		return &LargestResult{
 			Size: res.LargestSize, Pivot: V(lbl),
-			contains: func(v V) bool { return res.Label[v] == lbl },
+			contains: func(v V) bool { return int(v) < len(res.Label) && res.Label[v] == lbl },
 		}, nil
 	}
 	g := e.und
@@ -294,9 +294,12 @@ func (e *Engine) largestCCCtx(ctx context.Context) (*LargestResult, error) {
 			// membership checks translate in, the pivot translates out.
 			rs.DetachVisited()
 			e.putReach(rs)
-			contains := visited.Get
+			// Reject out-of-range vertices before touching the permutation
+			// or the bitmap: Contains on an unknown vertex is false, not a
+			// panic (callers like the HTTP front-end pass ids unchecked).
+			contains := func(v V) bool { return int(v) < n && visited.Get(v) }
 			if e.perm != nil {
-				contains = func(v V) bool { return visited.Get(e.perm.Perm[v]) }
+				contains = func(v V) bool { return int(v) < n && visited.Get(e.perm.Perm[v]) }
 			}
 			return &LargestResult{
 				Size: size, Pivot: e.unmapV(master), Partial: true,
@@ -314,7 +317,7 @@ func (e *Engine) largestCCCtx(ctx context.Context) (*LargestResult, error) {
 		Size:  res.LargestSize,
 		Pivot: V(lbl),
 		contains: func(v V) bool {
-			return res.Label[v] == lbl
+			return int(v) < len(res.Label) && res.Label[v] == lbl
 		},
 	}, nil
 }
@@ -376,7 +379,13 @@ func (e *Engine) LargestSCC() (*LargestResult, error) {
 			e.putReach(rs)
 			return &LargestResult{
 				Size: size, Pivot: e.unmapV(master), Partial: true,
-				contains: func(v V) bool { v = e.mapV(v); return fw.Get(v) && bw.Get(v) },
+				contains: func(v V) bool {
+					if int(v) >= n {
+						return false
+					}
+					v = e.mapV(v)
+					return fw.Get(v) && bw.Get(v)
+				},
 			}, nil
 		}
 		e.putReach(rs)
@@ -387,7 +396,7 @@ func (e *Engine) LargestSCC() (*LargestResult, error) {
 		Size:  res.LargestSize,
 		Pivot: V(lbl),
 		contains: func(v V) bool {
-			return res.Label[v] == lbl
+			return int(v) < len(res.Label) && res.Label[v] == lbl
 		},
 	}, nil
 }

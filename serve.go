@@ -2,6 +2,7 @@ package aquila
 
 import (
 	"context"
+	"maps"
 	"runtime"
 	"slices"
 	"sync"
@@ -52,6 +53,13 @@ func (e *Engine) snapshotState() snapState {
 	}
 }
 
+// ErrOverloaded reports that the serving layer shed a request: every kernel
+// slot was busy and the admission queue was full. It is the internal gate's
+// sentinel re-exported so callers can classify shed load with errors.Is —
+// the CLI renders it as an explicit "overloaded, retry" notice and the HTTP
+// front-end maps it to 429 Too Many Requests with a Retry-After hint.
+var ErrOverloaded = serve.ErrOverloaded
+
 // ServerConfig tunes a Server. The zero value gives sensible defaults.
 type ServerConfig struct {
 	// MaxInFlight bounds concurrently executing kernels. Each kernel already
@@ -96,6 +104,9 @@ type Server struct {
 	eng  *Engine
 	cfg  ServerConfig
 	gate *serve.Gate
+	// sfStats aggregates hit/miss telemetry from every snapshot's result
+	// cells, across all epochs (see SingleflightStats).
+	sfStats serve.CellStats
 
 	// applyMu serializes writers; the snapshot pointer is the only
 	// reader-visible state and is swapped atomically.
@@ -123,6 +134,12 @@ func NewServer(e *Engine, cfg ServerConfig) *Server {
 func (s *Server) capture(epoch uint64) *Snapshot {
 	st := s.eng.snapshotState()
 	sn := &Snapshot{srv: s, eng: s.eng, epoch: epoch, st: st}
+	for _, c := range []interface{ SetStats(*serve.CellStats) }{
+		&sn.mat, &sn.ccRaw, &sn.ccRes, &sn.isConn, &sn.largest,
+		&sn.sccRes, &sn.biccRes, &sn.bgccRes, &sn.hist,
+	} {
+		c.SetStats(&s.sfStats)
+	}
 	if st.ccRaw != nil {
 		sn.ccRaw.Seed(st.ccRaw)
 	}
@@ -155,6 +172,15 @@ func (s *Server) Acquire() *Snapshot { return s.cur.Load() }
 
 // Epoch returns the currently published epoch (0 before the first Apply).
 func (s *Server) Epoch() uint64 { return s.cur.Load().epoch }
+
+// SingleflightStats returns the cumulative hit and miss counts of the
+// snapshots' singleflight result cells, across every epoch this server has
+// published. A hit is a query answered from a cached (or in-flight) result;
+// a miss is one that had to start its own kernel pass. The ratio is the
+// dedup win a front-end reports as its singleflight hit rate.
+func (s *Server) SingleflightStats() (hits, misses uint64) {
+	return s.sfStats.Counts()
+}
 
 // qctx applies the server's default timeout to queries without a deadline.
 func (s *Server) qctx(ctx context.Context) (context.Context, context.CancelFunc) {
@@ -269,6 +295,7 @@ type Snapshot struct {
 	sccRes  serve.Cell[*scc.Result]
 	biccRes serve.Cell[*bicc.Result]
 	bgccRes serve.Cell[*bgcc.Result]
+	hist    serve.Cell[map[int]int]
 }
 
 // Epoch identifies the snapshot's position in the update sequence: epoch k
@@ -283,16 +310,18 @@ func (sn *Snapshot) NumVertices() int { return sn.st.gs.und.NumVertices() }
 // values return immediately; cold ones compute through the cell's
 // singleflight unless the server's ablation knob bypasses it.
 func getCell[T any](sn *Snapshot, ctx context.Context, c *serve.Cell[T], compute func(context.Context) (T, error)) (T, error) {
-	if v, ok := c.Peek(); ok {
-		return v, nil
-	}
 	if sn.srv.cfg.DisableSingleflight {
+		if v, ok := c.Peek(); ok {
+			return v, nil
+		}
 		v, err := compute(ctx)
 		if err == nil {
 			c.Seed(v)
 		}
 		return v, err
 	}
+	// Warm values return from Get's cached branch, so the cell's hit/miss
+	// telemetry sees every lookup exactly once.
 	return c.Get(ctx, compute)
 }
 
@@ -379,17 +408,26 @@ func (sn *Snapshot) CC(ctx context.Context) (*CCResult, error) {
 }
 
 // CCSizeHistogram maps component size to the number of components of that
-// size, as of this epoch.
+// size, as of this epoch. The histogram is computed once per snapshot in its
+// own singleflight cell (a storm of histogram queries shares one census
+// walk); every caller gets a private copy, so mutating the returned map can
+// never corrupt the cached one or another caller's answer.
 func (sn *Snapshot) CCSizeHistogram(ctx context.Context) (map[int]int, error) {
-	res, err := sn.CC(ctx)
+	h, err := getCell(sn, ctx, &sn.hist, func(cctx context.Context) (map[int]int, error) {
+		res, err := sn.CC(cctx)
+		if err != nil {
+			return nil, err
+		}
+		hist := make(map[int]int, len(res.Sizes))
+		for _, sz := range res.Sizes {
+			hist[sz]++
+		}
+		return hist, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	hist := make(map[int]int)
-	for _, sz := range res.Sizes {
-		hist[sz]++
-	}
-	return hist, nil
+	return maps.Clone(h), nil
 }
 
 // IsConnected reports whether the graph is connected as of this epoch. With
@@ -454,9 +492,12 @@ func (sn *Snapshot) LargestCC(ctx context.Context) (*LargestResult, error) {
 				if 2*size >= n {
 					rs.DetachVisited()
 					sn.eng.reach.Put(rs)
-					contains := visited.Get
+					// Both closures reject out-of-range vertices instead of
+					// indexing the permutation (or bitmap) past its end: an
+					// unknown vertex is in no component.
+					contains := func(v V) bool { return int(v) < n && visited.Get(v) }
 					if p := sn.eng.perm; p != nil {
-						contains = func(v V) bool { return visited.Get(p.Perm[v]) }
+						contains = func(v V) bool { return int(v) < n && visited.Get(p.Perm[v]) }
 					}
 					partial = &LargestResult{
 						Size: size, Pivot: sn.eng.unmapV(master), Partial: true,
@@ -484,14 +525,15 @@ func (sn *Snapshot) LargestCC(ctx context.Context) (*LargestResult, error) {
 
 // largestFromRaw derives the largest-component answer from the compute-space
 // census. The contains closure translates caller ids in (identity when the
-// engine is not reordered).
+// engine is not reordered) and treats out-of-range vertices as members of no
+// component.
 func (sn *Snapshot) largestFromRaw(raw *cc.Result) *LargestResult {
 	lbl := raw.LargestLabel
 	return &LargestResult{
 		Size:  raw.LargestSize,
 		Pivot: sn.eng.unmapV(V(lbl)),
 		contains: func(v V) bool {
-			return raw.Label[sn.eng.mapV(v)] == lbl
+			return int(v) < len(raw.Label) && raw.Label[sn.eng.mapV(v)] == lbl
 		},
 	}
 }

@@ -3,6 +3,7 @@ package aquila
 import (
 	"context"
 	"errors"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -253,5 +254,90 @@ func TestServerSingleflightAblation(t *testing.T) {
 			}()
 		}
 		wg.Wait()
+	}
+}
+
+func TestSnapshotHistogramCellDefensiveCopy(t *testing.T) {
+	// Components {0,1,2}, {3,4}, {5}: histogram {3:1, 2:1, 1:1}.
+	e := NewEngine(NewUndirected(6, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}}), Options{Threads: 2})
+	s := NewServer(e, ServerConfig{})
+	ctx := context.Background()
+	want := map[int]int{3: 1, 2: 1, 1: 1}
+
+	h1, err := s.CCSizeHistogram(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h1, want) {
+		t.Fatalf("histogram = %v, want %v", h1, want)
+	}
+	_, missesAfterFirst := s.SingleflightStats()
+
+	// Trash the returned map: the cached histogram must be unaffected.
+	h1[3] = 99
+	h1[7777] = 1
+	delete(h1, 1)
+	h2, err := s.CCSizeHistogram(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h2, want) {
+		t.Fatalf("histogram after caller mutation = %v, want %v (cached map leaked)", h2, want)
+	}
+
+	// Single-compute: the second query must come from the cell, not a fresh
+	// census walk — no new singleflight miss anywhere in the chain.
+	if _, misses := s.SingleflightStats(); misses != missesAfterFirst {
+		t.Fatalf("second histogram query recomputed: misses %d -> %d", missesAfterFirst, misses)
+	}
+}
+
+// TestSnapshotLargestCCOutOfRange is the regression for the reorder-mode
+// panic: LargestCC's partial-path contains closure indexed perm.Perm[v]
+// unchecked, so an out-of-range vertex from a caller panicked instead of
+// returning false. Swept across reorder × partial/complete so every contains
+// closure (traversal bitmap, permuted bitmap, census) is covered.
+func TestSnapshotLargestCCOutOfRange(t *testing.T) {
+	// A path of 8 vertices (the majority component: partial computation
+	// stops after one traversal) plus two isolated vertices.
+	edges := []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4},
+		{U: 4, V: 5}, {U: 5, V: 6}, {U: 6, V: 7}}
+	const n = 10
+	ctx := context.Background()
+	for _, mode := range []Reorder{ReorderNone, ReorderDegree} {
+		for _, disablePartial := range []bool{false, true} {
+			s := NewServer(NewEngine(NewUndirected(n, edges),
+				Options{Threads: 2, Reorder: mode, DisablePartial: disablePartial}), ServerConfig{})
+			res, err := s.LargestCC(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Size != 8 {
+				t.Fatalf("reorder=%v partial=%v: Size = %d, want 8", mode, !disablePartial, res.Size)
+			}
+			if !res.Contains(0) || res.Contains(8) {
+				t.Fatalf("reorder=%v partial=%v: in-range Contains wrong", mode, !disablePartial)
+			}
+			for _, v := range []V{n, n + 1, 1 << 20, NoVertex} {
+				if res.Contains(v) {
+					t.Fatalf("reorder=%v partial=%v: Contains(%d) = true for out-of-range vertex", mode, !disablePartial, v)
+				}
+			}
+
+			// The census-backed closure (largestFromRaw) must be safe too:
+			// warm the CC cell first so LargestCC answers from the census.
+			s2 := NewServer(NewEngine(NewUndirected(n, edges),
+				Options{Threads: 2, Reorder: mode}), ServerConfig{})
+			if _, err := s2.CountCC(ctx); err != nil {
+				t.Fatal(err)
+			}
+			res2, err := s2.LargestCC(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res2.Contains(NoVertex) || !res2.Contains(7) {
+				t.Fatalf("reorder=%v census path: Contains wrong on boundary ids", mode)
+			}
+		}
 	}
 }
