@@ -12,7 +12,11 @@
 //
 // Queries: connected, connected=<u>,<v>, strongly-connected, num-cc,
 // num-scc, num-bicc, num-bgcc, largest-cc, largest-scc, in-largest-cc=<v>,
-// aps, bridges, histogram.
+// aps, bridges, histogram, cc-policy.
+//
+// -cc-policy selects the connected-components matrix cell ("auto" picks one
+// adaptively from graph statistics; see the README's "Algorithm matrix"
+// section for the cells).
 //
 // With -updates, the file is replayed as batches of edge insertions through
 // the incremental connectivity layer before the query runs; see
@@ -52,6 +56,7 @@ func main() {
 		batchSize  = flag.Int("batch", 0, "auto-flush update batches every N edges (0 = explicit separators only)")
 		rebuild    = flag.Float64("rebuild-threshold", 0, "delta/base edge ratio forcing a static rebuild (0 = default 0.25, <0 = never)")
 		threads    = flag.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
+		ccPolicy   = flag.String("cc-policy", "auto", "CC algorithm matrix cell: auto, pipeline, or sampling+finish (e.g. afforest+uf-async); see the cc-policy query")
 		reorder    = flag.String("reorder", "none", "cache-aware vertex reordering: none, degree, bfs")
 		noPartial  = flag.Bool("no-partial", false, "disable query transformation (always complete computation)")
 		serve      = flag.Bool("serve", false, "route updates and queries through the concurrent serving layer (snapshot isolation, singleflight, admission control)")
@@ -78,6 +83,11 @@ func main() {
 		os.Exit(1)
 	}
 
+	if err := aquila.ValidateCCPolicy(*ccPolicy); err != nil {
+		fmt.Fprintln(os.Stderr, "aquila:", err)
+		os.Exit(1)
+	}
+
 	g, parseDur, buildDur, err := obtainGraph(*graphPath, *genKind, *scale, *seed, *threads)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aquila:", err)
@@ -91,6 +101,7 @@ func main() {
 		Reorder:          reorderMode,
 		DisablePartial:   *noPartial,
 		RebuildThreshold: *rebuild,
+		CCPolicy:         *ccPolicy,
 	})
 	var srv *aquila.Server
 	if *serve {

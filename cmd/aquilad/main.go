@@ -55,12 +55,13 @@ func main() {
 		retain     = flag.Int("retain", 8, "past epochs retained for Aquila-Epoch pinned reads")
 		grace      = flag.Duration("grace", 15*time.Second, "drain window for in-flight requests on shutdown")
 		quiet      = flag.Bool("quiet", false, "suppress per-request access logs")
+		ccPolicy   = flag.String("cc-policy", "auto", "CC algorithm matrix cell: auto, pipeline, or sampling+finish (e.g. afforest+uf-async)")
 	)
 	flag.Parse()
 
 	lg := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	if err := run(*listen, *graphPath, *genKind, *scale, *seed, *threads, *reorder,
-		*noPartial, *rebuild, *maxInFly, *maxQueue, *defTimeout, *maxTimeout,
+		*ccPolicy, *noPartial, *rebuild, *maxInFly, *maxQueue, *defTimeout, *maxTimeout,
 		*retain, *grace, *quiet, lg); err != nil {
 		fmt.Fprintln(os.Stderr, "aquilad:", err)
 		os.Exit(1)
@@ -68,12 +69,15 @@ func main() {
 }
 
 func run(listen, graphPath, genKind string, scale int, seed uint64, threads int,
-	reorder string, noPartial bool, rebuild float64, maxInFly, maxQueue int,
+	reorder, ccPolicy string, noPartial bool, rebuild float64, maxInFly, maxQueue int,
 	defTimeout, maxTimeout time.Duration, retain int, grace time.Duration,
 	quiet bool, lg *slog.Logger) error {
 
 	reorderMode, err := parseReorder(reorder)
 	if err != nil {
+		return err
+	}
+	if err := aquila.ValidateCCPolicy(ccPolicy); err != nil {
 		return err
 	}
 	g, err := obtainGraph(graphPath, genKind, scale, seed, threads)
@@ -87,6 +91,7 @@ func run(listen, graphPath, genKind string, scale int, seed uint64, threads int,
 		Reorder:          reorderMode,
 		DisablePartial:   noPartial,
 		RebuildThreshold: rebuild,
+		CCPolicy:         ccPolicy,
 	})
 	srv := aquila.NewServer(eng, aquila.ServerConfig{
 		MaxInFlight: maxInFly,

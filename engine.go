@@ -12,6 +12,7 @@ import (
 	"aquila/internal/graph"
 	"aquila/internal/inc"
 	"aquila/internal/scc"
+	"aquila/internal/stats"
 )
 
 // Engine answers connectivity queries over one graph. It owns the query
@@ -219,6 +220,39 @@ func (e *Engine) ccOptions() cc.Options {
 	}
 }
 
+// resolveCCPolicy maps Options.CCPolicy onto a concrete matrix cell for g.
+// Explicit specs parse to their cell; "auto", "" and unparseable specs run
+// the adaptive chooser over cheap O(|V|) statistics of g. Resolution is per
+// graph, not per engine: Apply can reshape the graph enough to change the
+// auto cell, and serving snapshots resolve against their own pinned graph.
+func (e *Engine) resolveCCPolicy(g *Undirected) cc.Policy {
+	if s := e.opt.CCPolicy; s != "" && s != "auto" {
+		if pol, err := cc.ParsePolicy(s); err == nil {
+			return pol
+		}
+	}
+	return cc.ChoosePolicy(stats.CheapUndirected(g))
+}
+
+// ccSolve runs the complete CC decomposition of g under the engine's resolved
+// policy. Every cell produces the same min-id canonical labeling, so callers
+// (including inc.FromLabels seeding) are policy-agnostic.
+func (e *Engine) ccSolve(g *Undirected, ctx context.Context) *cc.Result {
+	opt := e.ccOptions()
+	opt.Ctx = ctx
+	return cc.Solve(g, e.resolveCCPolicy(g), opt)
+}
+
+// CCPolicy reports the matrix cell the engine would use for its current
+// graph, in cc.ParsePolicy syntax — with Options.CCPolicy at "auto" this is
+// the adaptive chooser's pick.
+func (e *Engine) CCPolicy() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.materializeLocked()
+	return e.resolveCCPolicy(e.und).String()
+}
+
 func (e *Engine) sccOptions() scc.Options {
 	return scc.Options{
 		Threads:    e.opt.Threads,
@@ -283,9 +317,7 @@ func (e *Engine) ccRawLockedCtx(ctx context.Context) (*cc.Result, error) {
 		if e.inc != nil {
 			e.ccRaw = e.inc.CCResult(e.opt.Threads)
 		} else {
-			opt := e.ccOptions()
-			opt.Ctx = ctx
-			res := cc.Run(e.und, opt)
+			res := e.ccSolve(e.und, ctx)
 			if err := ctxErr(ctx); err != nil {
 				return nil, err
 			}
@@ -604,7 +636,7 @@ func (e *Engine) putReach(s *bfs.ReachScratch) {
 func (e *Engine) rebuildLocked() {
 	e.materializeLocked()
 	e.cacheGen++
-	e.ccRaw = cc.Run(e.und, e.ccOptions())
+	e.ccRaw = e.ccSolve(e.und, nil)
 	e.ccRes, e.largestCC = nil, nil
 	e.inc = inc.FromLabels(e.ccRaw.Label, e.ccRaw.NumComponents)
 	e.baseEdges = e.und.NumEdges()

@@ -1,0 +1,69 @@
+package bench
+
+// BenchmarkCCMatrix sweeps every cell of the CC algorithm matrix over the
+// graph classes the adaptive chooser discriminates between, plus the auto
+// policy itself — the data behind the ChoosePolicy thresholds and the
+// EXPERIMENTS.md "PR 6" narrative. Sub-benchmark names are class/cell so
+// bench2json rows stay self-describing.
+
+import (
+	"fmt"
+	"testing"
+
+	"aquila/internal/cc"
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+	"aquila/internal/stats"
+)
+
+// matrixBenchClasses are the benchmark graphs: a hub-skewed social graph
+// (Afforest's home turf), a flat sparse random graph, a near-forest, and a
+// dense-ish mesh (grid with chords via RMAT at low scale but high degree).
+func matrixBenchClasses() []struct {
+	name string
+	g    *graph.Undirected
+} {
+	return []struct {
+		name string
+		g    *graph.Undirected
+	}{
+		{"social-tail", graph.Undirect(gen.Social(gen.SocialConfig{
+			GiantVertices: 200000, GiantAvgDeg: 8, SmallComps: 4000,
+			SmallMaxSize: 8, Isolated: 2000, MutualFrac: 0.3, Seed: 61,
+		}))},
+		{"sparse-random", gen.RandomUndirected(200000, 400000, 63)},
+		{"near-forest", gen.RandomUndirected(200000, 150000, 67)},
+		{"rmat", graph.Undirect(gen.RMAT(16, 16, 69))},
+	}
+}
+
+func BenchmarkCCMatrix(b *testing.B) {
+	for _, cl := range matrixBenchClasses() {
+		cl := cl
+		cs := stats.CheapUndirected(cl.g)
+		auto := cc.ChoosePolicy(cs)
+		for _, pol := range cc.Policies() {
+			pol := pol
+			b.Run(fmt.Sprintf("%s/%v", cl.name, pol), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res := cc.Solve(cl.g, pol, cc.Options{})
+					if res.NumComponents == 0 {
+						b.Fatal("no components")
+					}
+				}
+			})
+		}
+		b.Run(fmt.Sprintf("%s/auto=%v", cl.name, auto), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// Auto as deployed: stats + chooser + solve per run.
+				pol := cc.ChoosePolicy(stats.CheapUndirected(cl.g))
+				res := cc.Solve(cl.g, pol, cc.Options{})
+				if res.NumComponents == 0 {
+					b.Fatal("no components")
+				}
+			}
+		})
+	}
+}

@@ -1,21 +1,31 @@
-// Package cc implements Aquila's connected-components computation (paper
-// §6.2): trim the trivial patterns, compute the single large component with
-// the enhanced data-parallel BFS, and sweep the many small components with
-// task-parallel label propagation. WCC is the same computation over the
-// undirected view of a directed graph (graph.Undirect).
+// Package cc implements Aquila's connected-components computation as a
+// ConnectIt-style algorithm matrix: a Policy picks one {sampling strategy} ×
+// {finish algorithm} cell, Solve runs it, and ChoosePolicy picks the cell
+// adaptively from cheap graph statistics. The paper's own pipeline (§6.2:
+// trim the trivial patterns, enhanced data-parallel BFS for the single large
+// component, task-parallel label-propagation sweep for the many small ones)
+// survives unchanged as the {SampleNone, FinishEnhancedBFS} cell, which Run
+// still executes. WCC is the same computation over the undirected view of a
+// directed graph (graph.Undirect).
 package cc
 
 import (
 	"context"
+	"math/bits"
 
 	"aquila/internal/bfs"
+	"aquila/internal/bitmap"
 	"aquila/internal/graph"
 	"aquila/internal/lp"
 	"aquila/internal/parallel"
 	"aquila/internal/trim"
+	"aquila/internal/unionfind"
 )
 
 // Options selects threads and the ablation toggles measured in Fig. 10.
+// NoTrim, NoAdaptive and Mode only shape the pipeline cell (and Mode the
+// BFS-based sampling/finish phases); the pure union-find and label-prop
+// cells have no trims or mode switches to ablate.
 type Options struct {
 	// Threads is the worker count (0 = GOMAXPROCS).
 	Threads int
@@ -27,25 +37,39 @@ type Options struct {
 	// Mode selects the parallel-BFS flavour for the large component.
 	Mode bfs.Mode
 	// Ctx, if non-nil, cancels the run cooperatively at chunk boundaries.
-	// A cancelled Run returns a partial, inconsistent Result that the caller
-	// must discard after checking Ctx.Err(). nil costs one branch per check.
+	// A cancelled Solve returns a partial, inconsistent Result that the
+	// caller must discard after checking Ctx.Err(). nil costs one branch per
+	// check.
 	Ctx context.Context
 }
 
 // Stats reports where the work went.
 type Stats struct {
-	// TrimmedOrphans and TrimmedPairs are vertices resolved by trimming.
+	// TrimmedOrphans and TrimmedPairs are vertices resolved by trimming
+	// (pipeline cell only).
 	TrimmedOrphans, TrimmedPairs int
-	// LargestByBFS is the size of the component computed data-parallel.
+	// LargestByBFS is the size of the component computed data-parallel by
+	// the enhanced-BFS phase (pipeline and hybrid-BFS cells).
 	LargestByBFS int
-	// SmallByLP is the number of vertices swept by label propagation.
+	// SmallByLP is the number of vertices swept by label propagation
+	// (pipeline cell only).
 	SmallByLP int
+	// SampleMerges is the number of component merges the sampling phase
+	// performed (0 for SampleNone).
+	SampleMerges int
+	// FinishRows is the number of adjacency rows the finish phase scanned;
+	// rows skipped as internal to the provisional largest component (or
+	// already covered by the hybrid BFS) are the work sampling saved.
+	// Label-propagation finishes do not row-skip and report 0.
+	FinishRows int
 }
 
 // Result is a component labeling: every vertex in a component shares the
 // label, and the label is the smallest vertex id in the component.
 type Result struct {
 	Label []uint32
+	// Policy is the matrix cell that produced this result.
+	Policy Policy
 	// NumComponents is the number of distinct components.
 	NumComponents int
 	// LargestLabel and LargestSize identify the biggest component.
@@ -56,10 +80,24 @@ type Result struct {
 	Stats Stats
 }
 
-// Run computes the connected components of g under opt.
+// Run computes the connected components of g with the classic pipeline cell
+// (trim + enhanced BFS + LP sweep). It is Solve with PolicyPipeline.
 func Run(g *graph.Undirected, opt Options) *Result {
+	return Solve(g, PolicyPipeline, opt)
+}
+
+// Solve computes the connected components of g with the given matrix cell.
+// Every cell returns the same canonical labeling (label = minimum vertex id
+// of the component), so results are interchangeable — including as seeds for
+// the incremental layer. An invalid policy falls back to the pipeline cell
+// rather than failing: Solve is on the serving path, where a stale policy
+// string must degrade, not crash.
+func Solve(g *graph.Undirected, pol Policy, opt Options) *Result {
+	if pol.Valid() != nil {
+		pol = PolicyPipeline
+	}
 	n := g.NumVertices()
-	res := &Result{Label: make([]uint32, n)}
+	res := &Result{Label: make([]uint32, n), Policy: pol}
 	for i := range res.Label {
 		res.Label[i] = graph.NoVertex
 	}
@@ -67,6 +105,17 @@ func Run(g *graph.Undirected, opt Options) *Result {
 		res.Sizes = map[uint32]int{}
 		return res
 	}
+	if pol.Sampling == SampleNone && pol.Finish == FinishEnhancedBFS {
+		runPipeline(g, res, opt)
+		return res
+	}
+	runMatrix(g, pol, res, opt)
+	return res
+}
+
+// runPipeline is the original adaptive pipeline: trim, master BFS, LP sweep.
+func runPipeline(g *graph.Undirected, res *Result, opt Options) {
+	n := g.NumVertices()
 	p := parallel.Threads(opt.Threads)
 	done := parallel.Done(opt.Ctx)
 
@@ -88,17 +137,9 @@ func Run(g *graph.Undirected, opt Options) *Result {
 			func(v graph.V) bool { return res.Label[v] == graph.NoVertex },
 			bfs.Options{Threads: p, Ctx: opt.Ctx}, opt.Mode)
 		if parallel.Stopped(done) {
-			return res // partial: caller checks opt.Ctx.Err() and discards
+			return // partial: caller checks opt.Ctx.Err() and discards
 		}
-		minID := minVisited(visited.Get, n, p)
-		parallel.ForBlocks(0, n, p, func(lo, hi, _ int) {
-			for v := lo; v < hi; v++ {
-				if visited.Get(graph.V(v)) {
-					res.Label[v] = minID
-				}
-			}
-		})
-		res.Stats.LargestByBFS = visited.Count()
+		_, res.Stats.LargestByBFS = labelVisited(visited, res.Label, p)
 	}
 
 	if opt.NoAdaptive {
@@ -109,11 +150,10 @@ func Run(g *graph.Undirected, opt Options) *Result {
 	if parallel.Stopped(done) {
 		// Unlabeled vertices would crash the census; the cancelled caller
 		// discards the result anyway.
-		return res
+		return
 	}
 
 	res.summarize(n, p)
-	return res
 }
 
 // lpSweep labels every still-unassigned vertex by min-label propagation over
@@ -153,18 +193,32 @@ func runBFSOnly(g *graph.Undirected, res *Result, rs *bfs.ReachScratch, p int, o
 		visited := rs.Reach(bfs.UndirectedAdj(g), graph.V(v),
 			func(u graph.V) bool { return res.Label[u] == graph.NoVertex },
 			bfs.Options{Threads: p, Ctx: opt.Ctx}, opt.Mode)
-		parallel.ForBlocks(0, n, p, func(lo, hi, _ int) {
-			for u := lo; u < hi; u++ {
-				if visited.Get(graph.V(u)) {
-					res.Label[u] = uint32(v)
-				}
-			}
-		})
+		labelVisited(visited, res.Label, p)
 	}
 }
 
+// summarizeSerialMax is the vertex count under which the census runs serial:
+// below it the parallel fork/join and the n-sized atomic counts array cost
+// more than a single map pass.
+const summarizeSerialMax = 4096
+
 // summarize fills the component census fields from the label array.
 func (r *Result) summarize(n, p int) {
+	if n <= summarizeSerialMax || p == 1 {
+		// Serial census straight into the map: no n-sized scratch array.
+		r.Sizes = make(map[uint32]int)
+		for _, l := range r.Label {
+			r.Sizes[l]++
+		}
+		for l, c := range r.Sizes {
+			r.NumComponents++
+			if c > r.LargestSize || (c == r.LargestSize && l < r.LargestLabel) {
+				r.LargestSize = c
+				r.LargestLabel = l
+			}
+		}
+		return
+	}
 	counts := make([]int32, n)
 	parallel.ForBlocks(0, n, p, func(lo, hi, _ int) {
 		for v := lo; v < hi; v++ {
@@ -185,16 +239,96 @@ func (r *Result) summarize(n, p int) {
 	}
 }
 
-// minVisited finds the smallest vertex id for which in() is true.
-func minVisited(in func(graph.V) bool, n, p int) uint32 {
-	min := uint32(graph.NoVertex)
-	parallel.ForBlocks(0, n, p, func(lo, hi, _ int) {
-		for v := lo; v < hi; v++ {
-			if in(graph.V(v)) {
-				parallel.MinU32(&min, uint32(v))
-				break
+// labelVisited assigns every visited vertex the component's minimum id (the
+// first set bit) in one word-scanning parallel pass — folding the old
+// per-block min scan, per-vertex labeling scan and popcount pass into a
+// single sweep over the bitmap words. It returns the minimum id and the
+// visited count. The traversal that produced the bitmap must have quiesced:
+// labelVisited reads the raw words without atomics.
+func labelVisited(visited *bitmap.Atomic, label []uint32, p int) (uint32, int) {
+	words := visited.RawWords()
+	minID := uint32(graph.NoVertex)
+	for wi, w := range words {
+		if w != 0 {
+			minID = uint32(wi*64 + bits.TrailingZeros64(w))
+			break
+		}
+	}
+	if minID == uint32(graph.NoVertex) {
+		return minID, 0
+	}
+	var count int64
+	parallel.ForBlocks(0, len(words), p, func(lo, hi, _ int) {
+		c := 0
+		for wi := lo; wi < hi; wi++ {
+			w := words[wi]
+			base := wi * 64
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				label[base+b] = minID
+				w &= w - 1
+				c++
 			}
 		}
+		if c > 0 {
+			parallel.AddI64(&count, int64(c))
+		}
 	})
-	return min
+	return minID, int(count)
+}
+
+// runMatrix executes a non-pipeline cell: sampling phase into a concurrent
+// union-find, finish phase over the remaining rows, flatten, census.
+func runMatrix(g *graph.Undirected, pol Policy, res *Result, opt Options) {
+	n := g.NumVertices()
+	p := parallel.Threads(opt.Threads)
+	done := parallel.Done(opt.Ctx)
+	uf := unionfind.NewConcurrent(n)
+
+	largest, haveLargest := runSampling(g, pol, uf, res, p, opt)
+	if parallel.Stopped(done) {
+		return // partial: caller checks opt.Ctx.Err() and discards
+	}
+
+	// skip reports rows whose edges the finish phase may ignore: everything
+	// inside the provisional largest component is already unioned, and any
+	// edge leaving it is seen from its other endpoint's row.
+	var skip func(graph.V) bool
+	if haveLargest {
+		skip = func(v graph.V) bool { return uf.Find(uint32(v)) == uf.Find(largest) }
+	}
+
+	switch pol.Finish {
+	case FinishLabelProp:
+		// Flatten the sampled partition into the labels, then propagate to
+		// the fixed point. Label propagation scans every row regardless —
+		// sampling still pays by starting labels closer to the fixed point.
+		flattenLabels(uf, res.Label, p)
+		lp.MinLabelCCDone(g, res.Label, nil, p, done)
+	case FinishUFAsync:
+		res.Stats.FinishRows = finishUF(g, uf, skip, false, p, done)
+	case FinishUFRem:
+		res.Stats.FinishRows = finishUF(g, uf, skip, true, p, done)
+	case FinishEnhancedBFS:
+		finishHybridBFS(g, uf, skip, res, p, opt)
+	}
+	if parallel.Stopped(done) {
+		return
+	}
+
+	if pol.Finish != FinishLabelProp {
+		flattenLabels(uf, res.Label, p)
+	}
+	res.summarize(n, p)
+}
+
+// flattenLabels writes the union-find's canonical minimum-id labels into
+// label, in parallel. Find's benign CAS compression makes concurrent finds
+// race-clean.
+func flattenLabels(uf *unionfind.Concurrent, label []uint32, p int) {
+	parallel.ForBlocks(0, len(label), p, func(lo, hi, _ int) {
+		for v := lo; v < hi; v++ {
+			label[v] = uf.Find(uint32(v))
+		}
+	})
 }

@@ -1,0 +1,54 @@
+package cc
+
+import "aquila/internal/stats"
+
+// chooser thresholds. The constants encode what the BenchmarkCCMatrix sweep
+// shows on the synthetic workload classes (see EXPERIMENTS.md "PR 6"): small
+// graphs are dominated by fixed overheads, hub-skewed graphs reward Afforest
+// row skipping, and near-forests reward Rem's cheap per-edge unite.
+const (
+	// chooseTinyVertices: below this the pipeline's trims win outright and
+	// every cell finishes in microseconds anyway.
+	chooseTinyVertices = 1 << 12
+	// chooseSkew: MaxDeg/AvgDeg at which a graph counts as hub-dominated
+	// (social-tail shape, one giant component worth skipping).
+	chooseSkew = 8.0
+	// chooseHubAvgDeg: the giant component is only worth sampling when the
+	// graph has enough edges for internal-edge skipping to pay.
+	chooseHubAvgDeg = 4.0
+	// chooseForestAvgDeg: below ~2 the graph is forest-like — components are
+	// tiny, no largest component exists, sampling is pure overhead.
+	chooseForestAvgDeg = 2.0
+	// chooseDense: density at which one BFS covers nearly everything.
+	chooseDense = 0.25
+)
+
+// ChoosePolicy maps cheap O(|V|) graph statistics onto a matrix cell — the
+// paper's adaptive-computation idea lifted from BFS scheduling to
+// whole-algorithm selection. It is total: every stats.Cheap value (including
+// zero, absurd and NaN-carrying ones, which fail every comparison and fall
+// through to a safe default) maps to a valid, runnable cell.
+func ChoosePolicy(cs stats.Cheap) Policy {
+	switch {
+	case cs.Vertices <= chooseTinyVertices || cs.Edges <= 0:
+		// Tiny or edgeless: fixed overheads dominate; the trimmed pipeline
+		// is exact and cheapest.
+		return PolicyPipeline
+	case cs.AvgDeg < chooseForestAvgDeg:
+		// Forest-like sparse graph: no dominant component to skip, so go
+		// straight to the cheapest full sweep.
+		return Policy{Sampling: SampleNone, Finish: FinishUFRem}
+	case cs.Skew >= chooseSkew && cs.AvgDeg >= chooseHubAvgDeg:
+		// Social-tail shape: hubs dominate, the giant component holds most
+		// edges — Afforest's skip buys the most here.
+		return Policy{Sampling: SampleAfforest, Finish: FinishUFAsync}
+	case cs.Density >= chooseDense:
+		// Dense mesh: one BFS covers nearly the whole graph, and its reached
+		// set makes the skip exact.
+		return Policy{Sampling: SampleBFS, Finish: FinishUFAsync}
+	default:
+		// Mid-density, mildly skewed: sample, then let Rem's splicing sweep
+		// the remainder.
+		return Policy{Sampling: SampleAfforest, Finish: FinishUFRem}
+	}
+}

@@ -1,0 +1,62 @@
+package cc
+
+import (
+	"aquila/internal/bfs"
+	"aquila/internal/graph"
+	"aquila/internal/parallel"
+	"aquila/internal/unionfind"
+)
+
+// finishUF completes the sampled partition by uniting every edge whose
+// source row is not skipped: edges internal to the provisional largest
+// component never get scanned, and any edge leaving it is seen from its
+// other endpoint's row (so connectivity is complete). rem selects Rem's
+// splicing unite over the two-Find CAS unite. Returns the number of rows
+// scanned.
+func finishUF(g *graph.Undirected, uf *unionfind.Concurrent, skip func(graph.V) bool, rem bool, p int, done <-chan struct{}) int {
+	unite := uf.Unite
+	if rem {
+		unite = uf.UniteRem
+	}
+	return forEachVertexChunk(g.NumVertices(), p, done, func(lo, hi int) int {
+		rows := 0
+		for v := lo; v < hi; v++ {
+			if skip != nil && skip(graph.V(v)) {
+				continue
+			}
+			rows++
+			for _, u := range g.Neighbors(graph.V(v)) {
+				unite(uint32(v), uint32(u))
+			}
+		}
+		return rows
+	})
+}
+
+// finishHybridBFS is the enhanced-BFS finish behind a sampling phase: the
+// data-parallel BFS from the max-degree pivot covers the (true) giant
+// component in one traversal, its reached set is folded into the union-find,
+// and a CAS union-find sweep picks up the rows outside both the reached set
+// and the provisional largest component. Every edge with both endpoints
+// inside the reached set is already unioned (a full-component BFS has no
+// half-covered edges), so skipping those rows loses nothing.
+func finishHybridBFS(g *graph.Undirected, uf *unionfind.Concurrent, skip func(graph.V) bool, res *Result, p int, opt Options) {
+	n := g.NumVertices()
+	done := parallel.Done(opt.Ctx)
+	rs := bfs.NewReachScratch(n, p)
+	master := g.MaxDegreeVertex()
+	visited := rs.Reach(bfs.UndirectedAdj(g), master, nil,
+		bfs.Options{Threads: p, Ctx: opt.Ctx}, opt.Mode)
+	if parallel.Stopped(done) {
+		return
+	}
+	res.Stats.LargestByBFS = visited.Count()
+	uniteVisited(visited.Get, uf, uint32(master), n, p, done)
+	if parallel.Stopped(done) {
+		return
+	}
+	sweep := func(v graph.V) bool {
+		return visited.Get(uint32(v)) || (skip != nil && skip(v))
+	}
+	res.Stats.FinishRows = finishUF(g, uf, sweep, false, p, done)
+}

@@ -1,0 +1,149 @@
+package cc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aquila/internal/stats"
+)
+
+func TestPoliciesEnumeratesFullMatrix(t *testing.T) {
+	all := Policies()
+	if len(all) != int(numSampling)*int(numFinish) {
+		t.Fatalf("Policies() = %d cells, want %d", len(all), int(numSampling)*int(numFinish))
+	}
+	seen := map[Policy]bool{}
+	for _, pol := range all {
+		if err := pol.Valid(); err != nil {
+			t.Errorf("%v: %v", pol, err)
+		}
+		if seen[pol] {
+			t.Errorf("%v enumerated twice", pol)
+		}
+		seen[pol] = true
+	}
+	if !seen[PolicyPipeline] {
+		t.Error("pipeline cell missing from the matrix")
+	}
+}
+
+func TestZeroPolicyIsPipeline(t *testing.T) {
+	var zero Policy
+	if zero != PolicyPipeline {
+		t.Fatalf("zero Policy = %v, want the pipeline cell", zero)
+	}
+}
+
+func TestParsePolicyRoundTrip(t *testing.T) {
+	for _, pol := range Policies() {
+		got, err := ParsePolicy(pol.String())
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", pol.String(), err)
+			continue
+		}
+		if got != pol {
+			t.Errorf("ParsePolicy(%q) = %v, want %v", pol.String(), got, pol)
+		}
+	}
+}
+
+func TestParsePolicyAliases(t *testing.T) {
+	if pol, err := ParsePolicy("pipeline"); err != nil || pol != PolicyPipeline {
+		t.Errorf("pipeline alias: %v, %v", pol, err)
+	}
+	if pol, err := ParsePolicy("none+lp"); err != nil || pol.Finish != FinishLabelProp {
+		t.Errorf("lp alias: %v, %v", pol, err)
+	}
+}
+
+func TestParsePolicyErrors(t *testing.T) {
+	for _, bad := range []string{"", "auto", "afforest", "afforest+nope", "nope+uf-async", "a+b+c", "afforest+uf-async+x"} {
+		if _, err := ParsePolicy(bad); err == nil {
+			t.Errorf("ParsePolicy(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPolicyValid(t *testing.T) {
+	if err := (Policy{Sampling: numSampling}).Valid(); err == nil {
+		t.Error("out-of-range sampling accepted")
+	}
+	if err := (Policy{Finish: numFinish}).Valid(); err == nil {
+		t.Error("out-of-range finish accepted")
+	}
+	if err := (Policy{SampleK: -1}).Valid(); err == nil {
+		t.Error("negative SampleK accepted")
+	}
+	if err := (Policy{Sampling: SampleAfforest, Finish: FinishUFRem, SampleK: 4}).Valid(); err != nil {
+		t.Errorf("valid cell rejected: %v", err)
+	}
+}
+
+// TestChoosePolicyTotal is the totality property: every reachable
+// stats.Cheap value — including the adversarial ones testing/quick invents
+// (negative counts, NaN-free but absurd ratios) and hand-picked NaN/Inf
+// poison — maps to a valid, runnable cell.
+func TestChoosePolicyTotal(t *testing.T) {
+	f := func(vertices int, edges int64, avgDeg, density, skew float64, maxDeg, isolated int) bool {
+		cs := stats.Cheap{
+			Vertices: vertices, Edges: edges, AvgDeg: avgDeg,
+			Density: density, MaxDeg: maxDeg, Skew: skew, Isolated: isolated,
+		}
+		return ChoosePolicy(cs).Valid() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	nan := 0.0
+	nan /= nan // silence vet's literal-NaN check while still producing NaN
+	for _, cs := range []stats.Cheap{
+		{},
+		{Vertices: -5, Edges: -7},
+		{Vertices: 1 << 30, Edges: 1 << 40, AvgDeg: nan, Density: nan, Skew: nan},
+		{Vertices: 10, Edges: 5, AvgDeg: 1e308, Density: 1e308, Skew: 1e308},
+	} {
+		pol := ChoosePolicy(cs)
+		if err := pol.Valid(); err != nil {
+			t.Errorf("ChoosePolicy(%+v) = %v: %v", cs, pol, err)
+		}
+	}
+}
+
+// TestChoosePolicyShapes pins the chooser's intent on the canonical shapes
+// (not the exact cells — thresholds may be retuned — but the properties the
+// chooser exists to deliver).
+func TestChoosePolicyShapes(t *testing.T) {
+	tiny := ChoosePolicy(stats.Cheap{Vertices: 100, Edges: 200, AvgDeg: 4, Skew: 2})
+	if tiny != PolicyPipeline {
+		t.Errorf("tiny graph: %v, want pipeline", tiny)
+	}
+	social := ChoosePolicy(stats.Cheap{Vertices: 1 << 20, Edges: 8 << 20, AvgDeg: 16, Skew: 500, Density: 1e-5})
+	if social.Sampling == SampleNone {
+		t.Errorf("hub-skewed graph chose no sampling: %v", social)
+	}
+	forest := ChoosePolicy(stats.Cheap{Vertices: 1 << 20, Edges: 1 << 19, AvgDeg: 1, Skew: 4, Density: 1e-6})
+	if forest.Sampling != SampleNone {
+		t.Errorf("forest-like graph chose sampling: %v", forest)
+	}
+}
+
+// TestChoosePolicyMatchesCheapStats ties the chooser to the real stats
+// producer: for every suite graph, ChoosePolicy(CheapUndirected(g)) is valid
+// and Solve with it matches the pipeline partition (the auto path end to
+// end, without the engine).
+func TestChoosePolicyMatchesCheapStats(t *testing.T) {
+	for name, g := range matrixSuite() {
+		cs := stats.CheapUndirected(g)
+		pol := ChoosePolicy(cs)
+		if err := pol.Valid(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := Solve(g, pol, Options{Threads: 4})
+		want := Run(g, Options{Threads: 4})
+		for v := range want.Label {
+			if got.Label[v] != want.Label[v] {
+				t.Fatalf("%s: auto cell %v diverges from pipeline at vertex %d", name, pol, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package cc
+
+const raceEnabled = false

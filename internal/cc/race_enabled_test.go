@@ -1,0 +1,8 @@
+//go:build race
+
+package cc
+
+// raceEnabled reports whether the race detector is active; the allocation
+// regression tests skip under -race (instrumentation changes allocation
+// behavior, not the code under test).
+const raceEnabled = true

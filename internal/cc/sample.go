@@ -1,0 +1,169 @@
+package cc
+
+import (
+	"aquila/internal/bfs"
+	"aquila/internal/graph"
+	"aquila/internal/parallel"
+	"aquila/internal/unionfind"
+)
+
+// sampleChunk is the vertex-chunk grain of the sampling and finish loops:
+// cancellation is polled and dynamic scheduling rebalances at this boundary.
+const sampleChunk = 1024
+
+// largestSampleSize bounds the frequency sample used to identify the
+// provisional largest component (the Afforest paper's trick: a few hundred
+// Finds pin down the dominant component with overwhelming probability).
+const largestSampleSize = 1024
+
+// runSampling executes the policy's sampling phase into uf and returns the
+// root of the provisional largest component (valid only when ok). SampleNone
+// returns no largest; the other strategies union a subgraph of the edges and
+// then locate the component the finish phase should skip.
+func runSampling(g *graph.Undirected, pol Policy, uf *unionfind.Concurrent, res *Result, p int, opt Options) (largest uint32, ok bool) {
+	done := parallel.Done(opt.Ctx)
+	switch pol.Sampling {
+	case SampleNone:
+		return 0, false
+
+	case SampleKOut:
+		// Union each vertex with k pseudo-randomly drawn neighbors. The draw
+		// is a deterministic hash of (vertex, round) so runs are reproducible
+		// and no RNG state is shared across workers.
+		k := pol.sampleK()
+		res.Stats.SampleMerges = forEachVertexChunk(g.NumVertices(), p, done, func(lo, hi int) int {
+			merges := 0
+			for v := lo; v < hi; v++ {
+				adj := g.Neighbors(graph.V(v))
+				if len(adj) == 0 {
+					continue
+				}
+				for r := 0; r < k; r++ {
+					u := adj[int(mix64(uint64(v)<<32|uint64(r))%uint64(len(adj)))]
+					if _, merged := uf.Unite(uint32(v), uint32(u)); merged {
+						merges++
+					}
+				}
+			}
+			return merges
+		})
+
+	case SampleAfforest:
+		// Afforest subgraph sampling: k rounds of "union each vertex with
+		// its next neighbor". Processing neighbor r of every vertex per
+		// round (rather than k neighbors of one vertex at a time) is what
+		// lets the giant component coalesce across rounds.
+		k := pol.sampleK()
+		merges := 0
+		for r := 0; r < k; r++ {
+			if parallel.Stopped(done) {
+				return 0, false
+			}
+			r := r
+			merges += forEachVertexChunk(g.NumVertices(), p, done, func(lo, hi int) int {
+				m := 0
+				for v := lo; v < hi; v++ {
+					adj := g.Neighbors(graph.V(v))
+					if r >= len(adj) {
+						continue
+					}
+					if _, merged := uf.Unite(uint32(v), uint32(adj[r])); merged {
+						m++
+					}
+				}
+				return m
+			})
+		}
+		res.Stats.SampleMerges = merges
+
+	case SampleBFS:
+		// One enhanced BFS from the max-degree pivot covers its entire
+		// component; uniting the reached set makes the provisional largest
+		// exact (for that pivot's component).
+		n := g.NumVertices()
+		rs := bfs.NewReachScratch(n, p)
+		master := g.MaxDegreeVertex()
+		visited := rs.Reach(bfs.UndirectedAdj(g), master, nil,
+			bfs.Options{Threads: p, Ctx: opt.Ctx}, opt.Mode)
+		if parallel.Stopped(done) {
+			return 0, false
+		}
+		res.Stats.SampleMerges = uniteVisited(visited.Get, uf, uint32(master), n, p, done)
+		return uf.Find(uint32(master)), !parallel.Stopped(done)
+	}
+	if parallel.Stopped(done) {
+		return 0, false
+	}
+	return mostFrequentRoot(uf, g.NumVertices())
+}
+
+// forEachVertexChunk runs body over dynamic vertex chunks with cancellation
+// polled per chunk, summing the per-chunk ints (merge counters) race-free
+// through per-worker cells.
+func forEachVertexChunk(n, p int, done <-chan struct{}, body func(lo, hi int) int) int {
+	sums := make([]int, p)
+	parallel.ForChunksDynamic(0, n, p, sampleChunk, func(lo, hi, w int) {
+		if parallel.Stopped(done) {
+			return
+		}
+		sums[w] += body(lo, hi)
+	})
+	total := 0
+	for _, s := range sums {
+		total += s
+	}
+	return total
+}
+
+// uniteVisited unions every vertex the predicate marks with the given root,
+// returning the number of merges performed.
+func uniteVisited(in func(graph.V) bool, uf *unionfind.Concurrent, root uint32, n, p int, done <-chan struct{}) int {
+	return forEachVertexChunk(n, p, done, func(lo, hi int) int {
+		merges := 0
+		for v := lo; v < hi; v++ {
+			if in(graph.V(v)) {
+				if _, merged := uf.Unite(uint32(v), root); merged {
+					merges++
+				}
+			}
+		}
+		return merges
+	})
+}
+
+// mostFrequentRoot samples up to largestSampleSize vertices and returns the
+// most frequent component root — the provisional largest component. On tiny
+// graphs it scans every vertex. ok is false when the winner is a singleton
+// sample (no component worth skipping).
+func mostFrequentRoot(uf *unionfind.Concurrent, n int) (uint32, bool) {
+	if n == 0 {
+		return 0, false
+	}
+	counts := make(map[uint32]int, 64)
+	if n <= largestSampleSize {
+		for v := 0; v < n; v++ {
+			counts[uf.Find(uint32(v))]++
+		}
+	} else {
+		for i := 0; i < largestSampleSize; i++ {
+			v := mix64(uint64(i)) % uint64(n)
+			counts[uf.Find(uint32(v))]++
+		}
+	}
+	best, bestCount := uint32(0), 0
+	for root, c := range counts {
+		if c > bestCount || (c == bestCount && root < best) {
+			best, bestCount = root, c
+		}
+	}
+	return best, bestCount > 1
+}
+
+// mix64 is SplitMix64's finalizer: a stateless, high-quality 64-bit mixer
+// used as the deterministic sampling "RNG" (no shared state, no math/rand).
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

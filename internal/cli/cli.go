@@ -20,7 +20,7 @@ var Queries = []string{
 	"connected", "connected=<u>,<v>", "strongly-connected",
 	"num-cc", "num-scc", "num-bicc", "num-bgcc",
 	"largest-cc", "largest-scc", "in-largest-cc=<v>",
-	"aps", "bridges", "histogram", "stats",
+	"aps", "bridges", "histogram", "stats", "cc-policy",
 }
 
 // Answer runs one query against the engine and returns the printable answer.
@@ -86,6 +86,8 @@ func Answer(eng *aquila.Engine, query string) (string, error) {
 		return fmt.Sprintf("%d bridges: %v", len(brs), truncatePairs(brs, 20)), nil
 	case query == "stats":
 		return stats.Render(eng.Directed(), eng.Undirected(), 0), nil
+	case query == "cc-policy":
+		return fmt.Sprintf("cc policy: %s", eng.CCPolicy()), nil
 	case query == "histogram":
 		hist := eng.CCSizeHistogram()
 		sizes := make([]int, 0, len(hist))
@@ -107,6 +109,11 @@ func Answer(eng *aquila.Engine, query string) (string, error) {
 // Explain classifies a query per the paper's §3 categories and renders the
 // strategy Aquila will use (the -explain flag).
 func Explain(query string) (string, error) {
+	if query == "cc-policy" {
+		return "query \"cc-policy\" is diagnostic: it reports the CC matrix cell " +
+			"the engine resolved (the adaptive chooser's pick under -cc-policy=auto) " +
+			"without running a kernel", nil
+	}
 	q, err := toPlanQuery(query)
 	if err != nil {
 		return "", err

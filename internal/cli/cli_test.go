@@ -46,6 +46,27 @@ func TestAnswerLargestCC(t *testing.T) {
 	}
 }
 
+func TestAnswerCCPolicy(t *testing.T) {
+	// The paper example is tiny, so the auto chooser resolves to the pipeline
+	// cell.
+	got, err := Answer(paperEngine(), "cc-policy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "cc policy: none+hybrid-bfs" {
+		t.Errorf("cc-policy = %q", got)
+	}
+	// An engine pinned to an explicit cell reports that cell verbatim.
+	eng := aquila.NewDirectedEngine(gen.PaperExample(),
+		aquila.Options{Threads: 2, CCPolicy: "afforest+uf-rem"})
+	if got, _ := Answer(eng, "cc-policy"); got != "cc policy: afforest+uf-rem" {
+		t.Errorf("explicit cc-policy = %q", got)
+	}
+	if out, err := Explain("cc-policy"); err != nil || !strings.Contains(out, "diagnostic") {
+		t.Errorf("Explain(cc-policy) = %q, %v", out, err)
+	}
+}
+
 func TestAnswerAPsAndBridges(t *testing.T) {
 	eng := paperEngine()
 	got, _ := Answer(eng, "aps")

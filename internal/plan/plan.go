@@ -142,9 +142,11 @@ func completeSteps(a Algorithm) []string {
 	switch a {
 	case CC, WCC:
 		return []string{
-			"trim orphans and isolated pairs",
+			"choose a {sampling × finish} matrix cell from cheap graph statistics (auto policy)",
+			"default cell: trim orphans and isolated pairs",
 			"enhanced parallel BFS for the large component (data parallel)",
 			"label propagation sweep for the small components (task parallel)",
+			"sampled cells: Afforest/k-out/BFS sampling, then a union-find or label-prop finish that skips the provisional largest component",
 		}
 	case SCC:
 		return []string{

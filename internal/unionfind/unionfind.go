@@ -130,6 +130,48 @@ func (u *Concurrent) Unite(a, b uint32) (root uint32, merged bool) {
 	}
 }
 
+// UniteRem merges the sets of a and b with Rem's splicing strategy: instead
+// of finding both roots up front, it walks the two parent chains in lockstep
+// and splices the higher-parent chain onto the lower one as it climbs, so the
+// union is folded into the traversal itself (Patwary/Blair/Manne's Rem variant,
+// made lock-free with CAS as in ConnectIt's UniteRemCAS). Hooks still go
+// strictly min-ward — parents only ever decrease — so canonical minimum
+// labels and CAS-loop termination are preserved, and UniteRem may race freely
+// with Unite, Find and other UniteRem calls on the same structure.
+//
+// Like Unite it reports whether this call performed a merge of two distinct
+// sets: exactly one concurrent call observes merged=true per merge (the
+// successful root CAS), so exact component counters keep working.
+func (u *Concurrent) UniteRem(a, b uint32) (root uint32, merged bool) {
+	for {
+		pa := atomic.LoadUint32(&u.parent[a])
+		pb := atomic.LoadUint32(&u.parent[b])
+		if pa == pb {
+			return pa, false
+		}
+		// Orient so a's side holds the larger parent: that chain gets spliced
+		// (or hooked, if a is a root) under the smaller parent.
+		if pa < pb {
+			a, b = b, a
+			pa, pb = pb, pa
+		}
+		if a == pa {
+			// a is a root and pb < a: hook it. Success is the merge's
+			// linearization point; failure means a gained a (smaller) parent
+			// meanwhile — re-read and continue climbing.
+			if atomic.CompareAndSwapUint32(&u.parent[a], a, pb) {
+				return pb, true
+			}
+			continue
+		}
+		// Splice: repoint a at the other chain's lower parent. Both old and
+		// new values are in a's set by induction, so connectivity is
+		// preserved whether or not the CAS wins; either way climb one step.
+		atomic.CompareAndSwapUint32(&u.parent[a], pa, pb)
+		a = pa
+	}
+}
+
 // Same reports whether a and b are currently in one set. With concurrent
 // unions in flight the answer is a linearization-point snapshot.
 func (u *Concurrent) Same(a, b uint32) bool {

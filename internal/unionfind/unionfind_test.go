@@ -155,6 +155,98 @@ func TestSeedConcurrent(t *testing.T) {
 	}
 }
 
+func TestUniteRemBasics(t *testing.T) {
+	c := NewConcurrent(6)
+	if r, m := c.UniteRem(4, 3); !m || r != 3 {
+		t.Errorf("UniteRem(4,3) = (%d,%v), want (3,true)", r, m)
+	}
+	if r, m := c.UniteRem(3, 4); m || r != 3 {
+		t.Errorf("repeat UniteRem(3,4) = (%d,%v), want (3,false)", r, m)
+	}
+	if _, m := c.UniteRem(2, 2); m {
+		t.Errorf("self UniteRem reported a merge")
+	}
+	c.UniteRem(3, 2)
+	if got := c.Find(4); got != 2 {
+		t.Errorf("Find(4) = %d, want min element 2", got)
+	}
+	c.UniteRem(0, 4)
+	if got := c.Find(3); got != 0 {
+		t.Errorf("Find(3) = %d, want 0 after hooking chain under 0", got)
+	}
+}
+
+func TestUniteRemMatchesSerial(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		const n = 128
+		s := NewSerial(n)
+		c := NewConcurrent(n)
+		for i := 0; i+1 < len(pairs); i += 2 {
+			a, b := uint32(pairs[i]%n), uint32(pairs[i+1]%n)
+			s.Union(a, b)
+			c.UniteRem(a, b)
+		}
+		sl, cl := s.Labels(), c.Labels()
+		for i := range sl {
+			if sl[i] != cl[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUniteRemExactlyOnceUnderContention mirrors the Unite merge-count
+// guarantee for the splicing variant: merged=true fires exactly once per
+// component merge even when 8 workers replay the same chain.
+func TestUniteRemExactlyOnceUnderContention(t *testing.T) {
+	const n = 4096
+	c := NewConcurrent(n)
+	var merges int64
+	parallel.Run(8, func(w int) {
+		local := int64(0)
+		for i := 0; i+1 < n; i++ {
+			if _, m := c.UniteRem(uint32(i), uint32(i+1)); m {
+				local++
+			}
+		}
+		parallel.AddI64(&merges, local)
+	})
+	if merges != n-1 {
+		t.Fatalf("merge count = %d, want %d", merges, n-1)
+	}
+	for i := 0; i < n; i++ {
+		if c.Find(uint32(i)) != 0 {
+			t.Fatalf("Find(%d) = %d, want 0", i, c.Find(uint32(i)))
+		}
+	}
+}
+
+// TestUniteMixedVariantsConcurrent interleaves Unite and UniteRem on the same
+// structure from racing workers: the two protocols must compose (both only
+// ever hook roots under smaller values), ending in one canonical set.
+func TestUniteMixedVariantsConcurrent(t *testing.T) {
+	const n = 8192
+	c := NewConcurrent(n)
+	parallel.Run(8, func(w int) {
+		for i := 0; i+1 < n; i++ {
+			if (i+w)%2 == 0 {
+				c.Unite(uint32(i), uint32(i+1))
+			} else {
+				c.UniteRem(uint32(i), uint32(i+1))
+			}
+		}
+	})
+	for i := 0; i < n; i++ {
+		if c.Find(uint32(i)) != 0 {
+			t.Fatalf("Find(%d) = %d, want 0", i, c.Find(uint32(i)))
+		}
+	}
+}
+
 func TestConcurrentSame(t *testing.T) {
 	c := NewConcurrent(4)
 	if c.Same(0, 1) {

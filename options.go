@@ -1,6 +1,9 @@
 package aquila
 
-import "aquila/internal/bfs"
+import (
+	"aquila/internal/bfs"
+	"aquila/internal/cc"
+)
 
 // Traversal selects how much of the enhanced-BFS machinery is used for the
 // large-component traversals.
@@ -66,6 +69,14 @@ type Options struct {
 	// from the complete decomposition (the strategy of conventional
 	// frameworks the paper compares against in Figs. 12–14).
 	DisablePartial bool
+	// CCPolicy selects the connected-components matrix cell. "" or "auto"
+	// (the default) picks the cell adaptively from cheap graph statistics at
+	// solve time; any other value is a cc.ParsePolicy spec ("sampling+finish",
+	// e.g. "afforest+uf-async", or "pipeline" for the classic trim+BFS+LP
+	// cell). Every cell returns the same canonical labeling, so the choice is
+	// performance-only. An unparseable spec degrades to "auto" (NewEngine
+	// cannot error); front-ends validate with ValidateCCPolicy first.
+	CCPolicy string
 	// RebuildThreshold controls when Apply falls back to a full static
 	// recomputation: once the undirected edges inserted since the last
 	// rebuild exceed RebuildThreshold × the edge count at that rebuild,
@@ -74,6 +85,17 @@ type Options struct {
 	// 0 means the default (0.25); negative values disable automatic
 	// rebuilds, growing the pending delta without bound.
 	RebuildThreshold float64
+}
+
+// ValidateCCPolicy reports whether s is an acceptable Options.CCPolicy value:
+// "", "auto", or a parseable matrix-cell spec. Front-ends call this to reject
+// a bad -cc-policy before building an engine.
+func ValidateCCPolicy(s string) error {
+	if s == "" || s == "auto" {
+		return nil
+	}
+	_, err := cc.ParsePolicy(s)
+	return err
 }
 
 // defaultRebuildThreshold is the delta fraction at which patching the

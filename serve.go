@@ -358,9 +358,7 @@ func (sn *Snapshot) ccRawGet(ctx context.Context) (*cc.Result, error) {
 			if err != nil {
 				return err
 			}
-			opt := sn.eng.ccOptions()
-			opt.Ctx = cctx
-			r := cc.Run(gs.und, opt)
+			r := sn.eng.ccSolve(gs.und, cctx)
 			if err := ctxErr(cctx); err != nil {
 				return err
 			}
