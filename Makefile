@@ -32,21 +32,23 @@ bench:
 # BFS / CC / scheduler set, the PR 3 ingestion set (build + parse
 # throughput in edges/s, reorder ablation), the PR 4 serving set (reader
 # throughput with/without singleflight, Apply latency under read load),
-# the PR 5 HTTP front-end throughput, and the PR 6 CC algorithm-matrix
-# sweep (every sampling × finish cell per graph class, plus auto), into
-# BENCH_PR6.json.
+# the PR 5 HTTP front-end throughput, the PR 6 CC algorithm-matrix sweep,
+# and the PR 7 SCC algorithm-matrix sweep (coloring vs multireach vs fwbw
+# per directed graph class, plus the probe-fed auto), into BENCH_PR7.json.
 bench-json:
 	( go test -bench='BFS|CC|Pool|Reach' -benchmem -benchtime=20x -run='^$$' \
 		. ./internal/bfs ./internal/parallel ; \
 	  go test -bench='Build|Parse|Reorder' -benchmem -benchtime=5x -run='^$$' \
 		./internal/bench ; \
-	  go test -bench='CCMatrix' -benchmem -benchtime=3x -run='^$$' \
+	  go test -bench='^BenchmarkCCMatrix$$' -benchmem -benchtime=3x -run='^$$' \
+		./internal/bench ; \
+	  go test -bench='^BenchmarkSCCMatrix$$' -benchmem -benchtime=3x -run='^$$' \
 		./internal/bench ; \
 	  go test -bench='ServerThroughput|ApplyUnderReadLoad' -benchmem -benchtime=5x -run='^$$' \
 		. ; \
 	  go test -bench='HTTPThroughput' -benchmem -benchtime=2s -run='^$$' \
 		./internal/httpd ) \
-		| go run ./cmd/bench2json > BENCH_PR6.json
+		| go run ./cmd/bench2json > BENCH_PR7.json
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:
@@ -60,4 +62,5 @@ fuzz:
 	go test -fuzz=FuzzReadBinary -fuzztime=30s ./internal/graph
 	go test -fuzz=FuzzBiCCMatchesOracle -fuzztime=30s ./internal/bicc
 	go test -fuzz=FuzzCCPolicyMatchesOracle -fuzztime=30s ./internal/cc
+	go test -fuzz=FuzzSCCPolicyMatchesOracle -fuzztime=30s ./internal/scc
 	go test -fuzz=FuzzServerSchedule -fuzztime=30s ./internal/serve/harness

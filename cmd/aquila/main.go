@@ -12,11 +12,11 @@
 //
 // Queries: connected, connected=<u>,<v>, strongly-connected, num-cc,
 // num-scc, num-bicc, num-bgcc, largest-cc, largest-scc, in-largest-cc=<v>,
-// aps, bridges, histogram, cc-policy.
+// aps, bridges, histogram, cc-policy, scc-policy.
 //
-// -cc-policy selects the connected-components matrix cell ("auto" picks one
-// adaptively from graph statistics; see the README's "Algorithm matrix"
-// section for the cells).
+// -cc-policy selects the connected-components matrix cell and -scc-policy the
+// strongly-connected-components cell ("auto" picks one adaptively from graph
+// statistics; see the README's "Algorithm matrix" section for the cells).
 //
 // With -updates, the file is replayed as batches of edge insertions through
 // the incremental connectivity layer before the query runs; see
@@ -57,6 +57,7 @@ func main() {
 		rebuild    = flag.Float64("rebuild-threshold", 0, "delta/base edge ratio forcing a static rebuild (0 = default 0.25, <0 = never)")
 		threads    = flag.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
 		ccPolicy   = flag.String("cc-policy", "auto", "CC algorithm matrix cell: auto, pipeline, or sampling+finish (e.g. afforest+uf-async); see the cc-policy query")
+		sccPolicy  = flag.String("scc-policy", "auto", "SCC algorithm matrix cell: auto, coloring, multireach, or fwbw; see the scc-policy query")
 		reorder    = flag.String("reorder", "none", "cache-aware vertex reordering: none, degree, bfs")
 		noPartial  = flag.Bool("no-partial", false, "disable query transformation (always complete computation)")
 		serve      = flag.Bool("serve", false, "route updates and queries through the concurrent serving layer (snapshot isolation, singleflight, admission control)")
@@ -87,6 +88,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "aquila:", err)
 		os.Exit(1)
 	}
+	if err := aquila.ValidateSCCPolicy(*sccPolicy); err != nil {
+		fmt.Fprintln(os.Stderr, "aquila:", err)
+		os.Exit(1)
+	}
 
 	g, parseDur, buildDur, err := obtainGraph(*graphPath, *genKind, *scale, *seed, *threads)
 	if err != nil {
@@ -102,6 +107,7 @@ func main() {
 		DisablePartial:   *noPartial,
 		RebuildThreshold: *rebuild,
 		CCPolicy:         *ccPolicy,
+		SCCPolicy:        *sccPolicy,
 	})
 	var srv *aquila.Server
 	if *serve {

@@ -56,12 +56,13 @@ func main() {
 		grace      = flag.Duration("grace", 15*time.Second, "drain window for in-flight requests on shutdown")
 		quiet      = flag.Bool("quiet", false, "suppress per-request access logs")
 		ccPolicy   = flag.String("cc-policy", "auto", "CC algorithm matrix cell: auto, pipeline, or sampling+finish (e.g. afforest+uf-async)")
+		sccPolicy  = flag.String("scc-policy", "auto", "SCC algorithm matrix cell: auto, coloring, multireach, or fwbw")
 	)
 	flag.Parse()
 
 	lg := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	if err := run(*listen, *graphPath, *genKind, *scale, *seed, *threads, *reorder,
-		*ccPolicy, *noPartial, *rebuild, *maxInFly, *maxQueue, *defTimeout, *maxTimeout,
+		*ccPolicy, *sccPolicy, *noPartial, *rebuild, *maxInFly, *maxQueue, *defTimeout, *maxTimeout,
 		*retain, *grace, *quiet, lg); err != nil {
 		fmt.Fprintln(os.Stderr, "aquilad:", err)
 		os.Exit(1)
@@ -69,7 +70,7 @@ func main() {
 }
 
 func run(listen, graphPath, genKind string, scale int, seed uint64, threads int,
-	reorder, ccPolicy string, noPartial bool, rebuild float64, maxInFly, maxQueue int,
+	reorder, ccPolicy, sccPolicy string, noPartial bool, rebuild float64, maxInFly, maxQueue int,
 	defTimeout, maxTimeout time.Duration, retain int, grace time.Duration,
 	quiet bool, lg *slog.Logger) error {
 
@@ -78,6 +79,9 @@ func run(listen, graphPath, genKind string, scale int, seed uint64, threads int,
 		return err
 	}
 	if err := aquila.ValidateCCPolicy(ccPolicy); err != nil {
+		return err
+	}
+	if err := aquila.ValidateSCCPolicy(sccPolicy); err != nil {
 		return err
 	}
 	g, err := obtainGraph(graphPath, genKind, scale, seed, threads)
@@ -92,6 +96,7 @@ func run(listen, graphPath, genKind string, scale int, seed uint64, threads int,
 		DisablePartial:   noPartial,
 		RebuildThreshold: rebuild,
 		CCPolicy:         ccPolicy,
+		SCCPolicy:        sccPolicy,
 	})
 	srv := aquila.NewServer(eng, aquila.ServerConfig{
 		MaxInFlight: maxInFly,

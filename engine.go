@@ -253,6 +253,43 @@ func (e *Engine) CCPolicy() string {
 	return e.resolveCCPolicy(e.und).String()
 }
 
+// resolveSCCPolicy maps Options.SCCPolicy onto a concrete matrix cell for g.
+// Explicit specs parse to their cell; "auto", "" and unparseable specs run
+// the adaptive chooser over the directed-graph probe. Resolution is per
+// graph, not per engine: Apply can reshape the graph enough to change the
+// auto cell, and serving snapshots resolve against their own pinned graph.
+func (e *Engine) resolveSCCPolicy(g *Directed) scc.Policy {
+	if s := e.opt.SCCPolicy; s != "" && s != "auto" {
+		if pol, err := scc.ParsePolicy(s); err == nil {
+			return pol
+		}
+	}
+	return scc.ChoosePolicy(stats.ProbeDirected(g, e.opt.Threads))
+}
+
+// sccSolve runs the complete SCC decomposition of g under the engine's
+// resolved policy. Every cell produces the same min-id canonical labeling,
+// so callers are policy-agnostic.
+func (e *Engine) sccSolve(g *Directed, ctx context.Context) *scc.Result {
+	opt := e.sccOptions()
+	opt.Ctx = ctx
+	return scc.Solve(g, e.resolveSCCPolicy(g), opt)
+}
+
+// SCCPolicy reports the matrix cell the engine would use for its current
+// graph, in scc.ParsePolicy syntax — with Options.SCCPolicy at "auto" this
+// is the adaptive chooser's pick. Undirected engines return ErrNotDirected,
+// like every other SCC surface.
+func (e *Engine) SCCPolicy() (string, error) {
+	if !e.directed {
+		return "", ErrNotDirected
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.materializeLocked()
+	return e.resolveSCCPolicy(e.dir).String(), nil
+}
+
 func (e *Engine) sccOptions() scc.Options {
 	return scc.Options{
 		Threads:    e.opt.Threads,
@@ -366,9 +403,7 @@ func (e *Engine) sccCompleteCtx(ctx context.Context) (*scc.Result, error) {
 	defer e.mu.Unlock()
 	e.materializeLocked()
 	if e.sccRes == nil {
-		opt := e.sccOptions()
-		opt.Ctx = ctx
-		raw := scc.Run(e.dir, opt)
+		raw := e.sccSolve(e.dir, ctx)
 		if err := ctxErr(ctx); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,69 @@
+package bench
+
+// BenchmarkSCCMatrix sweeps the SCC algorithm matrix over the directed graph
+// classes the probe-fed chooser discriminates between, plus the auto policy
+// itself — the data behind the scc.ChoosePolicy thresholds and the
+// EXPERIMENTS.md "PR 7" narrative. The ring-chain class is multireach's home
+// turf: many small/medium SCCs strung along a deep condensation path, where
+// the coloring sweep needs roughly one round per condensation layer while the
+// batched multi-reachability peels thousands of SCCs per round.
+
+import (
+	"fmt"
+	"testing"
+
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+	"aquila/internal/scc"
+	"aquila/internal/stats"
+)
+
+func sccMatrixBenchClasses() []struct {
+	name string
+	g    *graph.Directed
+} {
+	return []struct {
+		name string
+		g    *graph.Directed
+	}{
+		{"ring-chain", gen.Rings(gen.RingsConfig{
+			Rings: 20000, MinSize: 2, MaxSize: 16, ExtraChords: 0.5, Shuffle: true, Seed: 91,
+		})},
+		{"social", gen.Social(gen.SocialConfig{
+			GiantVertices: 200000, GiantAvgDeg: 8, SmallComps: 4000,
+			SmallMaxSize: 8, Isolated: 2000, MutualFrac: 0.3, Seed: 93,
+		})},
+		{"sparse-random", gen.Random(200000, 400000, 97)},
+		{"rmat", gen.RMAT(16, 16, 99)},
+	}
+}
+
+func BenchmarkSCCMatrix(b *testing.B) {
+	for _, cl := range sccMatrixBenchClasses() {
+		cl := cl
+		auto := scc.ChoosePolicy(stats.ProbeDirected(cl.g, 0))
+		for _, pol := range scc.Policies() {
+			pol := pol
+			b.Run(fmt.Sprintf("%s/%v", cl.name, pol), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res := scc.Solve(cl.g, pol, scc.Options{})
+					if res.NumComponents == 0 {
+						b.Fatal("no components")
+					}
+				}
+			})
+		}
+		b.Run(fmt.Sprintf("%s/auto=%v", cl.name, auto), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// Auto as deployed: probe + chooser + solve per run.
+				pol := scc.ChoosePolicy(stats.ProbeDirected(cl.g, 0))
+				res := scc.Solve(cl.g, pol, scc.Options{})
+				if res.NumComponents == 0 {
+					b.Fatal("no components")
+				}
+			}
+		})
+	}
+}

@@ -20,7 +20,7 @@ var Queries = []string{
 	"connected", "connected=<u>,<v>", "strongly-connected",
 	"num-cc", "num-scc", "num-bicc", "num-bgcc",
 	"largest-cc", "largest-scc", "in-largest-cc=<v>",
-	"aps", "bridges", "histogram", "stats", "cc-policy",
+	"aps", "bridges", "histogram", "stats", "cc-policy", "scc-policy",
 }
 
 // Answer runs one query against the engine and returns the printable answer.
@@ -88,6 +88,12 @@ func Answer(eng *aquila.Engine, query string) (string, error) {
 		return stats.Render(eng.Directed(), eng.Undirected(), 0), nil
 	case query == "cc-policy":
 		return fmt.Sprintf("cc policy: %s", eng.CCPolicy()), nil
+	case query == "scc-policy":
+		pol, err := eng.SCCPolicy()
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("scc policy: %s", pol), nil
 	case query == "histogram":
 		hist := eng.CCSizeHistogram()
 		sizes := make([]int, 0, len(hist))
@@ -113,6 +119,11 @@ func Explain(query string) (string, error) {
 		return "query \"cc-policy\" is diagnostic: it reports the CC matrix cell " +
 			"the engine resolved (the adaptive chooser's pick under -cc-policy=auto) " +
 			"without running a kernel", nil
+	}
+	if query == "scc-policy" {
+		return "query \"scc-policy\" is diagnostic: it reports the SCC matrix cell " +
+			"the engine resolved (the probe-fed chooser's pick under -scc-policy=auto) " +
+			"without running a kernel; directed inputs only", nil
 	}
 	q, err := toPlanQuery(query)
 	if err != nil {

@@ -67,6 +67,32 @@ func TestAnswerCCPolicy(t *testing.T) {
 	}
 }
 
+func TestAnswerSCCPolicy(t *testing.T) {
+	// The paper example is tiny, so the auto chooser resolves to the coloring
+	// pipeline.
+	got, err := Answer(paperEngine(), "scc-policy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "scc policy: coloring" {
+		t.Errorf("scc-policy = %q", got)
+	}
+	// An engine pinned to an explicit cell reports that cell verbatim.
+	eng := aquila.NewDirectedEngine(gen.PaperExample(),
+		aquila.Options{Threads: 2, SCCPolicy: "multireach"})
+	if got, _ := Answer(eng, "scc-policy"); got != "scc policy: multireach" {
+		t.Errorf("explicit scc-policy = %q", got)
+	}
+	// Undirected engines have no SCC matrix to resolve.
+	und := aquila.NewEngine(gen.PaperExampleUndirected(), aquila.Options{})
+	if _, err := Answer(und, "scc-policy"); err == nil {
+		t.Errorf("scc-policy on undirected engine: want error")
+	}
+	if out, err := Explain("scc-policy"); err != nil || !strings.Contains(out, "diagnostic") {
+		t.Errorf("Explain(scc-policy) = %q, %v", out, err)
+	}
+}
+
 func TestAnswerAPsAndBridges(t *testing.T) {
 	eng := paperEngine()
 	got, _ := Answer(eng, "aps")

@@ -263,3 +263,74 @@ func Grid(mask [][]bool) *graph.Undirected {
 	}
 	return graph.BuildUndirected(h*w, edges)
 }
+
+// RingsConfig shapes a Rings graph: a chain of directed cycles.
+type RingsConfig struct {
+	Rings            int     // number of rings (condensation-path length)
+	MinSize, MaxSize int     // ring sizes drawn uniformly from [MinSize, MaxSize]
+	ExtraChords      float64 // expected extra forward chords per ring
+	Shuffle          bool    // permute vertex ids (break the topological id order)
+	Seed             uint64
+}
+
+// Rings generates a chain of directed cycles: ring i is a directed cycle of
+// pseudo-random size, one chord runs from a random member of ring i to a
+// random member of ring i+1, and ExtraChords adds further forward-only
+// chords to later rings. Every chord points condensation-forward, so the
+// rings are exactly the SCCs while the condensation is a path of length
+// Rings — the many-medium-SCC shape the multireach tail exists for.
+//
+// Without Shuffle, vertex ids follow the chain, i.e. they arrive in
+// topological order — max-id coloring's best case, since every ring is
+// already a local id maximum and the whole chain peels in one sweep. Shuffle
+// permutes the ids, the realistic case (crawl or ingest order, not a
+// topological sort), on which per-root coloring degrades to repeated
+// near-full-graph floods.
+func Rings(cfg RingsConfig) *graph.Directed {
+	rng := NewRNG(cfg.Seed)
+	if cfg.MinSize < 1 {
+		cfg.MinSize = 1
+	}
+	if cfg.MaxSize < cfg.MinSize {
+		cfg.MaxSize = cfg.MinSize
+	}
+	start := make([]int, cfg.Rings+1)
+	for i := 0; i < cfg.Rings; i++ {
+		size := cfg.MinSize + rng.Intn(cfg.MaxSize-cfg.MinSize+1)
+		start[i+1] = start[i] + size
+	}
+	n := start[cfg.Rings]
+	perm := make([]graph.V, n)
+	for v := range perm {
+		perm[v] = graph.V(v)
+	}
+	if cfg.Shuffle {
+		for v := n - 1; v > 0; v-- {
+			w := rng.Intn(v + 1)
+			perm[v], perm[w] = perm[w], perm[v]
+		}
+	}
+	member := func(i int) graph.V {
+		return perm[start[i]+rng.Intn(start[i+1]-start[i])]
+	}
+	var edges []graph.Edge
+	for i := 0; i < cfg.Rings; i++ {
+		for v := start[i]; v < start[i+1]; v++ {
+			next := v + 1
+			if next == start[i+1] {
+				next = start[i]
+			}
+			edges = append(edges, graph.Edge{U: perm[v], V: perm[next]})
+		}
+		if i+1 < cfg.Rings {
+			edges = append(edges, graph.Edge{U: member(i), V: member(i + 1)})
+			for k := cfg.ExtraChords; k > 0 && i+1 < cfg.Rings; k-- {
+				if k >= 1 || rng.Float64() < k {
+					j := i + 1 + rng.Intn(cfg.Rings-i-1)
+					edges = append(edges, graph.Edge{U: member(i), V: member(j)})
+				}
+			}
+		}
+	}
+	return graph.BuildDirected(n, edges)
+}

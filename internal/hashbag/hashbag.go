@@ -1,0 +1,116 @@
+// Package hashbag implements the concurrent frontier multiset behind the
+// multi-reachability SCC rounds (the "parallel hash bag" of Wang et al.,
+// PPoPP '23): workers insert discovered vertices through private fixed-size
+// insertion blocks, and a full block is published wholesale into a shared
+// resizable block list under one mutex acquisition — so the shared state is
+// touched once per blockSize inserts, and a round needs no global sort or
+// compact barrier: draining the next frontier is a concatenation of blocks
+// that are already built.
+//
+// The bag is a multiset, not a set: callers that guard insertion with an
+// atomic state transition (the multireach kernel inserts only when an atomic
+// min actually lowers a vertex's owner) get near-exact occurrence counts, but
+// nothing in the bag deduplicates, and monotone kernels tolerate the
+// occasional re-expansion a duplicate causes.
+package hashbag
+
+import (
+	"sync"
+
+	"aquila/internal/graph"
+)
+
+// blockSize is the per-worker insertion-buffer capacity. One mutex
+// acquisition publishes blockSize vertices, so lock traffic is amortized to
+// a rounding error at frontier scale while blocks stay small enough that a
+// near-empty frontier wastes little memory.
+const blockSize = 1024
+
+// Bag is the concurrent vertex multiset. Put is safe from the worker it was
+// handed to (distinct workers never share an insertion block); Drain and Len
+// must not run concurrently with Put — the kernel's round structure (expand,
+// then drain, then expand again) provides that for free.
+type Bag struct {
+	mu   sync.Mutex
+	full [][]graph.V // published blocks, in publication order
+	free [][]graph.V // recycled empty blocks (len 0, cap blockSize)
+	// active holds each worker's open insertion block (nil until first Put).
+	active [][]graph.V
+}
+
+// New returns a bag with insertion lanes for the given worker count.
+func New(workers int) *Bag {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Bag{active: make([][]graph.V, workers)}
+}
+
+// Workers reports the number of insertion lanes.
+func (b *Bag) Workers() int { return len(b.active) }
+
+// Put appends v to worker's insertion block, publishing the block into the
+// shared list when it fills.
+func (b *Bag) Put(worker int, v graph.V) {
+	blk := b.active[worker]
+	if blk == nil {
+		blk = b.takeBlock()
+	}
+	blk = append(blk, v)
+	if len(blk) == blockSize {
+		b.mu.Lock()
+		b.full = append(b.full, blk)
+		b.mu.Unlock()
+		blk = nil
+	}
+	b.active[worker] = blk
+}
+
+// takeBlock hands out a recycled block, or a fresh one when none are free.
+func (b *Bag) takeBlock() []graph.V {
+	b.mu.Lock()
+	var blk []graph.V
+	if k := len(b.free); k > 0 {
+		blk = b.free[k-1]
+		b.free = b.free[:k-1]
+	}
+	b.mu.Unlock()
+	if blk == nil {
+		blk = make([]graph.V, 0, blockSize)
+	}
+	return blk
+}
+
+// Drain appends the bag's entire contents to dst, empties the bag, and
+// recycles every block for the next round. It must not race with Put.
+func (b *Bag) Drain(dst []graph.V) []graph.V {
+	b.mu.Lock()
+	for _, blk := range b.full {
+		dst = append(dst, blk...)
+		b.free = append(b.free, blk[:0])
+	}
+	b.full = b.full[:0]
+	b.mu.Unlock()
+	for w, blk := range b.active {
+		if len(blk) > 0 {
+			dst = append(dst, blk...)
+			b.active[w] = blk[:0]
+		}
+	}
+	return dst
+}
+
+// Len reports the number of queued vertices. Like Drain, it must not race
+// with Put.
+func (b *Bag) Len() int {
+	b.mu.Lock()
+	n := 0
+	for _, blk := range b.full {
+		n += len(blk)
+	}
+	b.mu.Unlock()
+	for _, blk := range b.active {
+		n += len(blk)
+	}
+	return n
+}

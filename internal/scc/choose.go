@@ -1,0 +1,43 @@
+package scc
+
+import "aquila/internal/stats"
+
+// chooser thresholds. The constants encode what the BenchmarkSCCMatrix sweep
+// shows on the synthetic workload classes (see EXPERIMENTS.md "PR 7"): tiny
+// graphs are dominated by fixed overheads, trim-dominated (DAG-like) graphs
+// never exercise a tail strategy at all, and graphs with a substantial
+// post-trim remainder reward multireach's batched peeling over per-root
+// coloring sweeps.
+const (
+	// chooseTinyVertices: below this every cell finishes in microseconds;
+	// the paper pipeline is exact and cheapest.
+	chooseTinyVertices = 1 << 12
+	// chooseLiveFrac: when the bounded trim probe resolves all but this
+	// fraction of the graph, the tail barely exists — the pipeline wins by
+	// never paying multireach's subproblem machinery.
+	chooseLiveFrac = 0.05
+)
+
+// ChoosePolicy maps the directed-graph probe onto a matrix cell — the
+// paper's adaptive-computation idea, extended from the PR 6 CC chooser to
+// SCC. It is total: every stats.SCCProbe value (including zero, absurd and
+// NaN-carrying ones, which fail every comparison and fall through to the
+// safe pipeline default) maps to a valid, runnable cell.
+func ChoosePolicy(pr stats.SCCProbe) Policy {
+	switch {
+	case pr.Cheap.Vertices <= chooseTinyVertices || pr.Cheap.Edges <= 0:
+		// Tiny or edgeless: fixed overheads dominate; the trimmed pipeline
+		// is exact and cheapest.
+		return PolicyColoring
+	case pr.PostTrimLive > chooseLiveFrac:
+		// A substantial post-trim remainder means real cycle structure to
+		// resolve — batched multi-source peeling bounds the per-vertex
+		// relabeling that makes coloring quadratic-ish on chains of medium
+		// SCCs.
+		return PolicyMultiReach
+	default:
+		// Trim-dominated (DAG-like) graph — and the NaN/garbage fallthrough:
+		// the pipeline's trims resolve it without a tail strategy.
+		return PolicyColoring
+	}
+}

@@ -1,0 +1,158 @@
+package scc
+
+// Concurrency and serial/parallel parity tests for the SCC matrix's shared
+// machinery. These run in the plain tier for interleaving coverage and — via
+// the CI race row for this package — under the race detector, where the
+// hash-bag publication protocol and the owner-label MinU32 propagation get
+// their real audit.
+
+import (
+	"sync"
+	"testing"
+
+	"aquila/internal/baseline/serialdfs"
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+)
+
+// TestMultiReachConcurrentHammer repeatedly solves the ring chain with 8
+// workers through the multireach cell: maximal contention on the hash-bag
+// and the owner arrays, exact min-id agreement with the oracle every time.
+func TestMultiReachConcurrentHammer(t *testing.T) {
+	g := gen.Rings(gen.RingsConfig{Rings: 150, MinSize: 2, MaxSize: 30, ExtraChords: 2, Seed: 47})
+	want := serialdfs.SCC(g)
+	for iter := 0; iter < 5; iter++ {
+		res := Solve(g, PolicyMultiReach, Options{Threads: 8})
+		for v := range want {
+			if res.Label[v] != want[v] {
+				t.Fatalf("iter %d: Label[%d] = %d, want %d", iter, v, res.Label[v], want[v])
+			}
+		}
+	}
+}
+
+// TestSolveConcurrentCallers runs independent Solves of different cells over
+// the same shared (read-only) graph from concurrent goroutines — the serving
+// layer's actual usage shape once policies vary per snapshot.
+func TestSolveConcurrentCallers(t *testing.T) {
+	g := gen.Random(3000, 9000, 43)
+	want := serialdfs.SCC(g)
+	var wg sync.WaitGroup
+	errs := make(chan string, len(Policies()))
+	for _, pol := range Policies() {
+		pol := pol
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := Solve(g, pol, Options{Threads: 2})
+			for v := range want {
+				if res.Label[v] != want[v] {
+					errs <- pol.String()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for pol := range errs {
+		t.Errorf("cell %s diverged from oracle under concurrent callers", pol)
+	}
+}
+
+// TestSummarizeTinyGraphAllocs is the regression test for the census fold:
+// at or below summarizeSerialMax the census must run serially into the map —
+// no n-sized counts array, no fork/join — so its allocation count is a small
+// constant independent of the vertex count.
+func TestSummarizeTinyGraphAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	const n = summarizeSerialMax
+	label := make([]uint32, n)
+	for i := range label {
+		label[i] = uint32(i % 7) // 7 components, sizes n/7±1
+	}
+	r := &Result{Label: label}
+	allocs := testing.AllocsPerRun(50, func() {
+		r.NumComponents, r.LargestSize, r.LargestLabel = 0, 0, 0
+		r.summarize(n, 4)
+	})
+	// One map header plus its (bounded, component-count-sized) buckets.
+	if allocs > 4 {
+		t.Errorf("summarize allocated %.0f times on a tiny graph, want ≤ 4", allocs)
+	}
+	if r.NumComponents != 7 || r.LargestLabel != 0 {
+		t.Fatalf("census wrong: %d components, largest %d", r.NumComponents, r.LargestLabel)
+	}
+}
+
+// TestSummarizeSerialMatchesParallel pins the two census paths to each other
+// just above the crossover, where both are reachable.
+func TestSummarizeSerialMatchesParallel(t *testing.T) {
+	n := summarizeSerialMax + 512
+	label := make([]uint32, n)
+	for i := range label {
+		label[i] = uint32(i % 13)
+	}
+	serial := &Result{Label: label}
+	serial.summarize(n, 1) // p=1 forces the serial path at any size
+	par := &Result{Label: label}
+	par.summarize(n, 4)
+	if serial.NumComponents != par.NumComponents ||
+		serial.LargestLabel != par.LargestLabel ||
+		serial.LargestSize != par.LargestSize {
+		t.Fatalf("census paths disagree: serial (%d,%d,%d) vs parallel (%d,%d,%d)",
+			serial.NumComponents, serial.LargestLabel, serial.LargestSize,
+			par.NumComponents, par.LargestLabel, par.LargestSize)
+	}
+	for l, c := range serial.Sizes {
+		if par.Sizes[l] != c {
+			t.Fatalf("Sizes[%d]: serial %d, parallel %d", l, c, par.Sizes[l])
+		}
+	}
+}
+
+// TestMaxLiveDegreeParallelMatchesSerial pins the parallel pivot-scan
+// reduction to the serial scan — including the lowest-id tie-break, which the
+// pivot choice (and hence the round structure) of both tail strategies keys
+// on. The graph is big enough to cross maxLiveDegreeSerial and is labeled
+// progressively so the live set shrinks between checks.
+func TestMaxLiveDegreeParallelMatchesSerial(t *testing.T) {
+	n := maxLiveDegreeSerial + 2048
+	g := gen.Random(n, 4*n, 53)
+	label := make([]uint32, n)
+	for i := range label {
+		label[i] = graph.NoVertex // all live
+	}
+	for _, labelFrac := range []int{0, 2, 4, 8} {
+		if labelFrac > 0 {
+			// Assign every labelFrac-th vertex, shrinking the live set —
+			// including, eventually, earlier max-degree winners.
+			for i := 0; i < n; i += labelFrac {
+				label[i] = uint32(i)
+			}
+		}
+		want := maxLiveDegreeRange(g, label, 0, n)
+		got := maxLiveDegree(g, label, 4)
+		if got != want {
+			t.Fatalf("labelFrac %d: parallel pivot %d, serial pivot %d", labelFrac, got, want)
+		}
+	}
+	// Explicit tie case: a graph where many vertices share the max degree.
+	ring := gen.Rings(gen.RingsConfig{Rings: 1, MinSize: 5000, MaxSize: 5000, Seed: 3})
+	all := make([]uint32, ring.NumVertices())
+	for i := range all {
+		all[i] = graph.NoVertex
+	}
+	if got := maxLiveDegree(ring, all, 4); got != maxLiveDegreeRange(ring, all, 0, ring.NumVertices()) {
+		t.Fatalf("tie-break diverged: parallel %d", got)
+	}
+	// Fully labeled: both must report no live vertex.
+	for i := range all {
+		all[i] = 0
+	}
+	if got := maxLiveDegree(ring, all, 4); got != graph.NoVertex {
+		t.Fatalf("fully labeled: parallel pivot %d, want NoVertex", got)
+	}
+}

@@ -1,0 +1,150 @@
+package scc
+
+// The oracle-checked SCC matrix harness, mirroring the CC matrix harness:
+// every cell × p ∈ {1, 4} × graph class must reproduce the serial DFS
+// oracle's exact min-id canonical labeling. Exact equality (not just
+// same-partition) also pins the coloring cell byte-identical to the
+// pre-matrix kernel, which satisfied the same equality against the same
+// oracle on the same graphs.
+
+import (
+	"fmt"
+	"testing"
+
+	"aquila/internal/baseline/serialdfs"
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+)
+
+// matrixSuite is the shared suite plus the many-medium-SCC classes the
+// multireach cell exists for (deep ring chains are coloring's worst case).
+func matrixSuite() map[string]*graph.Directed {
+	s := suite()
+	s["rings"] = gen.Rings(gen.RingsConfig{Rings: 60, MinSize: 3, MaxSize: 40, ExtraChords: 1, Seed: 11})
+	s["ringchain"] = gen.Rings(gen.RingsConfig{Rings: 200, MinSize: 1, MaxSize: 12, Seed: 13})
+	return s
+}
+
+func TestMatrixMatchesOracle(t *testing.T) {
+	for name, g := range matrixSuite() {
+		want := serialdfs.SCC(g)
+		for _, pol := range Policies() {
+			for _, p := range []int{1, 4} {
+				res := Solve(g, pol, Options{Threads: p})
+				if res.Policy != pol {
+					t.Fatalf("%s/%v/p=%d: Result.Policy = %v", name, pol, p, res.Policy)
+				}
+				for v := range want {
+					if res.Label[v] != want[v] {
+						t.Fatalf("%s/%v/p=%d: Label[%d] = %d, want min-id %d",
+							name, pol, p, v, res.Label[v], want[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMatrixCensusAgrees cross-checks every cell's census fields against a
+// recount of its own labels.
+func TestMatrixCensusAgrees(t *testing.T) {
+	for name, g := range matrixSuite() {
+		for _, pol := range Policies() {
+			res := Solve(g, pol, Options{Threads: 4})
+			sizes := map[uint32]int{}
+			for _, l := range res.Label {
+				sizes[l]++
+			}
+			if len(sizes) != res.NumComponents || len(sizes) != len(res.Sizes) {
+				t.Fatalf("%s/%v: %d distinct labels, census says %d (%d sizes)",
+					name, pol, len(sizes), res.NumComponents, len(res.Sizes))
+			}
+			for l, c := range sizes {
+				if res.Sizes[l] != c {
+					t.Fatalf("%s/%v: Sizes[%d] = %d, want %d", name, pol, l, res.Sizes[l], c)
+				}
+				if c > res.LargestSize {
+					t.Fatalf("%s/%v: LargestSize = %d but label %d has %d members",
+						name, pol, res.LargestSize, l, c)
+				}
+			}
+			if res.NumComponents > 0 && res.Sizes[res.LargestLabel] != res.LargestSize {
+				t.Fatalf("%s/%v: LargestLabel/LargestSize inconsistent", name, pol)
+			}
+		}
+	}
+}
+
+// TestSolveInvalidPolicyFallsBack: the serving path hands Solve whatever the
+// options carried; a garbage cell must degrade to the coloring pipeline, not
+// crash or mislabel.
+func TestSolveInvalidPolicyFallsBack(t *testing.T) {
+	g := matrixSuite()["rings"]
+	want := Run(g, Options{Threads: 2})
+	res := Solve(g, Policy{Tail: numTail + 3}, Options{Threads: 2})
+	if res.Policy != PolicyColoring {
+		t.Fatalf("fallback Policy = %v, want coloring", res.Policy)
+	}
+	for v := range want.Label {
+		if res.Label[v] != want.Label[v] {
+			t.Fatalf("fallback diverged at vertex %d", v)
+		}
+	}
+}
+
+// TestMultiReachDoesRounds pins that the multireach cell actually runs its
+// batched rounds (rather than the trims resolving everything) on the class
+// built for it, and that its stats stay deterministic across parallelism —
+// owner propagation converges to a schedule-independent fixed point.
+func TestMultiReachDoesRounds(t *testing.T) {
+	g := matrixSuite()["ringchain"]
+	r1 := Solve(g, PolicyMultiReach, Options{Threads: 1})
+	r4 := Solve(g, PolicyMultiReach, Options{Threads: 4})
+	if r1.Stats.MultiReachRounds == 0 || r1.Stats.MultiReachPivots == 0 {
+		t.Fatalf("multireach stats empty: %+v", r1.Stats)
+	}
+	if r1.Stats.MultiReachRounds != r4.Stats.MultiReachRounds ||
+		r1.Stats.MultiReachPivots != r4.Stats.MultiReachPivots {
+		t.Errorf("stats not schedule-independent: p=1 %+v vs p=4 %+v", r1.Stats, r4.Stats)
+	}
+	if r1.Stats.ColoringRounds != 0 {
+		t.Errorf("multireach ran coloring rounds: %+v", r1.Stats)
+	}
+}
+
+// TestMultiReachNoTrim: the NoTrim ablation must still be exact (the kernel
+// then peels everything by pivot batches alone).
+func TestMultiReachNoTrim(t *testing.T) {
+	for _, name := range []string{"rings", "dag", "random"} {
+		g := matrixSuite()[name]
+		want := serialdfs.SCC(g)
+		res := Solve(g, PolicyMultiReach, Options{Threads: 4, NoTrim: true})
+		for v := range want {
+			if res.Label[v] != want[v] {
+				t.Fatalf("%s NoTrim: Label[%d] = %d, want %d", name, v, res.Label[v], want[v])
+			}
+		}
+		if res.Stats.TrimmedSize1 != 0 || res.Stats.TrimmedSize2 != 0 {
+			t.Fatalf("%s NoTrim: trims ran: %+v", name, res.Stats)
+		}
+	}
+}
+
+// TestRunIsColoringCell: Run must stay the coloring cell verbatim (the
+// byte-identity contract at the API level).
+func TestRunIsColoringCell(t *testing.T) {
+	g := matrixSuite()["rings"]
+	run := Run(g, Options{Threads: 2})
+	cell := Solve(g, PolicyColoring, Options{Threads: 2})
+	if run.Policy != PolicyColoring {
+		t.Fatalf("Run's policy = %v", run.Policy)
+	}
+	if fmt.Sprint(run.Stats) != fmt.Sprint(cell.Stats) {
+		t.Fatalf("Run stats %+v != coloring cell stats %+v", run.Stats, cell.Stats)
+	}
+	for v := range run.Label {
+		if run.Label[v] != cell.Label[v] {
+			t.Fatalf("Run and coloring cell diverge at %d", v)
+		}
+	}
+}

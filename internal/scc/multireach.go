@@ -1,0 +1,398 @@
+package scc
+
+// The multireach tail: batched multi-source reachability in the style of
+// Wang et al. (PPoPP '23, "Parallel Strong Connectivity Based on Faster
+// Reachability"). Each round picks a batch of live pivots and runs one
+// forward and one backward min-rank ownership propagation from all of them
+// simultaneously: own[v] converges to the smallest pivot rank whose pivot
+// reaches v through live vertices of v's subproblem. A vertex owned by the
+// same rank r in both directions lies on a cycle through pivot r, so the set
+// sharing that rank is exactly pivot r's SCC — it is peeled with its true
+// min-id label. Every survivor refines its subproblem id by hashing its
+// (forward, backward) ownership pattern: members of one SCC always share
+// identical patterns (mutual reachability composes through live, same-
+// subproblem paths), so refinement never separates an SCC — hash collisions
+// can only merge subproblems, costing work, never correctness. The batch
+// grows geometrically, so b rounds resolve O(growth^b) subproblems.
+//
+// Propagation runs over hash-bag frontiers (internal/hashbag): a worker that
+// lowers own[v] re-inserts v through its private block, so the next
+// sub-round's frontier needs no sort or compact barrier. Vertical
+// granularity control (VGC) keeps skewed frontiers parallel: adjacency rows
+// of at least mrHubDegree arcs are split into mrSegLen-arc sub-row segments
+// scheduled independently, so one hub vertex never serializes a round.
+
+import (
+	"sort"
+
+	"aquila/internal/bfs"
+	"aquila/internal/graph"
+	"aquila/internal/hashbag"
+	"aquila/internal/parallel"
+	"aquila/internal/trim"
+)
+
+const (
+	// mrMaxBatch caps the pivot batch; ranks stay well under the 16-bit
+	// fields the subproblem-refinement hash packs them into.
+	mrMaxBatch = 4096
+	// mrBatchGrowth multiplies the batch between rounds (the giant SCC is
+	// peeled by a flat FW-BW sweep before any batched round runs, so the
+	// first batch already starts at this size).
+	mrBatchGrowth = 8
+	// mrHubDegree is the VGC threshold: frontier rows at least this long are
+	// split into sub-row segments instead of being expanded by one worker.
+	mrHubDegree = 2048
+	// mrSegLen is the sub-row segment length for hub rows.
+	mrSegLen = 512
+	// mrSerialWork is the granularity floor in the other direction: a
+	// sub-round whose frontier carries fewer than this many arcs runs inline
+	// on one worker. Deep, narrow propagations (long cycles, chain tails)
+	// produce thousands of near-empty frontiers, and fork/join plus bag
+	// publication would dwarf the actual relaxations.
+	mrSerialWork = 2048
+	// noOwner marks a live vertex not yet reached from any pivot this round.
+	noOwner = ^uint32(0)
+)
+
+// mrSeg is one VGC sub-row task: arcs adj[lo:hi] of vertex u.
+type mrSeg struct {
+	u      graph.V
+	lo, hi int64
+}
+
+// mrState is the round-to-round scratch of one multireach run.
+type mrState struct {
+	sub    []uint32 // subproblem id, refined every round
+	fwOwn  []uint32 // forward min-rank owner (this round)
+	bwOwn  []uint32 // backward min-rank owner (this round)
+	bag    *hashbag.Bag
+	minID  []uint32  // per-rank smallest member id
+	pivots []graph.V // this round's batch
+
+	// Pivot selection: a pseudo-random order over live vertices, built
+	// lazily on the first batched round, consumed by a cursor and rebuilt
+	// (with a fresh salt) when it runs dry.
+	order  []graph.V
+	cursor int
+	salt   uint64
+
+	// Frontier-round scratch, reused across sub-rounds and directions.
+	frontier []graph.V
+	normal   []graph.V
+	segs     []mrSeg
+	bounds   []int32
+}
+
+// runMultiReach resolves g into res.Label with the multireach cell.
+func runMultiReach(g *graph.Directed, res *Result, p int, done <-chan struct{}, opt Options) {
+	n := g.NumVertices()
+	label := res.Label
+	if !opt.NoTrim {
+		res.Stats.TrimmedSize1 = trim.SCCSize1(g, label, p)
+		res.Stats.TrimmedSize2 = trim.SCCSize2(g, label, p)
+	}
+	live := make([]graph.V, 0, n)
+	for v := 0; v < n; v++ {
+		if label[v] == graph.NoVertex {
+			live = append(live, graph.V(v))
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	// Giant-SCC sweep, exactly as in the pipeline: one FW-BW from the
+	// max-degree pivot over the tuned BFS scratch. Batched min-rank
+	// propagation earns its keep on the many-SCC remainder; for the single
+	// dominant SCC the flat reach is strictly faster, so the cells share it
+	// (and their giant-phase cost is identical by construction).
+	if parallel.Stopped(done) {
+		return
+	}
+	if master := maxLiveDegree(g, label, p); master != graph.NoVertex {
+		fwS := bfs.NewReachScratch(n, p)
+		bwS := bfs.NewReachScratch(n, p)
+		res.Stats.GiantSize = fwbwAssign(g, master, label, fwS, bwS, p, opt)
+		next := live[:0]
+		for _, v := range live {
+			if label[v] == graph.NoVertex {
+				next = append(next, v)
+			}
+		}
+		live = next
+	}
+	st := &mrState{
+		sub:   make([]uint32, n),
+		fwOwn: make([]uint32, n),
+		bwOwn: make([]uint32, n),
+		bag:   hashbag.New(p),
+	}
+	fwOff, fwAdj := g.OutCSR()
+	bwOff, bwAdj := g.InCSR()
+	batch := mrBatchGrowth
+	for {
+		if parallel.Stopped(done) {
+			return // partial: caller checks opt.Ctx.Err() and discards
+		}
+		if !opt.NoTrim {
+			// Peeling SCCs exposes new trimmable chains, exactly as in the
+			// coloring loop.
+			var t1, t2 int
+			t1, t2, live = trim.SCCLive(g, label, live, p)
+			res.Stats.TrimmedSize1 += t1
+			res.Stats.TrimmedSize2 += t2
+		}
+		if len(live) == 0 {
+			return
+		}
+		pivots := st.selectPivots(label, live, batch)
+		res.Stats.MultiReachRounds++
+		res.Stats.MultiReachPivots += len(pivots)
+		// Reset this round's ownership on the live set only.
+		parallel.ForChunksDynamic(0, len(live), p, 4096, func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				v := live[i]
+				st.fwOwn[v] = noOwner
+				st.bwOwn[v] = noOwner
+			}
+		})
+		st.reach(fwOff, fwAdj, pivots, label, st.fwOwn, p, done)
+		if parallel.Stopped(done) {
+			return
+		}
+		st.reach(bwOff, bwAdj, pivots, label, st.bwOwn, p, done)
+		if parallel.Stopped(done) {
+			return
+		}
+		live = st.assign(label, live, pivots, p)
+		if batch < mrMaxBatch {
+			batch *= mrBatchGrowth
+			if batch > mrMaxBatch {
+				batch = mrMaxBatch
+			}
+		}
+	}
+}
+
+// selectPivots returns up to batch live pivots by walking a mix64-shuffled
+// order, so pivot ranks are uncorrelated with vertex ids and subproblems
+// split evenly in expectation. Rank order within the batch is the selection
+// order.
+func (st *mrState) selectPivots(label []uint32, live []graph.V, batch int) []graph.V {
+	st.pivots = st.pivots[:0]
+	if st.order == nil {
+		st.order = make([]graph.V, 0, len(live))
+		st.rebuildOrder(live)
+	}
+	for {
+		for st.cursor < len(st.order) && len(st.pivots) < batch {
+			v := st.order[st.cursor]
+			st.cursor++
+			if label[v] == graph.NoVertex {
+				st.pivots = append(st.pivots, v)
+			}
+		}
+		if len(st.pivots) > 0 || len(live) == 0 {
+			return st.pivots
+		}
+		// The order ran dry with live vertices left (they were consumed as
+		// candidates in earlier rounds but survived): rebuild from the live
+		// list with a fresh salt and keep going.
+		st.rebuildOrder(live)
+	}
+}
+
+// rebuildOrder shuffles the live list into st.order by mix64 key. mix64 is a
+// bijection, so keys under one salt are distinct and the order deterministic.
+func (st *mrState) rebuildOrder(live []graph.V) {
+	st.order = append(st.order[:0], live...)
+	salt := st.salt
+	st.salt++
+	keyed := st.order
+	// Insertion-free sort by hashed key: compare mix64(salt, v) directly.
+	sortByMixKey(keyed, salt)
+	st.cursor = 0
+}
+
+// reach propagates min-rank pivot ownership through one direction's arcs,
+// restricted to live vertices of the source's subproblem, to its monotone
+// fixed point. Duplicates in the bag are benign: MinU32 makes every
+// re-expansion a no-op unless the owner actually lowered.
+func (st *mrState) reach(off []int64, adj []graph.V, pivots []graph.V, label, own []uint32, p int, done <-chan struct{}) {
+	fr := st.frontier[:0]
+	for r, pv := range pivots {
+		own[pv] = uint32(r)
+		fr = append(fr, pv)
+	}
+	for len(fr) > 0 {
+		if parallel.Stopped(done) {
+			break
+		}
+		var frontWork int64
+		for _, u := range fr {
+			frontWork += off[u+1] - off[u]
+		}
+		if p <= 1 || int(frontWork)+len(fr) < mrSerialWork {
+			// Serial sub-round: plain loads and stores, next frontier built by
+			// direct append — no atomics, no fork/join, no bag traffic. The
+			// buffers just swap roles with the parallel path's.
+			next := st.normal[:0]
+			for _, u := range fr {
+				ou, su := own[u], st.sub[u]
+				for _, v := range adj[off[u]:off[u+1]] {
+					if label[v] != graph.NoVertex || st.sub[v] != su {
+						continue
+					}
+					if own[v] > ou {
+						own[v] = ou
+						next = append(next, v)
+					}
+				}
+			}
+			st.normal, fr = fr, next
+			continue
+		}
+		// VGC split: hub rows become sub-row segments; the rest are chunked
+		// by degree so workers see balanced arc counts.
+		normal, segs := st.normal[:0], st.segs[:0]
+		var normalWork int64
+		for _, u := range fr {
+			lo, hi := off[u], off[u+1]
+			if hi-lo >= mrHubDegree {
+				for s := lo; s < hi; s += mrSegLen {
+					e := s + mrSegLen
+					if e > hi {
+						e = hi
+					}
+					segs = append(segs, mrSeg{u: u, lo: s, hi: e})
+				}
+			} else {
+				normal = append(normal, u)
+				normalWork += hi - lo
+			}
+		}
+		if len(normal) > 0 {
+			grain := graph.WorkGrain(normalWork, p, 128)
+			bounds := graph.AppendWorkChunks(off, normal, grain, st.bounds[:0])
+			st.bounds = bounds
+			parallel.ForChunksDynamic(0, len(bounds), p, 1, func(clo, chi, w int) {
+				for c := clo; c < chi; c++ {
+					if parallel.Stopped(done) {
+						return
+					}
+					lo := int32(0)
+					if c > 0 {
+						lo = bounds[c-1]
+					}
+					for i := lo; i < bounds[c]; i++ {
+						u := normal[i]
+						st.expand(u, off[u], off[u+1], adj, label, own, w)
+					}
+				}
+			})
+		}
+		if len(segs) > 0 {
+			parallel.ForChunksDynamic(0, len(segs), p, 4, func(lo, hi, w int) {
+				if parallel.Stopped(done) {
+					return
+				}
+				for i := lo; i < hi; i++ {
+					s := segs[i]
+					st.expand(s.u, s.lo, s.hi, adj, label, own, w)
+				}
+			})
+		}
+		st.normal, st.segs = normal, segs
+		fr = st.bag.Drain(fr[:0])
+	}
+	st.frontier = fr[:0]
+	if parallel.Stopped(done) {
+		// Leave no stale entries for the next (discarded) use.
+		st.frontier = st.bag.Drain(st.frontier)[:0]
+	}
+}
+
+// expand relaxes one (sub-)row: every live, same-subproblem out-neighbor
+// whose owner actually lowers is re-inserted through this worker's bag lane.
+// u's owner may lower after this read — whoever lowers it re-inserts u, so
+// the stale expansion is always repaired.
+func (st *mrState) expand(u graph.V, lo, hi int64, adj []graph.V, label, own []uint32, w int) {
+	ou := parallel.LoadU32(&own[u])
+	su := st.sub[u]
+	for _, v := range adj[lo:hi] {
+		if label[v] != graph.NoVertex || st.sub[v] != su {
+			continue
+		}
+		if parallel.MinU32(&own[v], ou) {
+			st.bag.Put(w, v)
+		}
+	}
+}
+
+// assign closes a round: peel every pivot-intersection SCC with its min-id
+// label, refine the survivors' subproblems, and compact the live list
+// (serially, preserving order — pivot selection stays deterministic).
+func (st *mrState) assign(label []uint32, live, pivots []graph.V, p int) []graph.V {
+	minID := st.minID[:0]
+	for range pivots {
+		minID = append(minID, noOwner)
+	}
+	st.minID = minID
+	parallel.ForChunksDynamic(0, len(live), p, 2048, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			v := live[i]
+			if r := st.fwOwn[v]; r != noOwner && r == st.bwOwn[v] {
+				parallel.MinU32(&minID[r], uint32(v))
+			}
+		}
+	})
+	next := live[:0]
+	for _, v := range live {
+		fw, bw := st.fwOwn[v], st.bwOwn[v]
+		if fw != noOwner && fw == bw {
+			label[v] = minID[fw]
+			continue
+		}
+		if fw != noOwner || bw != noOwner {
+			// Reached one-way: the (fw, bw) pattern separates v from
+			// everything it cannot be strongly connected to. Untouched
+			// vertices keep their subproblem (an SCC is always uniformly
+			// touched or uniformly untouched, so skipping them is safe and
+			// avoids churning ids).
+			st.sub[v] = refineSub(st.sub[v], fw, bw)
+		}
+		next = append(next, v)
+	}
+	return next
+}
+
+// refineSub hashes this round's ownership pattern into the subproblem id.
+// Ranks are < mrMaxBatch < 0xFFFF, so both pack losslessly into 16-bit
+// fields (noOwner maps to the reserved 0xFFFF).
+func refineSub(sub, fw, bw uint32) uint32 {
+	return uint32(mix64(uint64(sub) | uint64(pack16(fw))<<32 | uint64(pack16(bw))<<48))
+}
+
+func pack16(r uint32) uint64 {
+	if r == noOwner {
+		return 0xFFFF
+	}
+	return uint64(r)
+}
+
+// sortByMixKey sorts vs by mix64(salt, v) — a deterministic pseudo-random
+// shuffle. mix64 is a bijection, so keys under one salt are distinct and the
+// result is a true permutation with no tie ambiguity.
+func sortByMixKey(vs []graph.V, salt uint64) {
+	key := func(v graph.V) uint64 { return mix64(salt<<32 ^ uint64(v)) }
+	sort.Slice(vs, func(i, j int) bool { return key(vs[i]) < key(vs[j]) })
+}
+
+// mix64 is SplitMix64's finalizer: a stateless, high-quality 64-bit mixer
+// (bijective, so equal inputs — and only equal inputs — collide).
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package scc
+
+const raceEnabled = false

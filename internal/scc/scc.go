@@ -1,8 +1,12 @@
 // Package scc implements Aquila's strongly-connected-components computation
-// (paper §6.2): iterated size-1/size-2 trims, one forward–backward (FW-BW)
-// sweep with the enhanced parallel BFS for the giant SCC, and the coloring
-// method (forward max-label propagation + one backward BFS per color root)
-// for the long tail of small SCCs.
+// as a small policy matrix over tail strategies (mirroring the CC matrix):
+// the paper pipeline (§6.2 — iterated size-1/size-2 trims, one forward–
+// backward (FW-BW) sweep with the enhanced parallel BFS for the giant SCC,
+// and the coloring method for the long tail of small SCCs) is the `coloring`
+// cell, kept byte-identical; the `multireach` cell replaces the coloring tail
+// with batched multi-source reachability over hash-bag frontiers (Wang et
+// al., PPoPP '23); and `fwbw` is the repeated-FW-BW baseline. ChoosePolicy
+// picks a cell from cheap graph statistics plus a post-trim liveness probe.
 package scc
 
 import (
@@ -19,16 +23,18 @@ import (
 type Options struct {
 	// Threads is the worker count (0 = GOMAXPROCS).
 	Threads int
-	// NoTrim disables the size-1/size-2 trims (Fig. 7c).
+	// NoTrim disables the size-1/size-2 trims (Fig. 7c) in every cell.
 	NoTrim bool
 	// NoAdaptive replaces the coloring sweep for small SCCs with repeated
-	// FW-BW from pivots — the paper's BFS-only baseline.
+	// FW-BW from pivots — the paper's BFS-only baseline. It only has meaning
+	// inside the coloring cell; the multireach cell ignores it.
 	NoAdaptive bool
 	// Mode selects the parallel-BFS flavour for the FW-BW reachability sweeps.
 	Mode bfs.Mode
 	// Ctx, if non-nil, cancels the run cooperatively at chunk boundaries
-	// (FW-BW sweeps, coloring rounds). A cancelled Run returns a partial
-	// Result the caller must discard after checking Ctx.Err().
+	// (FW-BW sweeps, coloring rounds, multireach hash-bag rounds). A
+	// cancelled Run returns a partial Result the caller must discard after
+	// checking Ctx.Err().
 	Ctx context.Context
 }
 
@@ -40,6 +46,9 @@ type Stats struct {
 	GiantSize int
 	// ColoringRounds counts outer iterations of the coloring sweep.
 	ColoringRounds int
+	// MultiReachRounds counts pivot-batch rounds of the multireach tail, and
+	// MultiReachPivots the total pivots those rounds propagated from.
+	MultiReachRounds, MultiReachPivots int
 }
 
 // Result is an SCC labeling: vertices share a label iff they are strongly
@@ -52,12 +61,26 @@ type Result struct {
 	// Sizes maps each SCC label to its vertex count.
 	Sizes map[uint32]int
 	Stats Stats
+	// Policy is the matrix cell that produced this result.
+	Policy Policy
 }
 
-// Run computes the strongly connected components of g under opt.
+// Run computes the strongly connected components of g under opt with the
+// classic paper pipeline — the coloring cell, unchanged.
 func Run(g *graph.Directed, opt Options) *Result {
+	return Solve(g, PolicyColoring, opt)
+}
+
+// Solve computes the strongly connected components of g with the given
+// matrix cell. Every cell produces the same min-id canonical labeling; an
+// invalid policy degrades to the coloring pipeline (the serving path must
+// answer, not crash).
+func Solve(g *graph.Directed, pol Policy, opt Options) *Result {
+	if pol.Valid() != nil {
+		pol = PolicyColoring
+	}
 	n := g.NumVertices()
-	res := &Result{Label: make([]uint32, n)}
+	res := &Result{Label: make([]uint32, n), Policy: pol}
 	for i := range res.Label {
 		res.Label[i] = graph.NoVertex
 	}
@@ -67,6 +90,26 @@ func Run(g *graph.Directed, opt Options) *Result {
 	}
 	p := parallel.Threads(opt.Threads)
 	done := parallel.Done(opt.Ctx)
+
+	if pol.Tail == TailMultiReach {
+		runMultiReach(g, res, p, done, opt)
+	} else {
+		runPipeline(g, res, p, done, opt, pol.Tail == TailFWBW)
+	}
+	if parallel.Stopped(done) {
+		// Unlabeled vertices would crash the census; the cancelled caller
+		// discards the result anyway.
+		return res
+	}
+	res.summarize(n, p)
+	return res
+}
+
+// runPipeline is the paper pipeline (§6.2): trims, FW-BW for the giant SCC,
+// then either the coloring sweep or (forceFWBW / Options.NoAdaptive) repeated
+// FW-BW for the remainder. This is the pre-matrix Run body, unchanged.
+func runPipeline(g *graph.Directed, res *Result, p int, done <-chan struct{}, opt Options, forceFWBW bool) {
+	n := g.NumVertices()
 	unassigned := func(v graph.V) bool { return res.Label[v] == graph.NoVertex }
 
 	if !opt.NoTrim {
@@ -82,18 +125,18 @@ func Run(g *graph.Directed, opt Options) *Result {
 
 	// FW-BW for the giant SCC: forward and backward reachability from the
 	// max-degree pivot; the intersection is its SCC.
-	master := maxLiveDegree(g, res.Label)
+	master := maxLiveDegree(g, res.Label, p)
 	if master != graph.NoVertex {
 		res.Stats.GiantSize = fwbwAssign(g, master, res.Label, fwS, bwS, p, opt)
 	}
 
-	if opt.NoAdaptive {
+	if forceFWBW || opt.NoAdaptive {
 		// BFS-only baseline: repeated FW-BW from the highest-degree live pivot.
 		for {
 			if parallel.Stopped(done) {
-				return res // partial: caller checks opt.Ctx.Err() and discards
+				return // partial: caller checks opt.Ctx.Err() and discards
 			}
-			pivot := maxLiveDegree(g, res.Label)
+			pivot := maxLiveDegree(g, res.Label, p)
 			if pivot == graph.NoVertex {
 				break
 			}
@@ -112,7 +155,7 @@ func Run(g *graph.Directed, opt Options) *Result {
 		scratch := make([]graph.V, 0, 1024)
 		for {
 			if parallel.Stopped(done) {
-				return res // partial: caller checks opt.Ctx.Err() and discards
+				return // partial: caller checks opt.Ctx.Err() and discards
 			}
 			if !opt.NoTrim {
 				// Peeling the giant SCC exposes new trimmable chains; the
@@ -133,7 +176,7 @@ func Run(g *graph.Directed, opt Options) *Result {
 			scratch = append(scratch[:0], live...)
 			lp.MaxColorForwardListDone(g, color, unassigned, scratch, p, done)
 			if parallel.Stopped(done) {
-				return res
+				return
 			}
 			assignColorSCCs(g, color, res.Label, live, p, done)
 			next := live[:0]
@@ -145,14 +188,6 @@ func Run(g *graph.Directed, opt Options) *Result {
 			live = next
 		}
 	}
-
-	if parallel.Stopped(done) {
-		// Unlabeled vertices would crash the census; the cancelled caller
-		// discards the result anyway.
-		return res
-	}
-	res.summarize(n, p)
-	return res
 }
 
 // fwbwAssign labels the SCC of pivot (forward ∩ backward reachability among
@@ -239,12 +274,48 @@ func assignColorSCCs(g *graph.Directed, color, label []uint32, live []graph.V, p
 	})
 }
 
-// maxLiveDegree returns the unassigned vertex with the largest in+out degree,
-// or graph.NoVertex if none remain.
-func maxLiveDegree(g *graph.Directed, label []uint32) graph.V {
+// maxLiveDegreeSerial is the vertex count under which the pivot scan runs
+// serially — fork/join overhead dwarfs the scan on small graphs.
+const maxLiveDegreeSerial = 1 << 12
+
+// maxLiveDegree returns the unassigned vertex with the largest in+out degree
+// (ties to the smallest id), or graph.NoVertex if none remain. Large graphs
+// scan chunk-parallel with per-worker bests and an order-insensitive
+// reduction that preserves the serial tie-break exactly.
+func maxLiveDegree(g *graph.Directed, label []uint32, p int) graph.V {
+	n := g.NumVertices()
+	if p <= 1 || n < maxLiveDegreeSerial {
+		return maxLiveDegreeRange(g, label, 0, n)
+	}
+	best := make([]graph.V, p)
+	bestDeg := make([]int, p)
+	for w := range best {
+		best[w], bestDeg[w] = graph.NoVertex, -1
+	}
+	parallel.ForBlocks(0, n, p, func(lo, hi, w int) {
+		v := maxLiveDegreeRange(g, label, lo, hi)
+		if v != graph.NoVertex {
+			best[w] = v
+			bestDeg[w] = g.OutDegree(v) + g.InDegree(v)
+		}
+	})
+	res, deg := graph.NoVertex, -1
+	for w := 0; w < p; w++ {
+		// Strictly greater degree wins; on ties the smaller vertex id does
+		// (graph.NoVertex is the maximum uint32, so it never wins a tie).
+		if bestDeg[w] > deg || (bestDeg[w] == deg && best[w] < res) {
+			deg, res = bestDeg[w], best[w]
+		}
+	}
+	return res
+}
+
+// maxLiveDegreeRange is the serial scan over [lo, hi): first vertex with the
+// maximum live degree, i.e. the smallest id among the maximal ones.
+func maxLiveDegreeRange(g *graph.Directed, label []uint32, lo, hi int) graph.V {
 	best := graph.NoVertex
 	bestDeg := -1
-	for v := 0; v < g.NumVertices(); v++ {
+	for v := lo; v < hi; v++ {
 		if label[v] != graph.NoVertex {
 			continue
 		}
@@ -257,8 +328,28 @@ func maxLiveDegree(g *graph.Directed, label []uint32) graph.V {
 	return best
 }
 
+// summarizeSerialMax is the vertex count under which the census runs serial:
+// below it the fork/join and the n-sized atomic counts array cost more than
+// counting straight into the result map.
+const summarizeSerialMax = 4096
+
 // summarize fills the SCC census fields from the label array.
 func (r *Result) summarize(n, p int) {
+	if n <= summarizeSerialMax || p == 1 {
+		// Serial census straight into the map: no n-sized scratch array.
+		r.Sizes = make(map[uint32]int)
+		for _, l := range r.Label {
+			r.Sizes[l]++
+		}
+		for l, c := range r.Sizes {
+			r.NumComponents++
+			if c > r.LargestSize || (c == r.LargestSize && l < r.LargestLabel) {
+				r.LargestSize = c
+				r.LargestLabel = l
+			}
+		}
+		return
+	}
 	counts := make([]int32, n)
 	parallel.ForBlocks(0, n, p, func(lo, hi, _ int) {
 		for v := lo; v < hi; v++ {

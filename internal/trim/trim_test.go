@@ -251,3 +251,34 @@ func TestPendantsAgainstOracleOnRandom(t *testing.T) {
 		}
 	}
 }
+
+// TestHasArcMatchesLinearScan pins the binary-search arc test to a linear
+// reference over every (from, to) pair of several generated graphs — the
+// sorted-adjacency invariant it relies on comes from the CSR builder, so a
+// divergence here means the builder broke, not just the search.
+func TestHasArcMatchesLinearScan(t *testing.T) {
+	graphs := map[string]*graph.Directed{
+		"random": gen.Random(80, 400, 59),
+		"dense":  gen.Random(24, 500, 61),
+		"rings":  gen.Rings(gen.RingsConfig{Rings: 10, MinSize: 1, MaxSize: 9, ExtraChords: 2, Seed: 67}),
+		"empty":  graph.BuildDirected(5, nil),
+	}
+	for name, g := range graphs {
+		n := g.NumVertices()
+		for from := 0; from < n; from++ {
+			out := g.Out(graph.V(from))
+			for to := 0; to < n; to++ {
+				want := false
+				for _, u := range out {
+					if u == graph.V(to) {
+						want = true
+						break
+					}
+				}
+				if got := hasArc(g, graph.V(from), graph.V(to)); got != want {
+					t.Fatalf("%s: hasArc(%d, %d) = %v, linear scan says %v", name, from, to, got, want)
+				}
+			}
+		}
+	}
+}

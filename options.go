@@ -3,6 +3,7 @@ package aquila
 import (
 	"aquila/internal/bfs"
 	"aquila/internal/cc"
+	"aquila/internal/scc"
 )
 
 // Traversal selects how much of the enhanced-BFS machinery is used for the
@@ -77,6 +78,16 @@ type Options struct {
 	// performance-only. An unparseable spec degrades to "auto" (NewEngine
 	// cannot error); front-ends validate with ValidateCCPolicy first.
 	CCPolicy string
+	// SCCPolicy selects the strongly-connected-components matrix cell. ""
+	// or "auto" (the default) picks the cell adaptively from the directed-
+	// graph probe (cheap statistics plus a bounded post-trim liveness scan)
+	// at solve time; any other value is an scc.ParsePolicy spec ("coloring",
+	// "multireach", "fwbw", or the alias "pipeline" for the classic paper
+	// cell). Every cell returns the same canonical labeling, so the choice
+	// is performance-only; only directed engines consult it. An unparseable
+	// spec degrades to "auto" (NewEngine cannot error); front-ends validate
+	// with ValidateSCCPolicy first.
+	SCCPolicy string
 	// RebuildThreshold controls when Apply falls back to a full static
 	// recomputation: once the undirected edges inserted since the last
 	// rebuild exceed RebuildThreshold × the edge count at that rebuild,
@@ -95,6 +106,17 @@ func ValidateCCPolicy(s string) error {
 		return nil
 	}
 	_, err := cc.ParsePolicy(s)
+	return err
+}
+
+// ValidateSCCPolicy reports whether s is an acceptable Options.SCCPolicy
+// value: "", "auto", or a parseable matrix-cell spec. Front-ends call this
+// to reject a bad -scc-policy before building an engine.
+func ValidateSCCPolicy(s string) error {
+	if s == "" || s == "auto" {
+		return nil
+	}
+	_, err := scc.ParsePolicy(s)
 	return err
 }
 

@@ -549,9 +549,9 @@ func (sn *Snapshot) SCC(ctx context.Context) (*SCCResult, error) {
 			if err != nil {
 				return err
 			}
-			opt := sn.eng.sccOptions()
-			opt.Ctx = cctx
-			raw := scc.Run(gs.dir, opt)
+			// Policy-resolved against this snapshot's pinned graph, exactly
+			// like the engine path (auto re-resolves per epoch).
+			raw := sn.eng.sccSolve(gs.dir, cctx)
 			if err := ctxErr(cctx); err != nil {
 				return err
 			}
