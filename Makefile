@@ -33,8 +33,10 @@ bench:
 # throughput in edges/s, reorder ablation), the PR 4 serving set (reader
 # throughput with/without singleflight, Apply latency under read load),
 # the PR 5 HTTP front-end throughput, the PR 6 CC algorithm-matrix sweep,
-# and the PR 7 SCC algorithm-matrix sweep (coloring vs multireach vs fwbw
-# per directed graph class, plus the probe-fed auto), into BENCH_PR7.json.
+# the PR 7 SCC algorithm-matrix sweep (coloring vs multireach vs fwbw per
+# directed graph class, plus the probe-fed auto), and the PR 8 BiCC
+# algorithm-matrix sweep (constrained vs skeleton per undirected graph
+# class, plus the depth-probe-fed auto), into BENCH_PR8.json.
 bench-json:
 	( go test -bench='BFS|CC|Pool|Reach' -benchmem -benchtime=20x -run='^$$' \
 		. ./internal/bfs ./internal/parallel ; \
@@ -44,11 +46,13 @@ bench-json:
 		./internal/bench ; \
 	  go test -bench='^BenchmarkSCCMatrix$$' -benchmem -benchtime=3x -run='^$$' \
 		./internal/bench ; \
+	  go test -bench='^BenchmarkBiCCMatrix$$' -benchmem -benchtime=10x -run='^$$' \
+		./internal/bench ; \
 	  go test -bench='ServerThroughput|ApplyUnderReadLoad' -benchmem -benchtime=5x -run='^$$' \
 		. ; \
 	  go test -bench='HTTPThroughput' -benchmem -benchtime=2s -run='^$$' \
 		./internal/httpd ) \
-		| go run ./cmd/bench2json > BENCH_PR7.json
+		| go run ./cmd/bench2json > BENCH_PR8.json
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:
@@ -61,6 +65,7 @@ fuzz:
 	go test -fuzz=FuzzParallelBuildParity -fuzztime=30s ./internal/graph
 	go test -fuzz=FuzzReadBinary -fuzztime=30s ./internal/graph
 	go test -fuzz=FuzzBiCCMatchesOracle -fuzztime=30s ./internal/bicc
+	go test -fuzz=FuzzBiCCPolicyMatchesOracle -fuzztime=30s ./internal/bicc
 	go test -fuzz=FuzzCCPolicyMatchesOracle -fuzztime=30s ./internal/cc
 	go test -fuzz=FuzzSCCPolicyMatchesOracle -fuzztime=30s ./internal/scc
 	go test -fuzz=FuzzServerSchedule -fuzztime=30s ./internal/serve/harness

@@ -12,11 +12,12 @@
 //
 // Queries: connected, connected=<u>,<v>, strongly-connected, num-cc,
 // num-scc, num-bicc, num-bgcc, largest-cc, largest-scc, in-largest-cc=<v>,
-// aps, bridges, histogram, cc-policy, scc-policy.
+// aps, bridges, histogram, cc-policy, scc-policy, bicc-policy.
 //
-// -cc-policy selects the connected-components matrix cell and -scc-policy the
-// strongly-connected-components cell ("auto" picks one adaptively from graph
-// statistics; see the README's "Algorithm matrix" section for the cells).
+// -cc-policy selects the connected-components matrix cell, -scc-policy the
+// strongly-connected-components cell, and -bicc-policy the biconnected-
+// components cell ("auto" picks one adaptively from graph statistics; see
+// the README's "Algorithm matrix" section for the cells).
 //
 // With -updates, the file is replayed as batches of edge insertions through
 // the incremental connectivity layer before the query runs; see
@@ -58,6 +59,7 @@ func main() {
 		threads    = flag.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
 		ccPolicy   = flag.String("cc-policy", "auto", "CC algorithm matrix cell: auto, pipeline, or sampling+finish (e.g. afforest+uf-async); see the cc-policy query")
 		sccPolicy  = flag.String("scc-policy", "auto", "SCC algorithm matrix cell: auto, coloring, multireach, or fwbw; see the scc-policy query")
+		biccPolicy = flag.String("bicc-policy", "auto", "BiCC algorithm matrix cell: auto, constrained, or skeleton; see the bicc-policy query")
 		reorder    = flag.String("reorder", "none", "cache-aware vertex reordering: none, degree, bfs")
 		noPartial  = flag.Bool("no-partial", false, "disable query transformation (always complete computation)")
 		serve      = flag.Bool("serve", false, "route updates and queries through the concurrent serving layer (snapshot isolation, singleflight, admission control)")
@@ -92,6 +94,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "aquila:", err)
 		os.Exit(1)
 	}
+	if err := aquila.ValidateBiCCPolicy(*biccPolicy); err != nil {
+		fmt.Fprintln(os.Stderr, "aquila:", err)
+		os.Exit(1)
+	}
 
 	g, parseDur, buildDur, err := obtainGraph(*graphPath, *genKind, *scale, *seed, *threads)
 	if err != nil {
@@ -108,6 +114,7 @@ func main() {
 		RebuildThreshold: *rebuild,
 		CCPolicy:         *ccPolicy,
 		SCCPolicy:        *sccPolicy,
+		BiCCPolicy:       *biccPolicy,
 	})
 	var srv *aquila.Server
 	if *serve {

@@ -57,12 +57,13 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress per-request access logs")
 		ccPolicy   = flag.String("cc-policy", "auto", "CC algorithm matrix cell: auto, pipeline, or sampling+finish (e.g. afforest+uf-async)")
 		sccPolicy  = flag.String("scc-policy", "auto", "SCC algorithm matrix cell: auto, coloring, multireach, or fwbw")
+		biccPolicy = flag.String("bicc-policy", "auto", "BiCC algorithm matrix cell: auto, constrained, or skeleton")
 	)
 	flag.Parse()
 
 	lg := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	if err := run(*listen, *graphPath, *genKind, *scale, *seed, *threads, *reorder,
-		*ccPolicy, *sccPolicy, *noPartial, *rebuild, *maxInFly, *maxQueue, *defTimeout, *maxTimeout,
+		*ccPolicy, *sccPolicy, *biccPolicy, *noPartial, *rebuild, *maxInFly, *maxQueue, *defTimeout, *maxTimeout,
 		*retain, *grace, *quiet, lg); err != nil {
 		fmt.Fprintln(os.Stderr, "aquilad:", err)
 		os.Exit(1)
@@ -70,7 +71,7 @@ func main() {
 }
 
 func run(listen, graphPath, genKind string, scale int, seed uint64, threads int,
-	reorder, ccPolicy, sccPolicy string, noPartial bool, rebuild float64, maxInFly, maxQueue int,
+	reorder, ccPolicy, sccPolicy, biccPolicy string, noPartial bool, rebuild float64, maxInFly, maxQueue int,
 	defTimeout, maxTimeout time.Duration, retain int, grace time.Duration,
 	quiet bool, lg *slog.Logger) error {
 
@@ -82,6 +83,9 @@ func run(listen, graphPath, genKind string, scale int, seed uint64, threads int,
 		return err
 	}
 	if err := aquila.ValidateSCCPolicy(sccPolicy); err != nil {
+		return err
+	}
+	if err := aquila.ValidateBiCCPolicy(biccPolicy); err != nil {
 		return err
 	}
 	g, err := obtainGraph(graphPath, genKind, scale, seed, threads)
@@ -97,6 +101,7 @@ func run(listen, graphPath, genKind string, scale int, seed uint64, threads int,
 		RebuildThreshold: rebuild,
 		CCPolicy:         ccPolicy,
 		SCCPolicy:        sccPolicy,
+		BiCCPolicy:       biccPolicy,
 	})
 	srv := aquila.NewServer(eng, aquila.ServerConfig{
 		MaxInFlight: maxInFly,

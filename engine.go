@@ -310,6 +310,40 @@ func (e *Engine) biccOptions(apOnly bool) bicc.Options {
 	}
 }
 
+// resolveBiCCPolicy maps Options.BiCCPolicy onto a concrete matrix cell for
+// g. Explicit specs parse to their cell; "auto", "" and unparseable specs
+// run the adaptive chooser over the undirected probe. Resolution is per
+// graph, not per engine: Apply can reshape the graph enough to change the
+// auto cell, and serving snapshots resolve against their own pinned graph.
+func (e *Engine) resolveBiCCPolicy(g *Undirected) bicc.Policy {
+	if s := e.opt.BiCCPolicy; s != "" && s != "auto" {
+		if pol, err := bicc.ParsePolicy(s); err == nil {
+			return pol
+		}
+	}
+	return bicc.ChoosePolicy(stats.ProbeUndirected(g))
+}
+
+// biccSolve runs the BiCC decomposition (or the AP-only partial query) of g
+// under the engine's resolved policy. Every cell produces the same canonical
+// AP set and block partition, so callers are policy-agnostic.
+func (e *Engine) biccSolve(g *Undirected, ctx context.Context, apOnly bool) *bicc.Result {
+	opt := e.biccOptions(apOnly)
+	opt.Ctx = ctx
+	return bicc.Solve(g, e.resolveBiCCPolicy(g), opt)
+}
+
+// BiCCPolicy reports the matrix cell the engine would use for its current
+// graph, in bicc.ParsePolicy syntax — with Options.BiCCPolicy at "auto" this
+// is the adaptive chooser's pick. BiCC queries run on the undirected view of
+// either engine kind, so BiCCPolicy never errors (mirroring CCPolicy).
+func (e *Engine) BiCCPolicy() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.materializeLocked()
+	return e.resolveBiCCPolicy(e.und).String()
+}
+
 func (e *Engine) bgccOptions(bridgeOnly bool) bgcc.Options {
 	return bgcc.Options{
 		Threads:    e.opt.Threads,
@@ -425,9 +459,7 @@ func (e *Engine) biccCompleteCtx(ctx context.Context) (*bicc.Result, error) {
 	defer e.mu.Unlock()
 	e.materializeLocked()
 	if e.biccRes == nil {
-		opt := e.biccOptions(false)
-		opt.Ctx = ctx
-		raw := bicc.Run(e.und, opt)
+		raw := e.biccSolve(e.und, ctx, false)
 		if err := ctxErr(ctx); err != nil {
 			return nil, err
 		}

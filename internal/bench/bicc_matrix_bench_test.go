@@ -1,0 +1,78 @@
+package bench
+
+// BenchmarkBiCCMatrix sweeps the BiCC algorithm matrix over the undirected
+// graph classes the depth-probe-fed chooser discriminates between, plus the
+// auto policy itself — the data behind the bicc.ChoosePolicy thresholds and
+// the EXPERIMENTS.md "PR 8" narrative. Two classes are skeleton home turf:
+// deep-chain (a shuffled chain of thousands of cliques whose BFS forest is
+// thousands of levels deep, so the constrained pipeline pays one task wave
+// per level) and tendril-sparse (a near-critical random graph whose
+// bridge-dominated block structure defeats SPO pruning, so the constrained
+// cell runs one local BFS re-check per surviving candidate — tens of
+// thousands of them — where the skeleton kernel does one Euler tour, one
+// low/high pass, and one CC solve). Lollipop and social are the constrained
+// cell's turf: pendant tails trim away and high-degree heads give SPO its
+// short cycles back, while the skeleton graph inflates toward |E| edges.
+
+import (
+	"fmt"
+	"testing"
+
+	"aquila/internal/bicc"
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+	"aquila/internal/stats"
+)
+
+func biccMatrixBenchClasses() []struct {
+	name string
+	g    *graph.Undirected
+} {
+	return []struct {
+		name string
+		g    *graph.Undirected
+	}{
+		{"deep-chain", gen.CliqueChain(gen.CliqueChainConfig{
+			Cliques: 3000, CliqueSize: 8, Shuffle: true, Seed: 111,
+		})},
+		{"lollipop", gen.CliqueChain(gen.CliqueChainConfig{
+			Cliques: 40, CliqueSize: 40, Tail: 20000, Shuffle: true, Seed: 113,
+		})},
+		{"social", graph.Undirect(gen.Social(gen.SocialConfig{
+			GiantVertices: 200000, GiantAvgDeg: 8, SmallComps: 4000,
+			SmallMaxSize: 8, Isolated: 2000, MutualFrac: 0.3, Seed: 115,
+		}))},
+		{"sparse-random", graph.Undirect(gen.Random(200000, 400000, 117))},
+		{"tendril-sparse", graph.Undirect(gen.Random(200000, 220000, 119))},
+	}
+}
+
+func BenchmarkBiCCMatrix(b *testing.B) {
+	for _, cl := range biccMatrixBenchClasses() {
+		cl := cl
+		auto := bicc.ChoosePolicy(stats.ProbeUndirected(cl.g))
+		for _, pol := range bicc.Policies() {
+			pol := pol
+			b.Run(fmt.Sprintf("%s/%v", cl.name, pol), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res := bicc.Solve(cl.g, pol, bicc.Options{})
+					if res.NumBlocks == 0 {
+						b.Fatal("no blocks")
+					}
+				}
+			})
+		}
+		b.Run(fmt.Sprintf("%s/auto=%v", cl.name, auto), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// Auto as deployed: probe + chooser + solve per run.
+				pol := bicc.ChoosePolicy(stats.ProbeUndirected(cl.g))
+				res := bicc.Solve(cl.g, pol, bicc.Options{})
+				if res.NumBlocks == 0 {
+					b.Fatal("no blocks")
+				}
+			}
+		})
+	}
+}

@@ -13,6 +13,10 @@
 //     deeper levels — see DESIGN.md §4 for the disjointness argument);
 //  5. handle the roots by grouping their children into connected groups: one
 //     block per group, root is an AP iff ≥ 2 groups.
+//
+// Since PR 8 the package is an algorithm matrix: the pipeline above is the
+// "constrained" cell, and a skeleton-based BCC kernel (skeleton.go) is the
+// alternative cell. Solve picks a cell; Run keeps the paper pipeline.
 package bicc
 
 import (
@@ -61,6 +65,11 @@ type Stats struct {
 	SkippedTrim, SkippedSPO, SkippedMarked, Ran int
 	// PositiveChecks counts the runs that proved an articulation point.
 	PositiveChecks int
+	// SkeletonEdges counts the edges of the derived skeleton graph and
+	// SkeletonSerialTour reports that the deep-forest serial tour fallback
+	// ran. Both belong to the skeleton cell and stay zero under constrained.
+	SkeletonEdges      int
+	SkeletonSerialTour bool
 }
 
 // Result is the block decomposition.
@@ -72,14 +81,28 @@ type Result struct {
 	BlockOf []int64
 	// NumBlocks is the number of biconnected components.
 	NumBlocks int
-	Stats     Stats
+	// Policy is the matrix cell that produced this result.
+	Policy Policy
+	Stats  Stats
 }
 
-// Run computes the biconnected components (or just the APs) of g under opt.
+// Run computes the biconnected components (or just the APs) of g with the
+// classic constrained-BFS pipeline. It is exactly Solve with
+// PolicyConstrained.
 func Run(g *graph.Undirected, opt Options) *Result {
+	return Solve(g, PolicyConstrained, opt)
+}
+
+// Solve computes the biconnected components (or just the APs) of g with the
+// selected matrix cell. Every cell emits the same canonical AP set and block
+// partition (block ids may differ across cells; the partition does not). An
+// invalid policy degrades to the constrained cell.
+func Solve(g *graph.Undirected, pol Policy, opt Options) *Result {
+	if pol.Valid() != nil {
+		pol = PolicyConstrained
+	}
 	n := g.NumVertices()
-	p := parallel.Threads(opt.Threads)
-	res := &Result{IsAP: make([]bool, n)}
+	res := &Result{IsAP: make([]bool, n), Policy: pol}
 	if !opt.APOnly {
 		res.BlockOf = make([]int64, g.NumEdges())
 		for i := range res.BlockOf {
@@ -89,23 +112,46 @@ func Run(g *graph.Undirected, opt Options) *Result {
 	if n == 0 {
 		return res
 	}
+	if pol.Kernel == KernelSkeleton {
+		runSkeleton(g, res, opt)
+	} else {
+		runConstrained(g, res, opt)
+	}
+	return res
+}
 
+// trimPendants runs the pendant-tree trim shared by every cell: each trimmed
+// edge becomes its own (bridge) block with ids 0..k-1, surviving parents are
+// APs, and the trimmed vertices are removed from the core. Returns the
+// removed mask (nil when trimming is off) and the bridge edge ids for the
+// cell's own bookkeeping.
+func trimPendants(g *graph.Undirected, res *Result, opt Options) (removed []bool, bridges []int64) {
+	if opt.NoTrim {
+		return nil, nil
+	}
+	pend := trim.Pendants(g)
+	copy(res.IsAP, pend.IsAP)
+	if !opt.APOnly {
+		for i, e := range pend.BridgeEdges {
+			res.BlockOf[e] = int64(i)
+		}
+	}
+	res.NumBlocks = len(pend.BridgeEdges)
+	res.Stats.SkippedTrim = pend.TrimmedCount
+	return pend.Removed, pend.BridgeEdges
+}
+
+// runConstrained is the paper pipeline (steps 1-5 of the package comment),
+// byte-identical to the pre-matrix Run.
+func runConstrained(g *graph.Undirected, res *Result, opt Options) {
+	n := g.NumVertices()
+	p := parallel.Threads(opt.Threads)
 	st := &state{g: g, opt: opt, p: p, res: res,
 		marked: bitmap.NewAtomic(int(g.NumEdges()))}
 
-	var removed []bool
-	if !opt.NoTrim {
-		pend := trim.Pendants(g)
-		removed = pend.Removed
-		copy(res.IsAP, pend.IsAP)
-		for i, e := range pend.BridgeEdges {
-			st.marked.Set(uint32(e))
-			if !opt.APOnly {
-				res.BlockOf[e] = int64(i)
-			}
-		}
-		res.NumBlocks = len(pend.BridgeEdges)
-		res.Stats.SkippedTrim = pend.TrimmedCount
+	removed, bridges := trimPendants(g, res, opt)
+	for _, e := range bridges {
+		st.marked.Set(uint32(e))
 	}
 	st.nextBlock = int64(res.NumBlocks)
 	st.removed = removed
@@ -116,7 +162,7 @@ func Run(g *graph.Undirected, opt Options) *Result {
 	st.tree = tree
 	st.done = parallel.Done(opt.Ctx)
 	if parallel.Stopped(st.done) {
-		return res // partial: caller checks opt.Ctx.Err() and discards
+		return // partial: caller checks opt.Ctx.Err() and discards
 	}
 
 	if !opt.NoSPO {
@@ -136,14 +182,13 @@ func Run(g *graph.Undirected, opt Options) *Result {
 	st.buildLevelIndex()
 	for lvl := tree.MaxLevel; lvl >= 2; lvl-- {
 		if parallel.Stopped(st.done) {
-			return res
+			return
 		}
 		st.processLevel(lvl)
 	}
 	st.processRoots()
 
 	res.NumBlocks = int(st.nextBlock)
-	return res
 }
 
 // state carries the shared pieces of one Run.

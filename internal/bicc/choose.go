@@ -1,0 +1,68 @@
+package bicc
+
+import "aquila/internal/stats"
+
+// chooser thresholds. The constants encode what the BenchmarkBiCCMatrix
+// sweep shows on the synthetic workload classes (see EXPERIMENTS.md "PR 8").
+// Two structural regimes favor the skeleton cell: deep flat-degree graphs,
+// where the constrained cell pays one task wave per BFS level, and sparse
+// hub-free graphs, where most vertices are candidate articulation points and
+// the constrained cell's SPO pruning stops working — it falls back to tens of
+// thousands of local BFS re-checks. High-degree hubs and cliques are the
+// opposite regime: they give SPO its short cycles back (checks get skipped)
+// while inflating the skeleton graph toward |E| edges, so degree shape — not
+// size — is the second axis next to depth.
+const (
+	// chooseTinyVertices: below this every cell finishes in microseconds;
+	// the paper pipeline is exact and cheapest.
+	chooseTinyVertices = 1 << 12
+	// chooseDeepLevels: a probe that runs this many BFS levels deep (or hits
+	// its round cap with a live frontier) marks a chain-like graph, where
+	// the constrained cell's deepest-first sweep degenerates to one nearly
+	// empty task wave per level while the skeleton cell stays O(|V|+|E|).
+	chooseDeepLevels = 32
+	// chooseFlatSkew gates the depth signal: depth only hurts the
+	// constrained cell when the degree distribution is flat (no hub whose
+	// incident cycles let SPO skip the per-level checks). A deep lollipop —
+	// long pendant tail on a dense head — probes deep, but both cells trim
+	// the tail away and the dense head is constrained's home turf.
+	chooseFlatSkew = 4.0
+	// chooseSparseAvgDeg / chooseSparseMaxDeg mark the hub-free sparse
+	// regime (near-critical random graphs, meshes of tendrils): block
+	// structure is dominated by bridges, SPO skips almost nothing, and the
+	// constrained cell's re-check count approaches the vertex count. The
+	// MaxDeg guard keeps clique-bearing graphs (whose average a long tail
+	// can dilute below any AvgDeg threshold) on the constrained cell.
+	chooseSparseAvgDeg = 5.0
+	chooseSparseMaxDeg = 32
+)
+
+// ChoosePolicy maps the undirected probe onto a matrix cell — the paper's
+// adaptive-computation idea, extended from the PR 6/7 CC and SCC choosers to
+// BiCC. It is total: every stats.BiCCProbe value (including zero, absurd and
+// NaN-carrying ones, which fail every comparison and fall through to the
+// safe constrained default) maps to a valid, runnable cell.
+func ChoosePolicy(pr stats.BiCCProbe) Policy {
+	deep := pr.DepthCapped || pr.Depth >= chooseDeepLevels
+	switch {
+	case pr.Cheap.Vertices <= chooseTinyVertices || pr.Cheap.Edges <= 0:
+		// Tiny or edgeless: fixed overheads dominate; the paper pipeline is
+		// exact and cheapest.
+		return PolicyConstrained
+	case deep && pr.Cheap.Skew < chooseFlatSkew:
+		// Deep flat-degree chain: per-level serialization is the constrained
+		// cell's worst case; the skeleton kernel's cost does not grow with
+		// depth.
+		return PolicySkeleton
+	case pr.Cheap.AvgDeg <= chooseSparseAvgDeg && pr.Cheap.MaxDeg <= chooseSparseMaxDeg:
+		// Hub-free sparse graph: bridge-dominated block structure defeats
+		// SPO pruning, so the constrained cell degenerates into per-vertex
+		// BFS re-checks; one skeleton CC solve replaces all of them.
+		return PolicySkeleton
+	default:
+		// Shallow or hub-bearing graph — and the NaN/garbage fallthrough:
+		// level waves are wide enough to parallelize, and SPO pruning plus
+		// marked-edge skips keep the constrained checks cheap.
+		return PolicyConstrained
+	}
+}

@@ -34,3 +34,42 @@ func FuzzBiCCMatchesOracle(f *testing.F) {
 		}
 	})
 }
+
+// FuzzBiCCPolicyMatchesOracle drives every matrix cell (selected by the
+// fuzzer) over arbitrary graphs, vertex counts and thread counts, checking
+// the exact AP set and block partition against Hopcroft–Tarjan.
+func FuzzBiCCPolicyMatchesOracle(f *testing.F) {
+	f.Add([]byte{8, 0, 2, 0, 1, 1, 2, 2, 0})
+	f.Add([]byte{20, 1, 1, 0, 1, 1, 2, 2, 3, 3, 4, 4, 0})
+	f.Add([]byte{40, 1, 3, 0, 1, 1, 2, 0, 2, 3, 4})
+	f.Add([]byte{0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		n := int(data[0]%60) + 4
+		all := Policies()
+		pol := all[int(data[1])%len(all)]
+		threads := 1 + int(data[2])%4
+		raw := data[3:]
+		edges := make([]graph.Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, graph.Edge{U: graph.V(int(raw[i]) % n), V: graph.V(int(raw[i+1]) % n)})
+		}
+		g := graph.BuildUndirected(n, edges)
+		truth := serialdfs.BiCC(g)
+		res := Solve(g, pol, Options{Threads: threads})
+		if res.Policy != pol {
+			t.Fatalf("Result.Policy = %v, want %v", res.Policy, pol)
+		}
+		if err := verify.SameBoolSet(res.IsAP, truth.IsAP, "aps"); err != nil {
+			t.Fatalf("%v/p=%d: %v", pol, threads, err)
+		}
+		if res.NumBlocks != truth.NumBlocks {
+			t.Fatalf("%v/p=%d: NumBlocks = %d, want %d", pol, threads, res.NumBlocks, truth.NumBlocks)
+		}
+		if err := verify.SameEdgePartition(res.BlockOf, truth.BlockOf); err != nil {
+			t.Fatalf("%v/p=%d: %v", pol, threads, err)
+		}
+	})
+}

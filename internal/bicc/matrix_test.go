@@ -1,0 +1,181 @@
+package bicc
+
+// The oracle-checked BiCC matrix harness, mirroring the CC/SCC harnesses:
+// every cell × p ∈ {1, 4} × graph class must reproduce the serial
+// Hopcroft–Tarjan oracle's exact AP set and block partition. Block ids are
+// cell- and schedule-dependent (the constrained cell claims them from an
+// atomic counter), so blocks compare as a partition, not as raw labels.
+
+import (
+	"fmt"
+	"testing"
+
+	"aquila/internal/baseline/serialdfs"
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+	"aquila/internal/verify"
+)
+
+// matrixSuite is the shared suite plus the deep chain classes the skeleton
+// cell exists for: chained cliques push the BFS forest past one task wave
+// per clique (deepChain also past the serial-tour threshold), and the
+// lollipop adds a pendant tail so the shared trim participates too.
+func matrixSuite() map[string]*graph.Undirected {
+	s := suite()
+	s["chain"] = gen.CliqueChain(gen.CliqueChainConfig{Cliques: 12, CliqueSize: 5, Seed: 21})
+	s["deepChain"] = gen.CliqueChain(gen.CliqueChainConfig{Cliques: 80, CliqueSize: 4, Shuffle: true, Seed: 22})
+	s["lollipop"] = gen.CliqueChain(gen.CliqueChainConfig{Cliques: 6, CliqueSize: 6, Tail: 30, Shuffle: true, Seed: 23})
+	return s
+}
+
+func TestMatrixMatchesOracle(t *testing.T) {
+	for name, g := range matrixSuite() {
+		truth := serialdfs.BiCC(g)
+		for _, pol := range Policies() {
+			for _, p := range []int{1, 4} {
+				res := Solve(g, pol, Options{Threads: p})
+				if res.Policy != pol {
+					t.Fatalf("%s/%v/p=%d: Result.Policy = %v", name, pol, p, res.Policy)
+				}
+				if err := verify.SameBoolSet(res.IsAP, truth.IsAP, "APs"); err != nil {
+					t.Fatalf("%s/%v/p=%d: %v", name, pol, p, err)
+				}
+				if res.NumBlocks != truth.NumBlocks {
+					t.Fatalf("%s/%v/p=%d: NumBlocks = %d, want %d",
+						name, pol, p, res.NumBlocks, truth.NumBlocks)
+				}
+				if err := verify.SameEdgePartition(res.BlockOf, truth.BlockOf); err != nil {
+					t.Fatalf("%s/%v/p=%d: %v", name, pol, p, err)
+				}
+			}
+		}
+	}
+}
+
+// TestMatrixNoTrimAndAPOnly: the shared-trim ablation and the partial AP
+// query must stay exact in every cell.
+func TestMatrixNoTrimAndAPOnly(t *testing.T) {
+	for name, g := range matrixSuite() {
+		truth := serialdfs.BiCC(g)
+		for _, pol := range Policies() {
+			res := Solve(g, pol, Options{Threads: 4, NoTrim: true})
+			if err := verify.SameBoolSet(res.IsAP, truth.IsAP, "NoTrim APs"); err != nil {
+				t.Fatalf("%s/%v: %v", name, pol, err)
+			}
+			if res.NumBlocks != truth.NumBlocks {
+				t.Fatalf("%s/%v NoTrim: NumBlocks = %d, want %d", name, pol, res.NumBlocks, truth.NumBlocks)
+			}
+			if err := verify.SameEdgePartition(res.BlockOf, truth.BlockOf); err != nil {
+				t.Fatalf("%s/%v NoTrim: %v", name, pol, err)
+			}
+			ap := Solve(g, pol, Options{Threads: 4, APOnly: true})
+			if err := verify.SameBoolSet(ap.IsAP, truth.IsAP, "APOnly APs"); err != nil {
+				t.Fatalf("%s/%v: %v", name, pol, err)
+			}
+			if ap.BlockOf != nil {
+				t.Fatalf("%s/%v: APOnly left BlockOf allocated", name, pol)
+			}
+		}
+	}
+}
+
+// TestSolveInvalidPolicyFallsBack: the serving path hands Solve whatever the
+// options carried; a garbage cell must degrade to the constrained pipeline,
+// not crash or misreport.
+func TestSolveInvalidPolicyFallsBack(t *testing.T) {
+	g := matrixSuite()["chain"]
+	want := Run(g, Options{Threads: 1})
+	res := Solve(g, Policy{Kernel: numKernel + 3}, Options{Threads: 1})
+	if res.Policy != PolicyConstrained {
+		t.Fatalf("fallback Policy = %v, want constrained", res.Policy)
+	}
+	for e := range want.BlockOf {
+		if res.BlockOf[e] != want.BlockOf[e] {
+			t.Fatalf("fallback diverged at edge %d", e)
+		}
+	}
+}
+
+// TestRunIsConstrainedCell: Run must stay the constrained cell verbatim (the
+// byte-identity contract at the API level), and that cell must still emit
+// the paper example's pinned labels and workload stats — at Threads 1 its
+// block-claim order is deterministic, so the pin is exact.
+func TestRunIsConstrainedCell(t *testing.T) {
+	for _, name := range []string{"paper", "cycleChain", "social"} {
+		g := matrixSuite()[name]
+		run := Run(g, Options{Threads: 1})
+		cell := Solve(g, PolicyConstrained, Options{Threads: 1})
+		if run.Policy != PolicyConstrained {
+			t.Fatalf("%s: Run's policy = %v", name, run.Policy)
+		}
+		if fmt.Sprint(run.Stats) != fmt.Sprint(cell.Stats) {
+			t.Fatalf("%s: Run stats %+v != constrained cell stats %+v", name, run.Stats, cell.Stats)
+		}
+		if run.NumBlocks != cell.NumBlocks {
+			t.Fatalf("%s: Run blocks %d != cell blocks %d", name, run.NumBlocks, cell.NumBlocks)
+		}
+		for e := range run.BlockOf {
+			if run.BlockOf[e] != cell.BlockOf[e] {
+				t.Fatalf("%s: Run and constrained cell diverge at edge %d", name, e)
+			}
+		}
+		for v := range run.IsAP {
+			if run.IsAP[v] != cell.IsAP[v] {
+				t.Fatalf("%s: Run and constrained cell diverge on AP %d", name, v)
+			}
+		}
+		if run.Stats.SkeletonEdges != 0 || run.Stats.SkeletonSerialTour {
+			t.Fatalf("%s: constrained run carries skeleton stats: %+v", name, run.Stats)
+		}
+	}
+	// The paper-example pin: exact per-edge labels and stats at Threads 1.
+	g := gen.PaperExampleUndirected()
+	res := Run(g, Options{Threads: 1})
+	wantBlocks := []int64{3, 3, 0, 3, 4, 4, 4, 4, 3, 5, 5, 5, 1, 2}
+	if fmt.Sprint(res.BlockOf) != fmt.Sprint(wantBlocks) {
+		t.Errorf("paper BlockOf = %v, want %v", res.BlockOf, wantBlocks)
+	}
+	wantStats := Stats{Candidates: 11, SkippedTrim: 3, SkippedSPO: 2, Ran: 3}
+	if res.Stats != wantStats {
+		t.Errorf("paper stats = %+v, want %+v", res.Stats, wantStats)
+	}
+	if res.NumBlocks != 6 || !res.IsAP[5] || !res.IsAP[9] {
+		t.Errorf("paper decomposition drifted: blocks=%d aps=%v", res.NumBlocks, res.IsAP)
+	}
+}
+
+// TestSkeletonStats pins the skeleton cell's own telemetry: the deep chain
+// crosses the serial-tour threshold, the shallow one stays on the
+// level-prefix path, and both record a non-empty skeleton.
+func TestSkeletonStats(t *testing.T) {
+	deep := Solve(matrixSuite()["deepChain"], PolicySkeleton, Options{Threads: 4})
+	if !deep.Stats.SkeletonSerialTour {
+		t.Errorf("deep chain did not take the serial tour: %+v", deep.Stats)
+	}
+	if deep.Stats.SkeletonEdges == 0 {
+		t.Errorf("deep chain produced an empty skeleton: %+v", deep.Stats)
+	}
+	shallow := Solve(matrixSuite()["chain"], PolicySkeleton, Options{Threads: 4})
+	if shallow.Stats.SkeletonSerialTour {
+		t.Errorf("shallow chain took the serial tour: %+v", shallow.Stats)
+	}
+	if shallow.Stats.Ran != 0 || shallow.Stats.PositiveChecks != 0 {
+		t.Errorf("skeleton cell ran constrained checks: %+v", shallow.Stats)
+	}
+}
+
+// TestSkeletonBlockIDsDeterministic: unlike the constrained cell's atomic
+// claim counter, the skeleton cell assigns block ids by a first-occurrence
+// scan — the exact labels must not depend on the thread count.
+func TestSkeletonBlockIDsDeterministic(t *testing.T) {
+	for _, name := range []string{"chain", "deepChain", "random1"} {
+		g := matrixSuite()[name]
+		r1 := Solve(g, PolicySkeleton, Options{Threads: 1})
+		r4 := Solve(g, PolicySkeleton, Options{Threads: 4})
+		for e := range r1.BlockOf {
+			if r1.BlockOf[e] != r4.BlockOf[e] {
+				t.Fatalf("%s: skeleton labels differ across thread counts at edge %d", name, e)
+			}
+		}
+	}
+}

@@ -20,7 +20,8 @@ var Queries = []string{
 	"connected", "connected=<u>,<v>", "strongly-connected",
 	"num-cc", "num-scc", "num-bicc", "num-bgcc",
 	"largest-cc", "largest-scc", "in-largest-cc=<v>",
-	"aps", "bridges", "histogram", "stats", "cc-policy", "scc-policy",
+	"aps", "bridges", "histogram", "stats",
+	"cc-policy", "scc-policy", "bicc-policy",
 }
 
 // Answer runs one query against the engine and returns the printable answer.
@@ -94,6 +95,8 @@ func Answer(eng *aquila.Engine, query string) (string, error) {
 			return "", err
 		}
 		return fmt.Sprintf("scc policy: %s", pol), nil
+	case query == "bicc-policy":
+		return fmt.Sprintf("bicc policy: %s", eng.BiCCPolicy()), nil
 	case query == "histogram":
 		hist := eng.CCSizeHistogram()
 		sizes := make([]int, 0, len(hist))
@@ -124,6 +127,11 @@ func Explain(query string) (string, error) {
 		return "query \"scc-policy\" is diagnostic: it reports the SCC matrix cell " +
 			"the engine resolved (the probe-fed chooser's pick under -scc-policy=auto) " +
 			"without running a kernel; directed inputs only", nil
+	}
+	if query == "bicc-policy" {
+		return "query \"bicc-policy\" is diagnostic: it reports the BiCC matrix cell " +
+			"the engine resolved (the depth-probe-fed chooser's pick under " +
+			"-bicc-policy=auto) without running a kernel", nil
 	}
 	q, err := toPlanQuery(query)
 	if err != nil {

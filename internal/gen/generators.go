@@ -334,3 +334,72 @@ func Rings(cfg RingsConfig) *graph.Directed {
 	}
 	return graph.BuildDirected(n, edges)
 }
+
+// CliqueChainConfig shapes a CliqueChain graph: a chain of cliques joined by
+// bridges, optionally with a pendant path tail (the lollipop shape).
+type CliqueChainConfig struct {
+	Cliques    int  // number of cliques (chain length; BFS depth grows with it)
+	CliqueSize int  // vertices per clique (≥ 2; each clique is one block)
+	Tail       int  // pendant path vertices appended to the last clique (0 = none)
+	Shuffle    bool // permute vertex ids (break the chain id order)
+	Seed       uint64
+}
+
+// CliqueChain generates the undirected sibling of Rings: clique i is a
+// K_CliqueSize, one bridge joins a random member of clique i to a random
+// member of clique i+1, and Tail appends a pendant path to the last clique (a
+// lollipop, exercising the pendant trim). Every clique is one block, every
+// bridge its own block, and every junction vertex an articulation point — and
+// because the cliques chain end to end, the BFS forest is about one level per
+// clique deep with only O(CliqueSize) vertices per level: the constrained
+// cell's worst case, one nearly empty task wave per level.
+//
+// Without Shuffle, vertex ids follow the chain; Shuffle permutes them — the
+// realistic ingest-order case, which also breaks any accidental id/level
+// correlation in the kernels under test.
+func CliqueChain(cfg CliqueChainConfig) *graph.Undirected {
+	rng := NewRNG(cfg.Seed)
+	if cfg.CliqueSize < 2 {
+		cfg.CliqueSize = 2
+	}
+	if cfg.Tail < 0 {
+		cfg.Tail = 0
+	}
+	n := cfg.Cliques*cfg.CliqueSize + cfg.Tail
+	perm := make([]graph.V, n)
+	for v := range perm {
+		perm[v] = graph.V(v)
+	}
+	if cfg.Shuffle {
+		for v := n - 1; v > 0; v-- {
+			w := rng.Intn(v + 1)
+			perm[v], perm[w] = perm[w], perm[v]
+		}
+	}
+	var edges []graph.Edge
+	for i := 0; i < cfg.Cliques; i++ {
+		base := i * cfg.CliqueSize
+		for a := 0; a < cfg.CliqueSize; a++ {
+			for b := a + 1; b < cfg.CliqueSize; b++ {
+				edges = append(edges, graph.Edge{U: perm[base+a], V: perm[base+b]})
+			}
+		}
+		if i > 0 {
+			u := base - cfg.CliqueSize + rng.Intn(cfg.CliqueSize)
+			v := base + rng.Intn(cfg.CliqueSize)
+			edges = append(edges, graph.Edge{U: perm[u], V: perm[v]})
+		}
+	}
+	tail0 := cfg.Cliques * cfg.CliqueSize
+	for i := 0; i < cfg.Tail; i++ {
+		prev := tail0 + i - 1
+		if i == 0 {
+			if cfg.Cliques == 0 {
+				continue
+			}
+			prev = tail0 - cfg.CliqueSize + rng.Intn(cfg.CliqueSize)
+		}
+		edges = append(edges, graph.Edge{U: perm[prev], V: perm[tail0+i]})
+	}
+	return graph.BuildUndirected(n, edges)
+}

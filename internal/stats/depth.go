@@ -1,0 +1,70 @@
+package stats
+
+import "aquila/internal/graph"
+
+const (
+	// probeDepthRounds bounds the BFS levels the depth probe expands. Hitting
+	// the cap with a live frontier is itself the signal ("at least this
+	// deep"), so the probe never pays for the full diameter of a long chain.
+	probeDepthRounds = 64
+	// probeDepthVisit bounds the vertices the probe visits. Wide graphs
+	// exhaust it within a handful of shallow levels — at that point the
+	// graph is already known not to be chain-like, and the probe stops
+	// before its cost registers against the kernel it is steering.
+	probeDepthVisit = 1 << 16
+)
+
+// BiCCProbe bundles the undirected signals bicc.ChoosePolicy consumes: the
+// cheap degree-scan statistics plus a bounded BFS-depth sample — a diameter
+// proxy that separates deep chain-like graphs (constrained BiCC's worst
+// case: one level per link, each nearly empty) from shallow dense ones.
+type BiCCProbe struct {
+	Cheap Cheap
+	// Depth is the number of BFS levels the probe completed from the
+	// max-degree vertex before a cap stopped it (0 on edgeless graphs).
+	Depth int
+	// DepthCapped reports a frontier still alive at the round cap: the graph
+	// is at least probeDepthRounds levels deep. A probe stopped by the visit
+	// cap instead leaves this false — width, not depth, ended it.
+	DepthCapped bool
+}
+
+// ProbeUndirected computes a BiCCProbe. The BFS is serial but doubly capped
+// (probeDepthRounds levels, probeDepthVisit vertices), so its cost is O(|V|)
+// for the visited array plus a bounded frontier expansion.
+func ProbeUndirected(g *graph.Undirected) BiCCProbe {
+	pr := BiCCProbe{Cheap: CheapUndirected(g)}
+	if pr.Cheap.Edges == 0 {
+		return pr
+	}
+	start := g.MaxDegreeVertex()
+	visited := make([]bool, pr.Cheap.Vertices)
+	visited[start] = true
+	frontier := []graph.V{start}
+	var next []graph.V
+	seen := 1
+	for len(frontier) > 0 {
+		if pr.Depth >= probeDepthRounds {
+			pr.DepthCapped = true
+			break
+		}
+		if seen >= probeDepthVisit {
+			break
+		}
+		next = next[:0]
+		for _, u := range frontier {
+			for _, w := range g.Neighbors(u) {
+				if !visited[w] {
+					visited[w] = true
+					seen++
+					next = append(next, w)
+				}
+			}
+		}
+		frontier, next = next, frontier
+		if len(frontier) > 0 {
+			pr.Depth++
+		}
+	}
+	return pr
+}

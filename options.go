@@ -2,6 +2,7 @@ package aquila
 
 import (
 	"aquila/internal/bfs"
+	"aquila/internal/bicc"
 	"aquila/internal/cc"
 	"aquila/internal/scc"
 )
@@ -88,6 +89,16 @@ type Options struct {
 	// spec degrades to "auto" (NewEngine cannot error); front-ends validate
 	// with ValidateSCCPolicy first.
 	SCCPolicy string
+	// BiCCPolicy selects the biconnected-components matrix cell. "" or
+	// "auto" (the default) picks the cell adaptively from the undirected
+	// probe (cheap statistics plus a bounded BFS-depth sample) at solve
+	// time; any other value is a bicc.ParsePolicy spec ("constrained",
+	// "skeleton", or the alias "pipeline" for the classic paper cell).
+	// Every cell returns the same canonical AP set and block partition, so
+	// the choice is performance-only. An unparseable spec degrades to
+	// "auto" (NewEngine cannot error); front-ends validate with
+	// ValidateBiCCPolicy first.
+	BiCCPolicy string
 	// RebuildThreshold controls when Apply falls back to a full static
 	// recomputation: once the undirected edges inserted since the last
 	// rebuild exceed RebuildThreshold × the edge count at that rebuild,
@@ -117,6 +128,17 @@ func ValidateSCCPolicy(s string) error {
 		return nil
 	}
 	_, err := scc.ParsePolicy(s)
+	return err
+}
+
+// ValidateBiCCPolicy reports whether s is an acceptable Options.BiCCPolicy
+// value: "", "auto", or a parseable matrix-cell spec. Front-ends call this
+// to reject a bad -bicc-policy before building an engine.
+func ValidateBiCCPolicy(s string) error {
+	if s == "" || s == "auto" {
+		return nil
+	}
+	_, err := bicc.ParsePolicy(s)
 	return err
 }
 

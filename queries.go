@@ -412,7 +412,7 @@ func (e *Engine) ArticulationPoints() []V {
 		e.mu.Lock()
 		e.materializeLocked()
 		if e.apOnly == nil {
-			raw := bicc.Run(e.und, e.biccOptions(true))
+			raw := e.biccSolve(e.und, nil, true)
 			if e.perm != nil {
 				raw = remapBiCC(raw, e.perm, e.eidMap, e.opt.Threads)
 			}

@@ -575,9 +575,9 @@ func (sn *Snapshot) BiCC(ctx context.Context) (*BiCCResult, error) {
 			if err != nil {
 				return err
 			}
-			opt := sn.eng.biccOptions(false)
-			opt.Ctx = cctx
-			raw := bicc.Run(gs.und, opt)
+			// Policy-resolved against this snapshot's pinned graph, exactly
+			// like the engine path (auto re-resolves per epoch).
+			raw := sn.eng.biccSolve(gs.und, cctx, false)
 			if err := ctxErr(cctx); err != nil {
 				return err
 			}
