@@ -34,9 +34,10 @@ bench:
 # throughput with/without singleflight, Apply latency under read load),
 # the PR 5 HTTP front-end throughput, the PR 6 CC algorithm-matrix sweep,
 # the PR 7 SCC algorithm-matrix sweep (coloring vs multireach vs fwbw per
-# directed graph class, plus the probe-fed auto), and the PR 8 BiCC
+# directed graph class, plus the probe-fed auto), the PR 8 BiCC
 # algorithm-matrix sweep (constrained vs skeleton per undirected graph
-# class, plus the depth-probe-fed auto), into BENCH_PR8.json.
+# class, plus the depth-probe-fed auto), and the PR 9 dynamic-apply
+# cut-vs-rebuild crossover, into BENCH_PR9.json.
 bench-json:
 	( go test -bench='BFS|CC|Pool|Reach' -benchmem -benchtime=20x -run='^$$' \
 		. ./internal/bfs ./internal/parallel ; \
@@ -50,9 +51,11 @@ bench-json:
 		./internal/bench ; \
 	  go test -bench='ServerThroughput|ApplyUnderReadLoad' -benchmem -benchtime=5x -run='^$$' \
 		. ; \
+	  go test -bench='^BenchmarkDynamicApply$$' -benchmem -benchtime=3x -run='^$$' \
+		. ; \
 	  go test -bench='HTTPThroughput' -benchmem -benchtime=2s -run='^$$' \
 		./internal/httpd ) \
-		| go run ./cmd/bench2json > BENCH_PR8.json
+		| go run ./cmd/bench2json > BENCH_PR9.json
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:
@@ -69,3 +72,4 @@ fuzz:
 	go test -fuzz=FuzzCCPolicyMatchesOracle -fuzztime=30s ./internal/cc
 	go test -fuzz=FuzzSCCPolicyMatchesOracle -fuzztime=30s ./internal/scc
 	go test -fuzz=FuzzServerSchedule -fuzztime=30s ./internal/serve/harness
+	go test -fuzz=FuzzDynMatchesOracle -fuzztime=30s ./internal/dyn

@@ -344,6 +344,103 @@ func BenchmarkIncrementalApply(b *testing.B) {
 	})
 }
 
+// BenchmarkDynamicApply measures the cut-vs-rebuild crossover of the fully
+// dynamic layer: churn batches (each deleting live edges and inserting
+// replacements) absorbed by the Euler-tour forest via ApplyUpdates +
+// O(1)-ish CountCC, against statically rebuilding the CSR and rerunning
+// cc.Run after every batch. Small batches are the forest's home turf
+// (polylog per op); as the batch grows toward a constant fraction of the
+// graph, the one-shot static recompute amortizes and the curves cross.
+func BenchmarkDynamicApply(b *testing.B) {
+	const (
+		n = 20000
+		m = 100000
+	)
+	base := gen.RandomUndirected(n, m, 0xA101)
+	eps := base.EdgeEndpoints()
+	baseEdges := make([]Edge, len(eps))
+	for i, ep := range eps {
+		baseEdges[i] = Edge{U: ep[0], V: ep[1]}
+	}
+	// Churn batches: delete distinct base edges, insert fresh random ones.
+	mkBatches := func(batchSize, numBatches int) [][]Update {
+		rng := gen.NewRNG(0xD15C)
+		perm := rng.Perm(len(baseEdges))
+		batches := make([][]Update, numBatches)
+		di := 0
+		for k := range batches {
+			batch := make([]Update, 0, batchSize)
+			for i := 0; i < batchSize/2; i++ {
+				e := baseEdges[perm[di%len(perm)]]
+				di++
+				batch = append(batch, Delete(e.U, e.V))
+			}
+			for i := 0; i < batchSize/2; i++ {
+				batch = append(batch, Insert(graph.V(rng.Intn(n)), graph.V(rng.Intn(n))))
+			}
+			batches[k] = batch
+		}
+		return batches
+	}
+	for _, size := range []struct {
+		name       string
+		batchSize  int
+		numBatches int
+	}{
+		{"batch100", 100, 20},
+		{"batch2000", 2000, 5},
+	} {
+		batches := mkBatches(size.batchSize, size.numBatches)
+		b.Run("DynamicUpdates/"+size.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				e := NewEngine(base, Options{Threads: 4, RebuildThreshold: -1})
+				// Promote outside the timer: steady-state dynamic service.
+				if _, err := e.ApplyUpdates([]Update{Delete(baseEdges[0].U, baseEdges[0].V), Insert(baseEdges[0].U, baseEdges[0].V)}); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for _, batch := range batches {
+					if _, err := e.ApplyUpdates(batch); err != nil {
+						b.Fatal(err)
+					}
+					e.CountCC()
+				}
+			}
+		})
+		b.Run("StaticRecompute/"+size.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				live := make(map[[2]graph.V]struct{}, len(baseEdges))
+				for _, e := range baseEdges {
+					live[[2]graph.V{e.U, e.V}] = struct{}{}
+				}
+				for _, batch := range batches {
+					for _, up := range batch {
+						u, v := up.U, up.V
+						if u == v {
+							continue
+						}
+						if u > v {
+							u, v = v, u
+						}
+						if up.Op == OpInsert {
+							live[[2]graph.V{u, v}] = struct{}{}
+						} else {
+							delete(live, [2]graph.V{u, v})
+						}
+					}
+					edges := make([]Edge, 0, len(live))
+					for k := range live {
+						edges = append(edges, Edge{U: k[0], V: k[1]})
+					}
+					g := graph.BuildUndirected(n, edges)
+					cc.Run(g, cc.Options{Threads: 4})
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEngineQueries measures the partial-query fast paths end to end.
 func BenchmarkEngineQueries(b *testing.B) {
 	d, _ := benchGraphs()

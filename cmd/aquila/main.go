@@ -19,9 +19,11 @@
 // components cell ("auto" picks one adaptively from graph statistics; see
 // the README's "Algorithm matrix" section for the cells).
 //
-// With -updates, the file is replayed as batches of edge insertions through
-// the incremental connectivity layer before the query runs; see
-// internal/cli.ReplayUpdates for the script format.
+// With -updates, the file is replayed as batches of edge insertions (`u v`
+// lines) and deletions (`- u v` lines) before the query runs. Insert-only
+// scripts go through the incremental connectivity layer; the first batch
+// containing a delete promotes the engine to the fully dynamic spanning
+// forest. See internal/cli.ReplayUpdates for the script format.
 //
 // With -serve, updates and queries go through the concurrent serving layer
 // instead: every batch publishes a new epoch, every answer comes from a
@@ -53,8 +55,8 @@ func main() {
 		scale      = flag.Int("scale", 12, "generator scale (rmat: log2 vertices; others: vertex count /1000)")
 		seed       = flag.Uint64("seed", 1, "generator seed")
 		query      = flag.String("query", "num-cc", "query to answer")
-		updates    = flag.String("updates", "", "update script replayed as incremental batches before the query")
-		batchSize  = flag.Int("batch", 0, "auto-flush update batches every N edges (0 = explicit separators only)")
+		updates    = flag.String("updates", "", "update script replayed as batches before the query (u v inserts, '- u v' deletes)")
+		batchSize  = flag.Int("batch", 0, "auto-flush update batches every N ops (0 = explicit separators only)")
 		rebuild    = flag.Float64("rebuild-threshold", 0, "delta/base edge ratio forcing a static rebuild (0 = default 0.25, <0 = never)")
 		threads    = flag.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
 		ccPolicy   = flag.String("cc-policy", "auto", "CC algorithm matrix cell: auto, pipeline, or sampling+finish (e.g. afforest+uf-async); see the cc-policy query")

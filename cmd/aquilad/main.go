@@ -9,9 +9,12 @@
 //
 // Endpoints: /v1/connected?u=&v=, /v1/cc, /v1/scc, /v1/bicc, /v1/bgcc,
 // /v1/largest-cc, /v1/aps, /v1/bridges, /v1/histogram, /v1/epoch,
-// POST /v1/apply, /metrics. An Aquila-Epoch request header pins a read to a
-// retained past epoch; a `timeout` query parameter bounds the kernel work;
-// shed requests answer 429 with Retry-After. See internal/httpd.
+// POST /v1/apply, /metrics. An apply body may carry `"edges"` (insertions)
+// and `"deletes"`; the first delete promotes the engine to the fully dynamic
+// connectivity structure, after which epochs can shrink. An Aquila-Epoch
+// request header pins a read to a retained past epoch; a `timeout` query
+// parameter bounds the kernel work; shed requests answer 429 with
+// Retry-After. See internal/httpd.
 //
 // SIGINT/SIGTERM triggers graceful shutdown: the listener stops accepting,
 // in-flight requests drain for -grace, then still-running kernels are

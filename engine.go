@@ -9,6 +9,7 @@ import (
 	"aquila/internal/bgcc"
 	"aquila/internal/bicc"
 	"aquila/internal/cc"
+	"aquila/internal/dyn"
 	"aquila/internal/graph"
 	"aquila/internal/inc"
 	"aquila/internal/scc"
@@ -20,22 +21,26 @@ import (
 // and complete decompositions are computed at most once and cached, so
 // repeated queries are free.
 //
-// An Engine also accepts batches of edge insertions via Apply. Updates are
-// absorbed by an incremental union-find layer (internal/inc), so
-// connectivity queries (Connected, CountCC, CC, IsConnected, LargestCC)
-// never pay for a recomputation; queries that walk adjacency (SCC, BiCC,
-// BgCC, coreness, betweenness, the partial-traversal fast paths) lazily fold
-// the pending edges into fresh CSR graphs first. When the accumulated delta
-// crosses Options.RebuildThreshold, Apply falls back to the static cc.Run
-// pipeline and reseeds the incremental state from the fresh decomposition.
+// An Engine also accepts batches of edge insertions via Apply, and mixed
+// insert/delete batches via ApplyUpdates. Insertions are absorbed by an
+// incremental union-find layer (internal/inc), so connectivity queries
+// (Connected, CountCC, CC, IsConnected, LargestCC) never pay for a
+// recomputation; queries that walk adjacency (SCC, BiCC, BgCC, coreness,
+// betweenness, the partial-traversal fast paths) lazily fold the pending
+// edges into fresh CSR graphs first. The first delete operation promotes the
+// engine to a fully dynamic spanning forest (internal/dyn) that answers
+// connectivity across deletions by replacement-edge search. When the
+// accumulated delta crosses Options.RebuildThreshold, the engine falls back
+// to the static cc.Run pipeline and reseeds from the fresh decomposition.
 //
 // # Concurrency contract
 //
 // An Engine is safe for concurrent use by multiple goroutines, including
 // readers querying while another goroutine applies batches: answers are
-// always consistent snapshots, and connectivity is monotone (once two
-// vertices are connected, no later query disconnects them). The contract,
-// precisely:
+// always consistent snapshots. Until the first delete op, connectivity is
+// additionally monotone (once two vertices are connected, no later query
+// disconnects them); dynamic mode trades that for deletions while keeping
+// per-query consistency. The contract, precisely:
 //
 //   - e.mu guards the graph pointers, the incremental state, and every result
 //     cache. Cache fills for complete decompositions run *under* e.mu, so a
@@ -78,7 +83,16 @@ type Engine struct {
 	undSet       map[[2]V]struct{}
 	dirSet       map[[2]V]struct{}
 	baseEdges    int64 // undirected edge count at the last (re)build
-	sinceRebuild int64 // undirected edges inserted since then
+	sinceRebuild int64 // undirected edges inserted/deleted since then
+
+	// Fully dynamic state (nil until the first delete op; see ApplyUpdates).
+	// Once dyn is non-nil the incremental layer is retired: the forest is
+	// the authoritative undirected edge set (self-loops are dropped, as
+	// everywhere), and on directed engines dirSet holds the complete arc set
+	// rather than a pending delta. dynDirty marks the CSR graphs stale
+	// relative to the forest; materializeLocked rebuilds them lazily.
+	dyn      *dyn.Forest
+	dynDirty bool
 
 	// reach pools traversal scratches for the partial fast paths
 	// (IsConnected, LargestCC, ...), so query storms reuse warm buffers
@@ -385,7 +399,15 @@ func (e *Engine) ccCompleteCtx(ctx context.Context) (*cc.Result, error) {
 // cached, so a later call recomputes from scratch.
 func (e *Engine) ccRawLockedCtx(ctx context.Context) (*cc.Result, error) {
 	if e.ccRaw == nil {
-		if e.inc != nil {
+		if e.dyn != nil {
+			// Dynamic mode: the forest census replaces any traversal — an
+			// O(|V|) walk over the Euler tours, valid across deletions. A
+			// dead ctx aborts before the walk so nothing partial is cached.
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+			e.ccRaw = ccResultFromLabels(e.dyn.Labels())
+		} else if e.inc != nil {
 			e.ccRaw = e.inc.CCResult(e.opt.Threads)
 		} else {
 			res := e.ccSolve(e.und, ctx)
@@ -510,6 +532,18 @@ type ApplyResult struct {
 	// Rebuilt reports whether this batch pushed the accumulated delta over
 	// the rebuild threshold, triggering a full static recomputation.
 	Rebuilt bool
+	// DeletedEdges is the number of undirected edges the batch removed
+	// (deletes of absent edges are dropped; always 0 on insert-only paths).
+	DeletedEdges int
+	// DeletedArcs is the number of directed arcs removed (always 0 for
+	// undirected engines).
+	DeletedArcs int
+	// Split is the number of component splits the deletions caused — cuts
+	// for which the dynamic forest found no replacement edge.
+	Split int
+	// Dynamic reports whether the batch ran against the fully dynamic
+	// spanning forest (true from the first delete op onward).
+	Dynamic bool
 }
 
 // Apply inserts a batch of edges into the engine's graph. On a directed
@@ -543,6 +577,20 @@ func (e *Engine) Apply(batch []Edge) (*ApplyResult, error) {
 		if int(ed.U) >= n || int(ed.V) >= n {
 			return nil, fmt.Errorf("aquila: Apply: edge (%d,%d) out of range [0,%d)", ed.U, ed.V, n)
 		}
+	}
+	return e.applyLocked(batch)
+}
+
+// applyLocked is Apply's body, shared with the insert-only fast path of
+// ApplyUpdates. Once the engine has promoted to the dynamic forest, inserts
+// route there too — the union-find no longer exists.
+func (e *Engine) applyLocked(batch []Edge) (*ApplyResult, error) {
+	if e.dyn != nil {
+		ups := make([]Update, len(batch))
+		for i, ed := range batch {
+			ups[i] = Update{Op: OpInsert, U: ed.U, V: ed.V}
+		}
+		return e.applyUpdatesDynLocked(ups)
 	}
 	if e.inc == nil {
 		// First update: the static pipeline seeds the incremental state from
@@ -674,6 +722,10 @@ func materializeGraphs(directed bool, perm *graph.Permutation, gs graphSet, delt
 // never pay for it. Published graph pointers are never mutated in place, so
 // snapshots held by concurrent readers stay valid.
 func (e *Engine) materializeLocked() {
+	if e.dyn != nil {
+		e.materializeDynLocked()
+		return
+	}
 	if len(e.deltaUnd) == 0 && len(e.deltaDir) == 0 {
 		return
 	}
@@ -699,13 +751,18 @@ func (e *Engine) putReach(s *bfs.ReachScratch) {
 
 // rebuildLocked is the fall-back-to-static path: materialize the delta, run
 // the full cc pipeline, and reseed the incremental state from the fresh
-// decomposition.
+// decomposition. In dynamic mode the forest stays authoritative for future
+// updates; the rebuild re-canonicalizes the cached decomposition through the
+// static pipeline (re-resolving the CC policy chooser against the reshaped
+// graph) and resets the rebuild budget.
 func (e *Engine) rebuildLocked() {
 	e.materializeLocked()
 	e.cacheGen++
 	e.ccRaw = e.ccSolve(e.und, nil)
 	e.ccRes, e.largestCC = nil, nil
-	e.inc = inc.FromLabels(e.ccRaw.Label, e.ccRaw.NumComponents)
+	if e.dyn == nil {
+		e.inc = inc.FromLabels(e.ccRaw.Label, e.ccRaw.NumComponents)
+	}
 	e.baseEdges = e.und.NumEdges()
 	e.sinceRebuild = 0
 }

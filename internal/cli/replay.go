@@ -15,18 +15,24 @@ import (
 //
 // Script format, one directive per line:
 //
-//	u v        stage the edge (arc, on directed engines) u→v
-//	---        flush staged edges as one Apply batch (a blank line works too)
+//	u v        stage inserting the edge (arc, on directed engines) u→v
+//	- u v      stage deleting the edge (arc) u→v; the first flushed batch
+//	           containing a delete promotes the engine to the fully dynamic
+//	           connectivity structure
+//	---        flush staged ops as one batch (a blank line works too)
 //	? u v      flush, then answer "are u and v connected?"
 //	# ...      comment, ignored
 //
-// When batchSize > 0, staged edges also auto-flush every batchSize lines, so
-// plain edge-list files replay as a stream of fixed-size batches. Any edges
-// still staged at EOF are flushed as a final batch.
+// When batchSize > 0, staged ops also auto-flush every batchSize lines, so
+// plain edge-list files replay as a stream of fixed-size batches. Any ops
+// still staged at EOF are flushed as a final batch. Insert-only batches take
+// the Apply fast path and produce exactly the historical transcript lines;
+// batches containing deletes report the deletion and split counters too.
 func ReplayUpdates(eng *aquila.Engine, r io.Reader, batchSize int) (string, error) {
 	var (
 		out     strings.Builder
-		staged  []aquila.Edge
+		staged  []aquila.Update
+		hasDel  bool
 		batchNo int
 	)
 	n := eng.Undirected().NumVertices() // Apply never grows the vertex set
@@ -34,18 +40,36 @@ func ReplayUpdates(eng *aquila.Engine, r io.Reader, batchSize int) (string, erro
 		if len(staged) == 0 {
 			return nil
 		}
-		res, err := eng.Apply(staged)
+		var res *aquila.ApplyResult
+		var err error
+		if hasDel {
+			res, err = eng.ApplyUpdates(staged)
+		} else {
+			// Insert-only batches keep the historical Apply path (and its
+			// transcript format) byte for byte.
+			edges := make([]aquila.Edge, len(staged))
+			for i, up := range staged {
+				edges[i] = aquila.Edge{U: up.U, V: up.V}
+			}
+			res, err = eng.Apply(edges)
+		}
 		if err != nil {
 			return err
 		}
 		batchNo++
-		fmt.Fprintf(&out, "batch %d: %d edges in, %d new, %d merges, %d components",
-			batchNo, len(staged), res.NewEdges, res.Merged, res.Components)
+		if hasDel {
+			fmt.Fprintf(&out, "batch %d: %d ops in, %d new, %d deleted, %d merges, %d splits, %d components",
+				batchNo, len(staged), res.NewEdges, res.DeletedEdges, res.Merged, res.Split, res.Components)
+		} else {
+			fmt.Fprintf(&out, "batch %d: %d edges in, %d new, %d merges, %d components",
+				batchNo, len(staged), res.NewEdges, res.Merged, res.Components)
+		}
 		if res.Rebuilt {
 			out.WriteString(" (rebuilt)")
 		}
 		out.WriteByte('\n')
 		staged = staged[:0]
+		hasDel = false
 		return nil
 	}
 
@@ -74,12 +98,28 @@ func ReplayUpdates(eng *aquila.Engine, r io.Reader, batchSize int) (string, erro
 				return "", fmt.Errorf("line %d: %v", line, err)
 			}
 			fmt.Fprintf(&out, "connected(%d, %d) = %v\n", u, v, eng.Connected(u, v))
+		case strings.HasPrefix(text, "-"):
+			// Note "---" (and blank) matched above, so this is a delete op.
+			u, v, err := parsePair(strings.TrimSpace(strings.TrimPrefix(text, "-")))
+			if err != nil {
+				return "", fmt.Errorf("line %d: bad delete op: %v", line, err)
+			}
+			if int(u) >= n || int(v) >= n {
+				return "", fmt.Errorf("line %d: bad delete op: vertex out of range [0,%d)", line, n)
+			}
+			staged = append(staged, aquila.Delete(u, v))
+			hasDel = true
+			if batchSize > 0 && len(staged) >= batchSize {
+				if err := flush(); err != nil {
+					return "", fmt.Errorf("line %d: %v", line, err)
+				}
+			}
 		default:
 			u, v, err := parsePair(text)
 			if err != nil {
 				return "", fmt.Errorf("line %d: %v", line, err)
 			}
-			staged = append(staged, aquila.Edge{U: u, V: v})
+			staged = append(staged, aquila.Insert(u, v))
 			if batchSize > 0 && len(staged) >= batchSize {
 				if err := flush(); err != nil {
 					return "", fmt.Errorf("line %d: %v", line, err)

@@ -1,0 +1,99 @@
+package cli
+
+// Tests for the `- u v` delete directive in the replay grammar: transcript
+// shape for deleting batches, line-numbered errors on malformed delete ops,
+// and — through the serving layer — pinned snapshots that survive deletions.
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReplayUpdatesDeletes(t *testing.T) {
+	// Bridge the paper graph's {0..7} and {8..11} components, then cut the
+	// bridge again; a second delete of the same edge is a no-op.
+	script := `0 8
+---
+- 0 8
+? 0 8
+- 0 8
+---
+`
+	eng := paperEngine()
+	out, err := ReplayUpdates(eng, strings.NewReader(script), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	want := []string{
+		"batch 1: 1 edges in, 1 new, 1 merges, 2 components",
+		"batch 2: 1 ops in, 0 new, 1 deleted, 0 merges, 1 splits, 3 components",
+		"connected(0, 8) = false",
+		"batch 3: 1 ops in, 0 new, 0 deleted, 0 merges, 0 splits, 3 components",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("transcript:\n%s\nwant %d lines", out, len(want))
+	}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Errorf("line %d = %q, want %q", i, lines[i], w)
+		}
+	}
+	if !eng.Dynamic() {
+		t.Errorf("engine not promoted after delete replay")
+	}
+	if eng.CountCC() != 3 {
+		t.Errorf("CountCC = %d after replay, want 3", eng.CountCC())
+	}
+}
+
+func TestReplayUpdatesDeleteErrors(t *testing.T) {
+	// Malformed delete ops must fail with the offending line number.
+	for _, tc := range []struct {
+		script string
+		want   string
+	}{
+		{"- 0\n", "line 1: bad delete op"},             // not a pair
+		{"0 8\n\n- 0 x\n", "line 3: bad delete op"},    // bad vertex id
+		{"# hi\n- 0 99999\n", "line 2: bad delete op"}, // out of range
+		{"-- 1 2\n", "line 1: bad delete op"},          // stray extra dash
+	} {
+		_, err := ReplayUpdates(paperEngine(), strings.NewReader(tc.script), 0)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("script %q: err = %v, want %q", tc.script, err, tc.want)
+		}
+	}
+}
+
+func TestReplayServedDeletes(t *testing.T) {
+	// Pin the bridged epoch, cut the bridge, and check the pinned snapshot
+	// still answers from its own graph while the live epoch sees the split.
+	script := `0 8
+---
+pin
+- 0 8
+---
+?? 0 8
+? 0 8
+`
+	out, err := ReplayServed(paperServer(), strings.NewReader(script), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	want := []string{
+		"batch 1 -> epoch 1: 1 edges in, 1 new, 1 merges, 2 components",
+		"pinned epoch 1",
+		"batch 2 -> epoch 2: 1 ops in, 0 new, 1 deleted, 0 merges, 1 splits, 3 components",
+		"pinned connected(0, 8) @epoch 1 = true",
+		"connected(0, 8) @epoch 2 = false",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("transcript:\n%s\nwant %d lines", out, len(want))
+	}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Errorf("line %d = %q, want %q", i, lines[i], w)
+		}
+	}
+}

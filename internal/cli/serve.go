@@ -146,20 +146,23 @@ func answerServed(ctx context.Context, srv *aquila.Server, query string) (string
 }
 
 // ReplayServed replays an update script through the serving layer. It accepts
-// the ReplayUpdates format plus two serve-only directives that exercise
-// snapshot isolation from the command line:
+// the ReplayUpdates format — including `- u v` delete ops, which publish
+// epochs whose graphs have shrunk — plus two serve-only directives that
+// exercise snapshot isolation from the command line:
 //
 //	pin        pin the current epoch's snapshot
 //	?? u v     answer "are u and v connected?" from the pinned snapshot
 //	           (the epoch it was pinned at, regardless of later batches)
 //
 // `? u v` answers from the live epoch, as in ReplayUpdates. Without a prior
-// pin, `??` uses the epoch-0 snapshot.
+// pin, `??` uses the epoch-0 snapshot. Pinned snapshots are immutable: a
+// pinned epoch still answers from its own graph after later deletions.
 func ReplayServed(srv *aquila.Server, r io.Reader, batchSize int) (string, error) {
 	ctx := context.Background()
 	var (
 		out     strings.Builder
-		staged  []aquila.Edge
+		staged  []aquila.Update
+		hasDel  bool
 		batchNo int
 	)
 	pinned := srv.Acquire()
@@ -168,18 +171,34 @@ func ReplayServed(srv *aquila.Server, r io.Reader, batchSize int) (string, error
 		if len(staged) == 0 {
 			return nil
 		}
-		res, err := srv.Apply(staged)
+		var res *aquila.ApplyResult
+		var err error
+		if hasDel {
+			res, err = srv.ApplyUpdates(staged)
+		} else {
+			edges := make([]aquila.Edge, len(staged))
+			for i, up := range staged {
+				edges[i] = aquila.Edge{U: up.U, V: up.V}
+			}
+			res, err = srv.Apply(edges)
+		}
 		if err != nil {
 			return err
 		}
 		batchNo++
-		fmt.Fprintf(&out, "batch %d -> epoch %d: %d edges in, %d new, %d merges, %d components",
-			batchNo, srv.Epoch(), len(staged), res.NewEdges, res.Merged, res.Components)
+		if hasDel {
+			fmt.Fprintf(&out, "batch %d -> epoch %d: %d ops in, %d new, %d deleted, %d merges, %d splits, %d components",
+				batchNo, srv.Epoch(), len(staged), res.NewEdges, res.DeletedEdges, res.Merged, res.Split, res.Components)
+		} else {
+			fmt.Fprintf(&out, "batch %d -> epoch %d: %d edges in, %d new, %d merges, %d components",
+				batchNo, srv.Epoch(), len(staged), res.NewEdges, res.Merged, res.Components)
+		}
 		if res.Rebuilt {
 			out.WriteString(" (rebuilt)")
 		}
 		out.WriteByte('\n')
 		staged = staged[:0]
+		hasDel = false
 		return nil
 	}
 	answer := func(sn *aquila.Snapshot, u, v aquila.V, label string) error {
@@ -237,12 +256,28 @@ func ReplayServed(srv *aquila.Server, r io.Reader, batchSize int) (string, error
 			if err := answer(srv.Acquire(), u, v, "connected"); err != nil {
 				return "", fmt.Errorf("line %d: %v", line, err)
 			}
+		case strings.HasPrefix(text, "-"):
+			// "---" (and blank) matched above, so this is a delete op.
+			u, v, err := parsePair(strings.TrimSpace(strings.TrimPrefix(text, "-")))
+			if err != nil {
+				return "", fmt.Errorf("line %d: bad delete op: %v", line, err)
+			}
+			if int(u) >= n || int(v) >= n {
+				return "", fmt.Errorf("line %d: bad delete op: vertex out of range [0,%d)", line, n)
+			}
+			staged = append(staged, aquila.Delete(u, v))
+			hasDel = true
+			if batchSize > 0 && len(staged) >= batchSize {
+				if err := flush(); err != nil {
+					return "", fmt.Errorf("line %d: %v", line, err)
+				}
+			}
 		default:
 			u, v, err := parsePair(text)
 			if err != nil {
 				return "", fmt.Errorf("line %d: %v", line, err)
 			}
-			staged = append(staged, aquila.Edge{U: u, V: v})
+			staged = append(staged, aquila.Insert(u, v))
 			if batchSize > 0 && len(staged) >= batchSize {
 				if err := flush(); err != nil {
 					return "", fmt.Errorf("line %d: %v", line, err)

@@ -1,0 +1,324 @@
+package dyn
+
+// Differential-testing harness for the fully dynamic layer: randomized
+// insert/delete interleavings with connectivity queries, cross-checking
+// every observed state against a rebuild-from-scratch serialdfs.CC oracle on
+// the reconstructed live-edge graph. The harness extends the PR 1 insert-only
+// apparatus (internal/inc/differential_test.go) with delete ops over the
+// same three seed graph classes (uniform random, RMAT, social), plus the
+// adversarial schedule a spanning forest hates most: delete-the-bridge,
+// where the cut edge is always a tree edge with no replacement.
+
+import (
+	"testing"
+
+	"aquila/internal/baseline/serialdfs"
+	"aquila/internal/gen"
+	"aquila/internal/graph"
+	"aquila/internal/verify"
+)
+
+// dynOracle is the ground truth: the live undirected edge multiset (deduped,
+// no self-loops — matching Forest semantics), recomputed from scratch on
+// every check by the serial DFS baseline.
+type dynOracle struct {
+	n    int
+	live map[[2]graph.V]struct{}
+}
+
+func newDynOracle(n int) *dynOracle {
+	return &dynOracle{n: n, live: make(map[[2]graph.V]struct{})}
+}
+
+func (o *dynOracle) link(u, v graph.V) {
+	if u == v {
+		return
+	}
+	o.live[key(u, v)] = struct{}{}
+}
+
+func (o *dynOracle) cut(u, v graph.V) bool {
+	k := key(u, v)
+	_, ok := o.live[k]
+	delete(o.live, k)
+	return ok
+}
+
+func (o *dynOracle) labels() []uint32 {
+	edges := make([]graph.Edge, 0, len(o.live))
+	for k := range o.live {
+		edges = append(edges, graph.Edge{U: k[0], V: k[1]})
+	}
+	return serialdfs.CC(graph.BuildUndirected(o.n, edges))
+}
+
+func distinctCount(label []uint32) int {
+	seen := make(map[uint32]struct{})
+	for _, l := range label {
+		seen[l] = struct{}{}
+	}
+	return len(seen)
+}
+
+// differentialRun drives one randomized insert/delete interleaving against f
+// and o, returning the number of steps executed. Deletes target live edges
+// (drawn from the oracle's set) most of the time so tree-edge cuts and
+// replacement searches actually happen, mixed with misses, duplicates and
+// self-loops.
+func differentialRun(t *testing.T, f *Forest, o *dynOracle, pending []graph.Edge, seed uint64, steps int) int {
+	t.Helper()
+	rng := gen.NewRNG(seed)
+	cursor := 0
+	done := 0
+	// liveSample returns a currently live edge, or a random (likely absent)
+	// pair when the graph is empty.
+	liveSample := func() (graph.V, graph.V) {
+		if len(o.live) > 0 && rng.Intn(4) != 0 {
+			for k := range o.live {
+				return k[0], k[1]
+			}
+		}
+		return graph.V(rng.Intn(o.n)), graph.V(rng.Intn(o.n))
+	}
+	for i := 0; i < steps; i++ {
+		switch rng.Intn(6) {
+		case 0, 1: // insert a run of pending edges plus noise
+			for j := 1 + rng.Intn(16); j > 0; j-- {
+				var u, v graph.V
+				if cursor < len(pending) && rng.Intn(3) != 0 {
+					u, v = pending[cursor].U, pending[cursor].V
+					cursor++
+				} else {
+					u = graph.V(rng.Intn(o.n))
+					v = graph.V(rng.Intn(o.n))
+					if rng.Intn(10) == 0 {
+						v = u // self-loop
+					}
+				}
+				f.Link(u, v)
+				o.link(u, v)
+			}
+		case 2: // delete a run of (mostly live) edges
+			for j := 1 + rng.Intn(12); j > 0; j-- {
+				u, v := liveSample()
+				_, gotExisted := f.Cut(u, v)
+				wantExisted := o.cut(u, v)
+				if gotExisted != wantExisted {
+					t.Fatalf("step %d: Cut(%d,%d) existed=%v, oracle says %v", i, u, v, gotExisted, wantExisted)
+				}
+			}
+		case 3: // pairwise Connected queries
+			lab := o.labels()
+			for j := 0; j < 16; j++ {
+				u := graph.V(rng.Intn(o.n))
+				v := graph.V(rng.Intn(o.n))
+				if got, want := f.Connected(u, v), lab[u] == lab[v]; got != want {
+					t.Fatalf("step %d: Connected(%d,%d) = %v, oracle says %v", i, u, v, got, want)
+				}
+			}
+		case 4: // delete-then-reinsert churn on one live edge
+			if len(o.live) > 0 {
+				u, v := liveSample()
+				f.Cut(u, v)
+				o.cut(u, v)
+				f.Link(u, v)
+				o.link(u, v)
+			}
+		case 5: // full-state check: partition, count, census
+			lab := o.labels()
+			gotLab, gotCount := f.Labels()
+			if err := verify.SamePartition(gotLab, lab); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+			want := distinctCount(lab)
+			if gotCount != want {
+				t.Fatalf("step %d: Labels count = %d, oracle says %d", i, gotCount, want)
+			}
+			if got := f.ComponentCount(); got != want {
+				t.Fatalf("step %d: ComponentCount = %d, oracle says %d", i, got, want)
+			}
+			if got, want := f.NumEdges(), len(o.live); got != want {
+				t.Fatalf("step %d: NumEdges = %d, oracle says %d", i, got, want)
+			}
+		}
+		done++
+	}
+	return done
+}
+
+// seedClass builds the harness start state for one graph class: half the
+// class graph's shuffled edges are pre-linked, the other half replay as the
+// insert stream (so deletes hit a mix of old and fresh edges).
+func seedClass(d *graph.Directed, seed uint64) (*Forest, *dynOracle, []graph.Edge) {
+	u := graph.Undirect(d)
+	eps := u.EdgeEndpoints()
+	edges := make([]graph.Edge, len(eps))
+	for i, ep := range eps {
+		edges[i] = graph.Edge{U: ep[0], V: ep[1]}
+	}
+	rng := gen.NewRNG(seed)
+	for i := len(edges) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		edges[i], edges[j] = edges[j], edges[i]
+	}
+	f := NewForest(u.NumVertices())
+	o := newDynOracle(u.NumVertices())
+	for _, ed := range edges[:len(edges)/2] {
+		f.Link(ed.U, ed.V)
+		o.link(ed.U, ed.V)
+	}
+	return f, o, edges[len(edges)/2:]
+}
+
+// TestDynDifferentialAgainstOracle runs ≥1000 randomized insert/delete
+// interleavings per seed graph class (random, RMAT, social), each observed
+// state cross-checked against the serial rebuild oracle.
+func TestDynDifferentialAgainstOracle(t *testing.T) {
+	classes := []struct {
+		name string
+		make func(seed uint64) *graph.Directed
+	}{
+		{"random", func(seed uint64) *graph.Directed { return gen.Random(300, 900, seed) }},
+		{"rmat", func(seed uint64) *graph.Directed { return gen.RMAT(8, 4, seed) }},
+		{"social", func(seed uint64) *graph.Directed {
+			return gen.Social(gen.SocialConfig{
+				GiantVertices: 200, GiantAvgDeg: 4,
+				SmallComps: 20, SmallMaxSize: 8, Isolated: 15,
+				MutualFrac: 0.3, Seed: seed,
+			})
+		}},
+	}
+	seeds, steps := 4, 260
+	if testing.Short() {
+		seeds, steps = 2, 130
+	}
+	for _, class := range classes {
+		class := class
+		t.Run(class.name, func(t *testing.T) {
+			t.Parallel()
+			total := 0
+			for s := 0; s < seeds; s++ {
+				seed := uint64(100*s) + 17
+				f, o, pending := seedClass(class.make(seed), seed)
+				total += differentialRun(t, f, o, pending, seed^0xD1FF, steps)
+			}
+			want := 1000
+			if testing.Short() {
+				want = 250
+			}
+			if total < want {
+				t.Fatalf("only %d interleavings, want >= %d", total, want)
+			}
+		})
+	}
+}
+
+// TestDynDifferentialDeleteTheBridge is the adversarial schedule for a
+// spanning forest: two dense halves joined by exactly one bridge. Every
+// bridge cut is a tree-edge deletion whose replacement search must exhaust
+// every level and report a split; every intra-half cut must find a
+// replacement. The oracle checks both outcomes after every cut.
+func TestDynDifferentialDeleteTheBridge(t *testing.T) {
+	const half = 40
+	n := 2 * half
+	halves := func(seed uint64) (*Forest, *dynOracle) {
+		rng := gen.NewRNG(seed)
+		f := NewForest(n)
+		o := newDynOracle(n)
+		add := func(u, v graph.V) { f.Link(u, v); o.link(u, v) }
+		// Each half: a ring plus random chords (2-edge-connected, so
+		// intra-half deletions never split).
+		for i := 0; i < half; i++ {
+			add(graph.V(i), graph.V((i+1)%half))
+			add(graph.V(half+i), graph.V(half+(i+1)%half))
+		}
+		for i := 0; i < 2*half; i++ {
+			a := graph.V(rng.Intn(half))
+			b := graph.V(rng.Intn(half))
+			add(a, b)
+			add(half+a, half+b)
+		}
+		return f, o
+	}
+	rounds := 40
+	if testing.Short() {
+		rounds = 10
+	}
+	for seed := uint64(0); seed < 3; seed++ {
+		f, o := halves(seed)
+		rng := gen.NewRNG(seed ^ 0xB61D6E)
+		for round := 0; round < rounds; round++ {
+			bu := graph.V(rng.Intn(half))
+			bv := graph.V(half + rng.Intn(half))
+			f.Link(bu, bv)
+			o.link(bu, bv)
+			if !f.Connected(0, half) {
+				t.Fatalf("seed %d round %d: bridge did not connect the halves", seed, round)
+			}
+			// Intra-half churn while the bridge is up: cuts must replace.
+			for j := 0; j < 8; j++ {
+				base := graph.V(0)
+				if rng.Intn(2) == 1 {
+					base = half
+				}
+				u := base + graph.V(rng.Intn(half))
+				v := base + graph.V(rng.Intn(half))
+				_, existed := f.Cut(u, v)
+				if existed != o.cut(u, v) {
+					t.Fatalf("seed %d round %d: Cut(%d,%d) existence mismatch", seed, round, u, v)
+				}
+				if existed && !f.Connected(u, v) {
+					t.Fatalf("seed %d round %d: intra-half cut (%d,%d) split a 2-edge-connected half", seed, round, u, v)
+				}
+				f.Link(u, v)
+				o.link(u, v)
+			}
+			split, existed := f.Cut(bu, bv)
+			o.cut(bu, bv)
+			if !existed || !split {
+				t.Fatalf("seed %d round %d: bridge cut = (split=%v, existed=%v), want (true,true)", seed, round, split, existed)
+			}
+			if f.Connected(0, half) {
+				t.Fatalf("seed %d round %d: halves still connected after bridge cut", seed, round)
+			}
+			lab, _ := f.Labels()
+			if err := verify.SamePartition(lab, o.labels()); err != nil {
+				t.Fatalf("seed %d round %d: %v", seed, round, err)
+			}
+		}
+	}
+}
+
+// TestDynDifferentialTearDownToSingletons deletes every edge of a connected
+// graph in random order: by the end every vertex is isolated, and the
+// component count must climb back to n exactly as the oracle says.
+func TestDynDifferentialTearDownToSingletons(t *testing.T) {
+	for _, seed := range []uint64{3, 11} {
+		g := graph.Undirect(gen.Random(150, 450, seed))
+		f := NewForest(g.NumVertices())
+		o := newDynOracle(g.NumVertices())
+		for _, ep := range g.EdgeEndpoints() {
+			f.Link(ep[0], ep[1])
+			o.link(ep[0], ep[1])
+		}
+		eps := g.EdgeEndpoints()
+		rng := gen.NewRNG(seed ^ 0xFEED)
+		for i := len(eps) - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			eps[i], eps[j] = eps[j], eps[i]
+		}
+		for i, ep := range eps {
+			f.Cut(ep[0], ep[1])
+			o.cut(ep[0], ep[1])
+			if i%40 == 0 {
+				lab, _ := f.Labels()
+				if err := verify.SamePartition(lab, o.labels()); err != nil {
+					t.Fatalf("seed %d after %d deletions: %v", seed, i+1, err)
+				}
+			}
+		}
+		if f.NumEdges() != 0 || f.ComponentCount() != g.NumVertices() {
+			t.Fatalf("seed %d: full teardown left %d edges, %d components", seed, f.NumEdges(), f.ComponentCount())
+		}
+	}
+}

@@ -1,0 +1,283 @@
+// Package dyn implements Aquila's fully dynamic connectivity layer: an
+// Euler-tour-tree spanning forest with HDT-style per-edge levels
+// (Holm, de Lichtenberg & Thorup, J.ACM 2001; the parallel-euler-tour-tree
+// lineage of Shun, Dhulipala & Blelloch, SPAA 2014 is the exemplar named in
+// SNIPPETS.md §3). Unlike the monotone union-find of internal/inc, a Forest
+// supports edge deletions: cutting a spanning-forest edge searches the
+// non-tree edges level by level for a replacement, and only reports a
+// component split when none exists.
+//
+// The tour sequences are stored in randomized treaps (balanced BSTs over the
+// implicit tour position) with parent pointers, so Link, Cut and Connected
+// are all O(log n) expected per forest level. Treap priorities come from a
+// deterministically seeded RNG: the structure is reproducible run to run,
+// which the differential and fuzz harnesses rely on.
+//
+// A Forest is NOT safe for concurrent use; callers (the Engine) serialize
+// all access. Connected performs no rotations, so concurrent reads between
+// writes are fine — but never concurrent with Link/Cut.
+package dyn
+
+import (
+	"aquila/internal/graph"
+)
+
+// node is one element of a tour sequence: either a vertex loop (every vertex
+// appears exactly once per tour) or one direction of a tree arc. The treap is
+// keyed by implicit position; pri maintains the heap shape.
+type node struct {
+	parent, left, right *node
+	pri                 uint64
+	size                int32 // treap nodes in this subtree
+	loops               int32 // vertex-loop nodes in this subtree
+	isLoop              bool
+	u, v                graph.V // loop: u == v == the vertex; arc: tail u, head v
+}
+
+func nsize(x *node) int32 {
+	if x == nil {
+		return 0
+	}
+	return x.size
+}
+
+func nloops(x *node) int32 {
+	if x == nil {
+		return 0
+	}
+	return x.loops
+}
+
+// update recomputes x's subtree aggregates from its children.
+func update(x *node) {
+	x.size = 1 + nsize(x.left) + nsize(x.right)
+	x.loops = nloops(x.left) + nloops(x.right)
+	if x.isLoop {
+		x.loops++
+	}
+}
+
+// root climbs to the treap root; two nodes are in one tour iff their roots
+// are identical.
+func root(x *node) *node {
+	for x.parent != nil {
+		x = x.parent
+	}
+	return x
+}
+
+// index returns x's in-order position within its treap (0-based).
+func index(x *node) int32 {
+	idx := nsize(x.left)
+	for cur, p := x, x.parent; p != nil; cur, p = p, p.parent {
+		if p.right == cur {
+			idx += nsize(p.left) + 1
+		}
+	}
+	return idx
+}
+
+// merge concatenates two treaps (every element of a before every element of
+// b) and returns the new root.
+func merge(a, b *node) *node {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if a.pri >= b.pri {
+		r := merge(a.right, b)
+		a.right = r
+		r.parent = a
+		update(a)
+		return a
+	}
+	l := merge(a, b.left)
+	b.left = l
+	l.parent = b
+	update(b)
+	return b
+}
+
+// splitBefore splits x's treap into (everything before x, x and everything
+// after), returning the two roots. It works bottom-up through the parent
+// pointers: each ancestor joins the left or right part depending on which
+// side the climb came from, which preserves the heap order because the
+// subtree it adopts was already part of its original subtree.
+func splitBefore(x *node) (l, r *node) {
+	l = x.left
+	if l != nil {
+		l.parent = nil
+		x.left = nil
+	}
+	r = x
+	update(r)
+	cur, p := x, x.parent
+	x.parent = nil
+	for p != nil {
+		next := p.parent
+		p.parent = nil
+		if p.right == cur {
+			p.right = l
+			if l != nil {
+				l.parent = p
+			}
+			update(p)
+			l = p
+		} else {
+			p.left = r
+			if r != nil {
+				r.parent = p
+			}
+			update(p)
+			r = p
+		}
+		cur, p = p, next
+	}
+	return l, r
+}
+
+// remove deletes the single node x from its treap and returns the root of
+// what remains (nil if x was the only node). Callers must not keep using x
+// as a handle to the treap.
+func remove(x *node) *node {
+	sub := merge(x.left, x.right)
+	p := x.parent
+	if sub != nil {
+		sub.parent = p
+	}
+	x.parent, x.left, x.right = nil, nil, nil
+	if p == nil {
+		return sub
+	}
+	if p.left == x {
+		p.left = sub
+	} else {
+		p.right = sub
+	}
+	r := p
+	for q := p; q != nil; q = q.parent {
+		update(q)
+		r = q
+	}
+	return r
+}
+
+// rng is a splitmix64 generator for treap priorities — deterministic per
+// Forest so test failures replay exactly.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// ett is the Euler-tour forest at one HDT level: a treap-backed tour per
+// tree. Vertex loop nodes are allocated lazily (levels above 0 only ever see
+// the vertices promoted into them).
+type ett struct {
+	rnd  *rng
+	loop []*node              // per-vertex loop node, nil until first touched
+	arcs map[[2]graph.V]*node // directed tree arc (u,v) -> its tour node
+}
+
+func newETT(n int, rnd *rng) *ett {
+	return &ett{rnd: rnd, loop: make([]*node, n), arcs: make(map[[2]graph.V]*node)}
+}
+
+// ensure returns v's loop node, allocating a singleton tour on first touch.
+func (t *ett) ensure(v graph.V) *node {
+	x := t.loop[v]
+	if x == nil {
+		x = &node{pri: t.rnd.next(), isLoop: true, u: v, v: v}
+		update(x)
+		t.loop[v] = x
+	}
+	return x
+}
+
+// connected reports whether u and v share a tour.
+func (t *ett) connected(u, v graph.V) bool {
+	if u == v {
+		return true
+	}
+	return root(t.ensure(u)) == root(t.ensure(v))
+}
+
+// reroot rotates the tour containing x so it starts at x.
+func (t *ett) reroot(x *node) *node {
+	l, r := splitBefore(x)
+	return merge(r, l)
+}
+
+// link joins the trees of u and v with the tree edge {u,v}. The callers
+// guarantee the trees are distinct.
+func (t *ett) link(u, v graph.V) {
+	lu, lv := t.ensure(u), t.ensure(v)
+	tu := t.reroot(lu)
+	tv := t.reroot(lv)
+	a := &node{pri: t.rnd.next(), u: u, v: v}
+	b := &node{pri: t.rnd.next(), u: v, v: u}
+	update(a)
+	update(b)
+	t.arcs[[2]graph.V{u, v}] = a
+	t.arcs[[2]graph.V{v, u}] = b
+	merge(merge(merge(tu, a), tv), b)
+}
+
+// cut removes the tree edge {u,v}, splitting its tour in two. The edge must
+// be a tree edge at this level.
+func (t *ett) cut(u, v graph.V) {
+	a := t.arcs[[2]graph.V{u, v}]
+	b := t.arcs[[2]graph.V{v, u}]
+	delete(t.arcs, [2]graph.V{u, v})
+	delete(t.arcs, [2]graph.V{v, u})
+	if index(a) > index(b) {
+		a, b = b, a
+	}
+	pre, _ := splitBefore(a)
+	_, post := splitBefore(b)
+	// a heads the inner segment and b heads post; dropping both leaves the
+	// inner tour (the walk strictly between the two arc passes) as the split-
+	// off tree, and pre+post reconnects as the tour of the remaining tree.
+	// remove returns the surviving roots — a and b may themselves be the
+	// roots of their split parts.
+	remove(a)
+	post = remove(b)
+	merge(pre, post)
+}
+
+// treeSize returns the number of vertices in v's tree.
+func (t *ett) treeSize(v graph.V) int {
+	return int(root(t.ensure(v)).loops)
+}
+
+// vertices appends every vertex of v's tree to out and returns it.
+func (t *ett) vertices(v graph.V, out []graph.V) []graph.V {
+	var walk func(x *node)
+	walk = func(x *node) {
+		if x == nil {
+			return
+		}
+		if x.loops == 0 {
+			return
+		}
+		walk(x.left)
+		if x.isLoop {
+			out = append(out, x.u)
+		}
+		walk(x.right)
+	}
+	walk(root(t.ensure(v)))
+	return out
+}
+
+// hasArc reports whether {u,v} is a tree edge at this level.
+func (t *ett) hasArc(u, v graph.V) bool {
+	_, ok := t.arcs[[2]graph.V{u, v}]
+	return ok
+}

@@ -1,0 +1,329 @@
+package dyn
+
+import (
+	"fmt"
+	"math/bits"
+
+	"aquila/internal/graph"
+)
+
+// Forest is a fully dynamic connectivity structure over a fixed vertex set
+// [0, n): a spanning forest maintained under edge insertions (Link) and
+// deletions (Cut) with poly-logarithmic amortized cost, in the HDT scheme.
+//
+// Every edge carries a level in [0, maxLevel]. Level i's Euler-tour forest
+// contains exactly the spanning-forest edges of level >= i, so level 0 is the
+// spanning forest of the whole graph and answers Connected. Cutting a tree
+// edge at level l removes it from forests 0..l and then searches levels
+// l..0 for a replacement: at each level the smaller side's tree edges are
+// promoted one level (keeping every level-i tree small enough that the
+// promotion budget amortizes), then the level-i non-tree edges incident to
+// the smaller side are scanned — an edge leading out of it reconnects the
+// two halves and becomes a tree edge; an edge internal to it is promoted.
+// Only when every level is exhausted has a component genuinely split.
+//
+// A Forest is not safe for concurrent mutation; see the package comment.
+type Forest struct {
+	n        int
+	maxLevel int
+	rnd      rng
+	levels   []*ett // levels[i]: Euler-tour forest of tree edges with level >= i; lazy
+	// edges holds every live edge keyed by normalized (min,max) endpoints.
+	edges map[[2]graph.V]edgeInfo
+	// nonTree[i][v] is the set of level-i non-tree neighbors of v; both the
+	// per-level slice entries and the per-vertex maps are allocated lazily.
+	nonTree [][]map[graph.V]struct{}
+	// treeAdj[i][v] is the set of neighbors joined to v by a tree edge whose
+	// level is exactly i (tree edges live in ETTs 0..i but are indexed once).
+	treeAdj [][]map[graph.V]struct{}
+	comps   int
+	numE    int
+
+	// scratch reused across Cut calls.
+	verts []graph.V
+	pairs [][2]graph.V
+}
+
+type edgeInfo struct {
+	level int
+	tree  bool
+}
+
+// NewForest returns an empty forest over vertices [0, n).
+func NewForest(n int) *Forest {
+	if n < 0 {
+		panic(fmt.Sprintf("dyn: negative vertex count %d", n))
+	}
+	ml := bits.Len(uint(n)) // floor(log2 n)+1 levels is the HDT bound
+	f := &Forest{
+		n:        n,
+		maxLevel: ml,
+		rnd:      rng{s: 0x9e3779b97f4a7c15 ^ uint64(n)},
+		levels:   make([]*ett, ml+1),
+		edges:    make(map[[2]graph.V]edgeInfo),
+		nonTree:  make([][]map[graph.V]struct{}, ml+1),
+		treeAdj:  make([][]map[graph.V]struct{}, ml+1),
+		comps:    n,
+	}
+	return f
+}
+
+// NumVertices returns the size of the vertex universe.
+func (f *Forest) NumVertices() int { return f.n }
+
+// NumEdges returns the number of live (undirected, deduplicated) edges.
+func (f *Forest) NumEdges() int { return f.numE }
+
+// ComponentCount returns the number of connected components, counting
+// isolated vertices.
+func (f *Forest) ComponentCount() int { return f.comps }
+
+func key(u, v graph.V) [2]graph.V {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]graph.V{u, v}
+}
+
+// HasEdge reports whether the edge {u,v} is live. Self-loops are never
+// stored.
+func (f *Forest) HasEdge(u, v graph.V) bool {
+	if u == v {
+		return false
+	}
+	_, ok := f.edges[key(u, v)]
+	return ok
+}
+
+// Connected reports whether u and v are in the same component.
+func (f *Forest) Connected(u, v graph.V) bool {
+	if u == v {
+		return true
+	}
+	return f.level(0).connected(u, v)
+}
+
+func (f *Forest) level(i int) *ett {
+	t := f.levels[i]
+	if t == nil {
+		t = newETT(f.n, &f.rnd)
+		f.levels[i] = t
+	}
+	return t
+}
+
+func (f *Forest) checkVertex(v graph.V) {
+	if int(v) >= f.n {
+		panic(fmt.Sprintf("dyn: vertex %d out of range [0,%d)", v, f.n))
+	}
+}
+
+func addAdj(adj []map[graph.V]struct{}, u, v graph.V) {
+	if adj[u] == nil {
+		adj[u] = make(map[graph.V]struct{})
+	}
+	adj[u][v] = struct{}{}
+}
+
+func delAdj(adj []map[graph.V]struct{}, u, v graph.V) {
+	if m := adj[u]; m != nil {
+		delete(m, v)
+	}
+}
+
+func (f *Forest) nonTreeAt(i int) []map[graph.V]struct{} {
+	if f.nonTree[i] == nil {
+		f.nonTree[i] = make([]map[graph.V]struct{}, f.n)
+	}
+	return f.nonTree[i]
+}
+
+func (f *Forest) treeAdjAt(i int) []map[graph.V]struct{} {
+	if f.treeAdj[i] == nil {
+		f.treeAdj[i] = make([]map[graph.V]struct{}, f.n)
+	}
+	return f.treeAdj[i]
+}
+
+// Link inserts the edge {u,v}. It reports whether the insertion merged two
+// previously separate components. Self-loops and duplicate edges are no-ops.
+func (f *Forest) Link(u, v graph.V) (merged bool) {
+	f.checkVertex(u)
+	f.checkVertex(v)
+	if u == v {
+		return false
+	}
+	k := key(u, v)
+	if _, ok := f.edges[k]; ok {
+		return false
+	}
+	f.numE++
+	if !f.level(0).connected(u, v) {
+		f.edges[k] = edgeInfo{level: 0, tree: true}
+		f.level(0).link(u, v)
+		ta := f.treeAdjAt(0)
+		addAdj(ta, u, v)
+		addAdj(ta, v, u)
+		f.comps--
+		return true
+	}
+	f.edges[k] = edgeInfo{level: 0, tree: false}
+	nt := f.nonTreeAt(0)
+	addAdj(nt, u, v)
+	addAdj(nt, v, u)
+	return false
+}
+
+// Cut deletes the edge {u,v}. existed reports whether the edge was live;
+// split reports whether the deletion disconnected its component (i.e. no
+// replacement edge was found at any level).
+func (f *Forest) Cut(u, v graph.V) (split, existed bool) {
+	f.checkVertex(u)
+	f.checkVertex(v)
+	if u == v {
+		return false, false
+	}
+	k := key(u, v)
+	info, ok := f.edges[k]
+	if !ok {
+		return false, false
+	}
+	delete(f.edges, k)
+	f.numE--
+	if !info.tree {
+		nt := f.nonTreeAt(info.level)
+		delAdj(nt, u, v)
+		delAdj(nt, v, u)
+		return false, true
+	}
+	// Tree edge: drop it from every forest it participates in, then search
+	// for a replacement from its level downward.
+	for i := info.level; i >= 0; i-- {
+		f.level(i).cut(u, v)
+	}
+	ta := f.treeAdjAt(info.level)
+	delAdj(ta, u, v)
+	delAdj(ta, v, u)
+	for i := info.level; i >= 0; i-- {
+		if f.replaceAt(i, u, v) {
+			return false, true
+		}
+	}
+	f.comps++
+	return true, true
+}
+
+// replaceAt searches level i for an edge reconnecting the two trees that u
+// and v now head in forest i. If found, it is relinked as a tree edge at
+// level i (in forests 0..i) and replaceAt returns true. As a side effect the
+// smaller tree's level-i tree edges, and any level-i non-tree edges internal
+// to it, are promoted to level i+1 (unless already at the top level).
+func (f *Forest) replaceAt(i int, u, v graph.V) bool {
+	t := f.level(i)
+	small := u
+	if t.treeSize(v) < t.treeSize(u) {
+		small = v
+	}
+	smallRoot := root(t.ensure(small))
+
+	f.verts = t.vertices(small, f.verts[:0])
+
+	// Promote the smaller tree's level-i tree edges to level i+1. Collect
+	// first: promotion mutates treeAdj[i].
+	if i+1 <= f.maxLevel {
+		ta := f.treeAdjAt(i)
+		f.pairs = f.pairs[:0]
+		for _, w := range f.verts {
+			for z := range ta[w] {
+				if w < z { // each tree edge has both endpoints inside the tree
+					f.pairs = append(f.pairs, [2]graph.V{w, z})
+				}
+			}
+		}
+		tan := f.treeAdjAt(i + 1)
+		up := f.level(i + 1)
+		for _, p := range f.pairs {
+			w, z := p[0], p[1]
+			delAdj(ta, w, z)
+			delAdj(ta, z, w)
+			addAdj(tan, w, z)
+			addAdj(tan, z, w)
+			f.edges[p] = edgeInfo{level: i + 1, tree: true}
+			up.link(w, z)
+		}
+	}
+
+	// Scan the level-i non-tree edges incident to the smaller tree.
+	nt := f.nonTreeAt(i)
+	var ntUp []map[graph.V]struct{}
+	for _, w := range f.verts {
+		m := nt[w]
+		if len(m) == 0 {
+			continue
+		}
+		// Snapshot: promotion/removal mutates m.
+		f.pairs = f.pairs[:0]
+		for z := range m {
+			f.pairs = append(f.pairs, [2]graph.V{w, z})
+		}
+		for _, p := range f.pairs {
+			w, z := p[0], p[1]
+			if root(t.ensure(z)) == smallRoot {
+				// Internal to the smaller tree: promote to level i+1.
+				if i+1 <= f.maxLevel {
+					if ntUp == nil {
+						ntUp = f.nonTreeAt(i + 1)
+					}
+					delAdj(nt, w, z)
+					delAdj(nt, z, w)
+					addAdj(ntUp, w, z)
+					addAdj(ntUp, z, w)
+					f.edges[key(w, z)] = edgeInfo{level: i + 1, tree: false}
+				}
+				continue
+			}
+			// Crosses to the other side: replacement found. It becomes a
+			// tree edge at level i, joining forests 0..i.
+			delAdj(nt, w, z)
+			delAdj(nt, z, w)
+			f.edges[key(w, z)] = edgeInfo{level: i, tree: true}
+			ta := f.treeAdjAt(i)
+			addAdj(ta, w, z)
+			addAdj(ta, z, w)
+			for j := i; j >= 0; j-- {
+				f.level(j).link(w, z)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Labels returns the canonical component census: label[v] is the smallest
+// vertex id in v's component (so label[l] == l and l <= v for every v),
+// exactly the form inc.FromLabels and cc.Result consumers expect, plus the
+// component count.
+func (f *Forest) Labels() ([]uint32, int) {
+	label := make([]uint32, f.n)
+	reps := make(map[*node]uint32, f.comps)
+	t := f.level(0)
+	for v := 0; v < f.n; v++ {
+		r := root(t.ensure(graph.V(v)))
+		rep, ok := reps[r]
+		if !ok {
+			rep = uint32(v) // first visit in increasing order = component min
+			reps[r] = rep
+		}
+		label[v] = rep
+	}
+	return label, len(reps)
+}
+
+// EdgeList appends every live edge (normalized u < v) to out and returns it.
+// The order is unspecified. Used when rebuilding static CSRs.
+func (f *Forest) EdgeList(out [][2]graph.V) [][2]graph.V {
+	for k := range f.edges {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package dyn
+
+// FuzzDynMatchesOracle decodes the fuzz input as a mixed Link/Cut/Connected
+// schedule over a byte-sized vertex universe and cross-checks the dynamic
+// forest against an edge-set mirror (with the serial DFS baseline providing
+// ground-truth labels). Live edges are addressed deterministically through
+// the mirror's slice so any crashing input replays byte for byte.
+
+import (
+	"testing"
+
+	"aquila/internal/baseline/serialdfs"
+	"aquila/internal/graph"
+	"aquila/internal/verify"
+)
+
+// edgeMirror tracks the live edge set with deterministic indexing: a slice
+// for addressing plus a map for membership, kept in sync with swap-deletes.
+type edgeMirror struct {
+	n    int
+	list [][2]graph.V
+	idx  map[[2]graph.V]int
+}
+
+func newEdgeMirror(n int) *edgeMirror {
+	return &edgeMirror{n: n, idx: make(map[[2]graph.V]int)}
+}
+
+func (m *edgeMirror) link(u, v graph.V) {
+	if u == v {
+		return
+	}
+	k := key(u, v)
+	if _, ok := m.idx[k]; ok {
+		return
+	}
+	m.idx[k] = len(m.list)
+	m.list = append(m.list, k)
+}
+
+func (m *edgeMirror) cut(u, v graph.V) bool {
+	k := key(u, v)
+	i, ok := m.idx[k]
+	if !ok {
+		return false
+	}
+	last := len(m.list) - 1
+	m.list[i] = m.list[last]
+	m.idx[m.list[i]] = i
+	m.list = m.list[:last]
+	delete(m.idx, k)
+	return true
+}
+
+func (m *edgeMirror) labels() []uint32 {
+	edges := make([]graph.Edge, len(m.list))
+	for i, k := range m.list {
+		edges[i] = graph.Edge{U: k[0], V: k[1]}
+	}
+	return serialdfs.CC(graph.BuildUndirected(m.n, edges))
+}
+
+func FuzzDynMatchesOracle(f *testing.F) {
+	f.Add([]byte{8, 0, 0, 1, 0, 1, 2, 2, 0, 1})          // link chain, cut
+	f.Add([]byte{4, 0, 0, 1, 0, 1, 0, 0, 0, 1, 3, 0, 1}) // dup links, probe
+	f.Add([]byte{16, 0, 1, 2, 0, 2, 3, 2, 0, 0, 2, 1, 0, 3, 1, 3})
+	f.Add([]byte{60, 0, 5, 9, 0, 9, 5, 2, 5, 9, 2, 5, 9, 0, 7, 7}) // self-loop
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		n := int(data[0])%60 + 4
+		fo := NewForest(n)
+		m := newEdgeMirror(n)
+
+		check := func() {
+			truth := m.labels()
+			lab, count := fo.Labels()
+			if err := verify.SamePartition(lab, truth); err != nil {
+				t.Fatalf("partition diverged: %v", err)
+			}
+			if want := distinctCount(truth); count != want {
+				t.Fatalf("count = %d, oracle %d", count, want)
+			}
+			if got, want := fo.NumEdges(), len(m.list); got != want {
+				t.Fatalf("edges = %d, mirror %d", got, want)
+			}
+		}
+
+		ops := 0
+		for i := 1; i+2 < len(data); i += 3 {
+			op := data[i] % 4
+			u := graph.V(int(data[i+1]) % n)
+			v := graph.V(int(data[i+2]) % n)
+			switch op {
+			case 0, 1: // link (dups and self-loops welcome)
+				fo.Link(u, v)
+				m.link(u, v)
+			case 2: // cut — usually a live edge, addressed by byte index
+				if len(m.list) > 0 && data[i+1]%8 < 6 {
+					k := m.list[int(data[i+2])%len(m.list)]
+					u, v = k[0], k[1]
+				}
+				_, got := fo.Cut(u, v)
+				if want := m.cut(u, v); got != want {
+					t.Fatalf("Cut(%d,%d) existed=%v, mirror %v", u, v, got, want)
+				}
+			default: // pairwise probe against ground-truth labels
+				truth := m.labels()
+				if got, want := fo.Connected(u, v), truth[u] == truth[v]; got != want {
+					t.Fatalf("Connected(%d,%d) = %v, oracle %v", u, v, got, want)
+				}
+			}
+			ops++
+			// Full-state check on a data-dependent boundary.
+			if data[i]%16 == 0 || ops%23 == 0 {
+				check()
+			}
+		}
+		check()
+	})
+}

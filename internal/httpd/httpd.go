@@ -521,22 +521,39 @@ func (s *Server) handleApply(r *http.Request) (any, error) {
 	if err := dec.Decode(&req); err != nil {
 		return nil, &httpError{http.StatusBadRequest, "bad apply body: " + err.Error()}
 	}
-	if len(req.Edges) > s.cfg.MaxBatchEdges {
+	// The batch cap covers both operation kinds together: a request's cost is
+	// its total op count, not just its insert count.
+	if total := len(req.Edges) + len(req.Deletes); total > s.cfg.MaxBatchEdges {
 		return nil, &httpError{http.StatusRequestEntityTooLarge,
-			fmt.Sprintf("batch of %d edges exceeds the %d-edge cap", len(req.Edges), s.cfg.MaxBatchEdges)}
+			fmt.Sprintf("batch of %d ops exceeds the %d-op cap", total, s.cfg.MaxBatchEdges)}
 	}
-	batch := make([]aquila.Edge, len(req.Edges))
-	for i, e := range req.Edges {
-		batch[i] = aquila.Edge{U: e[0], V: e[1]}
+	var res *aquila.ApplyResult
+	var err error
+	if len(req.Deletes) > 0 {
+		batch := make([]aquila.Update, 0, len(req.Edges)+len(req.Deletes))
+		for _, e := range req.Edges {
+			batch = append(batch, aquila.Insert(e[0], e[1]))
+		}
+		for _, e := range req.Deletes {
+			batch = append(batch, aquila.Delete(e[0], e[1]))
+		}
+		res, err = s.srv.ApplyUpdates(batch)
+	} else {
+		batch := make([]aquila.Edge, len(req.Edges))
+		for i, e := range req.Edges {
+			batch[i] = aquila.Edge{U: e[0], V: e[1]}
+		}
+		res, err = s.srv.Apply(batch)
 	}
-	res, err := s.srv.Apply(batch)
 	if err != nil {
 		return nil, &httpError{http.StatusBadRequest, err.Error()}
 	}
 	sn := s.srv.Acquire()
 	s.retain(sn)
 	return ApplyResponse{Epoch: sn.Epoch(), NewEdges: res.NewEdges, NewArcs: res.NewArcs,
-		Merged: res.Merged, Components: res.Components, Rebuilt: res.Rebuilt}, nil
+		DeletedEdges: res.DeletedEdges, DeletedArcs: res.DeletedArcs,
+		Merged: res.Merged, Split: res.Split, Components: res.Components,
+		Rebuilt: res.Rebuilt, Dynamic: res.Dynamic}, nil
 }
 
 func (s *Server) handleEpoch(r *http.Request) (any, error) {

@@ -1,0 +1,195 @@
+// Tests for the delete-carrying POST /v1/apply path: promotion to the
+// dynamic layer over HTTP, snapshot isolation across shrinking epochs, the
+// combined insert+delete batch cap, and delete validation errors.
+package httpd_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"aquila"
+	"aquila/internal/httpd"
+)
+
+func postApplyUpdates(t *testing.T, ts *httptest.Server, req httpd.ApplyRequest) (int, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/apply", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestApplyDeletes walks a triangle through insert and delete epochs and
+// checks the response counters, the published connectivity, and that pinned
+// past epochs still answer from their own (larger) graphs.
+func TestApplyDeletes(t *testing.T) {
+	const n = 4
+	eng := aquila.NewEngine(aquila.NewUndirected(n, nil), aquila.Options{Threads: 1})
+	front := httpd.New(aquila.NewServer(eng, aquila.ServerConfig{}), httpd.Config{})
+	ts := newTS(t, front)
+
+	// Epoch 1: the triangle, via plain inserts.
+	status, body := postApplyUpdates(t, ts, httpd.ApplyRequest{
+		Edges: [][2]aquila.V{{0, 1}, {1, 2}, {0, 2}},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("insert batch: %d: %s", status, body)
+	}
+	var ar httpd.ApplyResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Epoch != 1 || ar.NewEdges != 3 || ar.Dynamic {
+		t.Fatalf("insert batch response = %+v, want epoch=1 new=3 dynamic=false", ar)
+	}
+
+	// Epoch 2: delete a cycle edge — promotes, no split.
+	status, body = postApplyUpdates(t, ts, httpd.ApplyRequest{
+		Deletes: [][2]aquila.V{{0, 1}},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("delete batch: %d: %s", status, body)
+	}
+	ar = httpd.ApplyResponse{}
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Epoch != 2 || ar.DeletedEdges != 1 || ar.Split != 0 || !ar.Dynamic {
+		t.Fatalf("cycle delete response = %+v, want epoch=2 deleted=1 split=0 dynamic", ar)
+	}
+
+	// Epoch 3: mixed batch — inserts apply before deletes, so inserting
+	// {2,3} and deleting {1,2} in one request leaves 0-2-3 and isolates 1.
+	status, body = postApplyUpdates(t, ts, httpd.ApplyRequest{
+		Edges:   [][2]aquila.V{{2, 3}},
+		Deletes: [][2]aquila.V{{1, 2}},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("mixed batch: %d: %s", status, body)
+	}
+	ar = httpd.ApplyResponse{}
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.NewEdges != 1 || ar.DeletedEdges != 1 || ar.Split != 1 || ar.Components != 2 {
+		t.Fatalf("mixed batch response = %+v, want new=1 deleted=1 split=1 components=2", ar)
+	}
+
+	// The live epoch sees the shrunken graph...
+	var conn httpd.ConnectedResponse
+	mustGet(t, ts, "/v1/connected?u=1&v=2", "", &conn)
+	if conn.Connected {
+		t.Errorf("live epoch still connects 1 and 2 after delete")
+	}
+	var cc httpd.CCResponse
+	mustGet(t, ts, "/v1/cc", "", &cc)
+	if cc.NumComponents != 2 {
+		t.Errorf("live CC components = %d, want 2", cc.NumComponents)
+	}
+	// ...while each pinned epoch answers as of its own graph: at epoch 1 the
+	// full triangle, at epoch 2 the path 0-2-1.
+	for epoch, wantComps := range map[string]int{"1": 2, "2": 2} {
+		mustGet(t, ts, "/v1/cc", epoch, &cc)
+		if cc.NumComponents != wantComps {
+			t.Errorf("pinned epoch %s components = %d, want %d", epoch, cc.NumComponents, wantComps)
+		}
+	}
+	mustGet(t, ts, "/v1/connected?u=1&v=2", "2", &conn)
+	if !conn.Connected {
+		t.Errorf("pinned epoch 2 lost edge {1,2}: snapshot not isolated from later delete")
+	}
+}
+
+// TestApplyDeletesDirectedArcs: over HTTP as at the engine layer, deleting
+// one direction of an antiparallel arc pair keeps the undirected edge.
+func TestApplyDeletesDirectedArcs(t *testing.T) {
+	eng := aquila.NewDirectedEngine(aquila.NewDirected(3, []aquila.Edge{
+		{U: 0, V: 1}, {U: 1, V: 0}, {U: 1, V: 2},
+	}), aquila.Options{Threads: 1})
+	front := httpd.New(aquila.NewServer(eng, aquila.ServerConfig{}), httpd.Config{})
+	ts := newTS(t, front)
+
+	status, body := postApplyUpdates(t, ts, httpd.ApplyRequest{Deletes: [][2]aquila.V{{0, 1}}})
+	if status != http.StatusOK {
+		t.Fatalf("arc delete: %d: %s", status, body)
+	}
+	var ar httpd.ApplyResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.DeletedArcs != 1 || ar.DeletedEdges != 0 {
+		t.Fatalf("first direction response = %+v, want deleted_arcs=1 deleted_edges=0", ar)
+	}
+	var conn httpd.ConnectedResponse
+	mustGet(t, ts, "/v1/connected?u=0&v=1", "", &conn)
+	if !conn.Connected {
+		t.Errorf("undirected edge lost while the reverse arc remains")
+	}
+
+	status, body = postApplyUpdates(t, ts, httpd.ApplyRequest{Deletes: [][2]aquila.V{{1, 0}}})
+	if status != http.StatusOK {
+		t.Fatalf("second arc delete: %d: %s", status, body)
+	}
+	ar = httpd.ApplyResponse{}
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.DeletedArcs != 1 || ar.DeletedEdges != 1 || ar.Split != 1 {
+		t.Fatalf("second direction response = %+v, want deleted_arcs=1 deleted_edges=1 split=1", ar)
+	}
+	mustGet(t, ts, "/v1/connected?u=0&v=1", "", &conn)
+	if conn.Connected {
+		t.Errorf("undirected edge survived both arc deletions")
+	}
+}
+
+// TestApplyDeleteValidation: the batch cap counts inserts plus deletes
+// together, and malformed delete batches are client errors that publish no
+// epoch.
+func TestApplyDeleteValidation(t *testing.T) {
+	const n = 10
+	eng := aquila.NewEngine(aquila.NewUndirected(n, []aquila.Edge{{U: 0, V: 1}}), aquila.Options{Threads: 1})
+	front := httpd.New(aquila.NewServer(eng, aquila.ServerConfig{}), httpd.Config{MaxBatchEdges: 4})
+	ts := newTS(t, front)
+
+	// 3 inserts + 2 deletes = 5 ops over the 4-op cap.
+	status, _ := postApplyUpdates(t, ts, httpd.ApplyRequest{
+		Edges:   [][2]aquila.V{{1, 2}, {2, 3}, {3, 4}},
+		Deletes: [][2]aquila.V{{0, 1}, {1, 2}},
+	})
+	if status != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized mixed batch: %d, want 413", status)
+	}
+
+	// Out-of-range delete endpoint: 400, nothing applied.
+	status, body := postApplyUpdates(t, ts, httpd.ApplyRequest{Deletes: [][2]aquila.V{{0, n}}})
+	if status != http.StatusBadRequest {
+		t.Errorf("out-of-range delete: %d, want 400: %s", status, body)
+	}
+
+	var ep httpd.EpochResponse
+	mustGet(t, ts, "/v1/epoch", "", &ep)
+	if ep.Epoch != 0 {
+		t.Fatalf("rejected batches published epoch %d, want 0", ep.Epoch)
+	}
+	var conn httpd.ConnectedResponse
+	mustGet(t, ts, fmt.Sprintf("/v1/connected?u=%d&v=%d", 0, 1), "", &conn)
+	if !conn.Connected {
+		t.Errorf("rejected delete removed edge {0,1}")
+	}
+}

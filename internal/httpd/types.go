@@ -73,19 +73,29 @@ type HistogramResponse struct {
 	Histogram map[int]int `json:"histogram"`
 }
 
-// ApplyRequest is the POST /v1/apply body: a batch of edges as [u,v] pairs.
+// ApplyRequest is the POST /v1/apply body: a batch of edge insertions as
+// [u,v] pairs, plus (optionally) deletions. Within one request the inserts
+// apply before the deletes; the first request carrying deletes promotes the
+// engine to the fully dynamic connectivity structure.
 type ApplyRequest struct {
-	Edges [][2]aquila.V `json:"edges"`
+	Edges   [][2]aquila.V `json:"edges"`
+	Deletes [][2]aquila.V `json:"deletes,omitempty"`
 }
 
-// ApplyResponse reports one applied batch and the epoch it published.
+// ApplyResponse reports one applied batch and the epoch it published. The
+// deletion counters and Dynamic are zero/false until the engine has promoted
+// to the dynamic layer.
 type ApplyResponse struct {
-	Epoch      uint64 `json:"epoch"`
-	NewEdges   int    `json:"new_edges"`
-	NewArcs    int    `json:"new_arcs"`
-	Merged     int    `json:"merged"`
-	Components int    `json:"components"`
-	Rebuilt    bool   `json:"rebuilt"`
+	Epoch        uint64 `json:"epoch"`
+	NewEdges     int    `json:"new_edges"`
+	NewArcs      int    `json:"new_arcs"`
+	DeletedEdges int    `json:"deleted_edges,omitempty"`
+	DeletedArcs  int    `json:"deleted_arcs,omitempty"`
+	Merged       int    `json:"merged"`
+	Split        int    `json:"split,omitempty"`
+	Components   int    `json:"components"`
+	Rebuilt      bool   `json:"rebuilt"`
+	Dynamic      bool   `json:"dynamic,omitempty"`
 }
 
 // EpochResponse answers GET /v1/epoch.

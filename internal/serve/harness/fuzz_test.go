@@ -51,28 +51,38 @@ func FuzzServerSchedule(f *testing.F) {
 				break
 			}
 			switch op % 8 {
-			case 0: // Apply a decoded batch
+			case 0: // apply a decoded batch of mixed inserts and deletes
 				k, ok := next()
 				if !ok {
 					return
 				}
-				batch := make([]aquila.Edge, 0, int(k%5)+1)
+				batch := make([]aquila.Update, 0, int(k%5)+1)
 				for j := 0; j <= int(k%5); j++ {
 					ub, ok1 := next()
 					vb, ok2 := next()
 					if !ok1 || !ok2 {
 						break
 					}
-					batch = append(batch, aquila.Edge{
-						U: aquila.V(int(ub) % n), V: aquila.V(int(vb) % n)})
+					u, v := aquila.V(int(ub)%n), aquila.V(int(vb)%n)
+					switch {
+					case ub%4 == 3 && len(mirror.edges) > 0:
+						// Delete a live edge, addressed deterministically
+						// through the mirror's slice.
+						e := mirror.edges[int(vb)%len(mirror.edges)]
+						batch = append(batch, aquila.Delete(e.U, e.V))
+					case ub%4 == 2:
+						batch = append(batch, aquila.Delete(u, v)) // likely a miss
+					default:
+						batch = append(batch, aquila.Insert(u, v))
+					}
 				}
 				if len(batch) == 0 {
 					continue
 				}
-				if _, err := srv.Apply(batch); err != nil {
-					t.Fatalf("Apply: %v", err)
+				if _, err := srv.ApplyUpdates(batch); err != nil {
+					t.Fatalf("ApplyUpdates: %v", err)
 				}
-				mirror.add(batch)
+				mirror.apply(batch)
 			case 1: // Connected on the live epoch
 				ub, _ := next()
 				vb, _ := next()
@@ -146,16 +156,18 @@ func FuzzServerSchedule(f *testing.F) {
 	})
 }
 
-// mirror incrementally maintains the deduped simple edge set the engine holds
-// after a sequence of Apply calls.
+// mirror incrementally maintains the deduped simple edge set the engine
+// holds after a sequence of update batches. The slice gives deterministic
+// addressing for the fuzzer's delete ops; removal swap-deletes while the map
+// tracks each edge's slot.
 type mirror struct {
 	n     int
-	seen  map[[2]aquila.V]struct{}
+	seen  map[[2]aquila.V]int // normalized edge -> index in edges
 	edges []aquila.Edge
 }
 
 func newMirror(n int) *mirror {
-	return &mirror{n: n, seen: make(map[[2]aquila.V]struct{})}
+	return &mirror{n: n, seen: make(map[[2]aquila.V]int)}
 }
 
 func (m *mirror) add(es []aquila.Edge) {
@@ -171,8 +183,34 @@ func (m *mirror) add(es []aquila.Edge) {
 		if _, dup := m.seen[k]; dup {
 			continue
 		}
-		m.seen[k] = struct{}{}
+		m.seen[k] = len(m.edges)
 		m.edges = append(m.edges, aquila.Edge{U: u, V: v})
+	}
+}
+
+func (m *mirror) remove(u, v aquila.V) {
+	if u > v {
+		u, v = v, u
+	}
+	k := [2]aquila.V{u, v}
+	i, ok := m.seen[k]
+	if !ok {
+		return
+	}
+	last := len(m.edges) - 1
+	m.edges[i] = m.edges[last]
+	m.seen[[2]aquila.V{m.edges[i].U, m.edges[i].V}] = i
+	m.edges = m.edges[:last]
+	delete(m.seen, k)
+}
+
+func (m *mirror) apply(batch []aquila.Update) {
+	for _, up := range batch {
+		if up.Op == aquila.OpInsert {
+			m.add([]aquila.Edge{{U: up.U, V: up.V}})
+		} else {
+			m.remove(up.U, up.V)
+		}
 	}
 }
 

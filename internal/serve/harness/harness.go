@@ -8,9 +8,13 @@
 // The property being checked is snapshot consistency: an answer obtained
 // from a snapshot pinned at epoch k must equal the oracle's answer on
 // "base graph + the first k update batches", no matter how reads interleave
-// with concurrent Applies, cancellations, or deadline expiries. Connectivity
-// monotonicity and freedom from torn reads follow: a record can never mix
-// state from two epochs without failing its epoch's oracle.
+// with concurrent update batches, cancellations, or deadline expiries. Since
+// the PR 9 dynamic layer, batches mix insertions with deletions — epochs can
+// shrink, so the oracle replays each batch's ops in order (with the engine's
+// delete semantics: directed arcs are authoritative, the undirected edge
+// falls only when both directions are gone) to reconstruct every epoch's
+// graph. Freedom from torn reads still follows: a record can never mix state
+// from two epochs without failing its epoch's oracle.
 package harness
 
 import (
@@ -37,10 +41,12 @@ type T interface {
 // Class is one graph family schedules run over. Build must be deterministic
 // in seed and must return a simple base edge list (no duplicates, no
 // self-loops) so the oracle's reconstruction matches the engine's dedup.
+// Batches may mix insert and delete ops; a batch containing a delete routes
+// through Server.ApplyUpdates and promotes the engine to the dynamic layer.
 type Class struct {
 	Name     string
 	Directed bool
-	Build    func(seed uint64) (n int, base []aquila.Edge, batches [][]aquila.Edge)
+	Build    func(seed uint64) (n int, base []aquila.Edge, batches [][]aquila.Update)
 }
 
 // Config sizes one RunClass invocation.
@@ -141,8 +147,8 @@ func runSchedule(cls Class, cfg Config, seed uint64) error {
 	}
 	// The writer runs on this goroutine, racing the readers batch by batch.
 	for bi, b := range batches {
-		if _, err := srv.Apply(b); err != nil {
-			return fmt.Errorf("Apply batch %d: %w", bi, err)
+		if _, err := srv.ApplyUpdates(b); err != nil {
+			return fmt.Errorf("ApplyUpdates batch %d: %w", bi, err)
 		}
 	}
 	wg.Wait()
@@ -253,9 +259,12 @@ type oracle struct {
 	bridges [][]bool
 }
 
-// newOracle reconstructs every epoch's graph: epoch k holds the base plus
-// the first k batches, deduplicated exactly like Engine.Apply dedups.
-func newOracle(cls Class, n int, base []aquila.Edge, batches [][]aquila.Edge) *oracle {
+// newOracle reconstructs every epoch's graph: epoch k holds the base with
+// the first k batches replayed op by op — insert dedup exactly like
+// Engine.Apply, delete semantics exactly like Engine.ApplyUpdates (on
+// directed classes the arc set is authoritative; the undirected projection
+// keeps an edge while either direction remains).
+func newOracle(cls Class, n int, base []aquila.Edge, batches [][]aquila.Update) *oracle {
 	epochs := len(batches) + 1
 	o := &oracle{
 		und:     make([]*graph.Undirected, epochs),
@@ -266,55 +275,65 @@ func newOracle(cls Class, n int, base []aquila.Edge, batches [][]aquila.Edge) *o
 	if cls.Directed {
 		o.dir = make([]*graph.Directed, epochs)
 		o.scc = make([][]uint32, epochs)
-		seen := make(map[[2]aquila.V]struct{}, len(base))
-		var arcs []aquila.Edge
-		add := func(es []aquila.Edge) {
-			for _, e := range es {
-				if e.U == e.V {
-					continue
-				}
-				k := [2]aquila.V{e.U, e.V}
-				if _, dup := seen[k]; dup {
-					continue
-				}
-				seen[k] = struct{}{}
-				arcs = append(arcs, e)
+		arcs := make(map[[2]aquila.V]struct{}, len(base))
+		for _, e := range base {
+			if e.U != e.V {
+				arcs[[2]aquila.V{e.U, e.V}] = struct{}{}
 			}
 		}
-		add(base)
-		o.dir[0] = aquila.NewDirected(n, arcs)
+		build := func() *graph.Directed {
+			es := make([]aquila.Edge, 0, len(arcs))
+			for k := range arcs {
+				es = append(es, aquila.Edge{U: k[0], V: k[1]})
+			}
+			return aquila.NewDirected(n, es)
+		}
+		o.dir[0] = build()
 		o.und[0] = graph.Undirect(o.dir[0])
 		for i, b := range batches {
-			add(b)
-			o.dir[i+1] = aquila.NewDirected(n, arcs)
+			for _, up := range b {
+				if up.U == up.V {
+					continue
+				}
+				k := [2]aquila.V{up.U, up.V}
+				if up.Op == aquila.OpInsert {
+					arcs[k] = struct{}{}
+				} else {
+					delete(arcs, k)
+				}
+			}
+			o.dir[i+1] = build()
 			o.und[i+1] = graph.Undirect(o.dir[i+1])
 		}
 		return o
 	}
-	seen := make(map[[2]aquila.V]struct{}, len(base))
-	var edges []aquila.Edge
-	add := func(es []aquila.Edge) {
-		for _, e := range es {
-			u, v := e.U, e.V
-			if u == v {
-				continue
-			}
-			if u > v {
-				u, v = v, u
-			}
-			k := [2]aquila.V{u, v}
-			if _, dup := seen[k]; dup {
-				continue
-			}
-			seen[k] = struct{}{}
-			edges = append(edges, aquila.Edge{U: u, V: v})
+	edges := make(map[[2]aquila.V]struct{}, len(base))
+	for _, e := range base {
+		if e.U != e.V {
+			edges[normPair([2]aquila.V{e.U, e.V})] = struct{}{}
 		}
 	}
-	add(base)
-	o.und[0] = aquila.NewUndirected(n, edges)
+	build := func() *graph.Undirected {
+		es := make([]aquila.Edge, 0, len(edges))
+		for k := range edges {
+			es = append(es, aquila.Edge{U: k[0], V: k[1]})
+		}
+		return aquila.NewUndirected(n, es)
+	}
+	o.und[0] = build()
 	for i, b := range batches {
-		add(b)
-		o.und[i+1] = aquila.NewUndirected(n, edges)
+		for _, up := range b {
+			if up.U == up.V {
+				continue
+			}
+			k := normPair([2]aquila.V{up.U, up.V})
+			if up.Op == aquila.OpInsert {
+				edges[k] = struct{}{}
+			} else {
+				delete(edges, k)
+			}
+		}
+		o.und[i+1] = build()
 	}
 	return o
 }
@@ -461,23 +480,24 @@ func normPair(p [2]aquila.V) [2]aquila.V {
 
 // Classes returns the harness's standard graph families: a sparse random
 // undirected graph (several mid-size components), a social-like undirected
-// graph (one giant component plus a long tail), and a directed graph with
-// cyclic structure for SCC coverage. All are small enough that thousands of
-// schedules run in seconds.
+// graph (one giant component plus a long tail), a directed graph with cyclic
+// structure for SCC coverage, and a delete-adversarial bridge-churn family
+// whose batches repeatedly cut and re-add the only inter-half edge. All are
+// small enough that thousands of schedules run in seconds.
 func Classes() []Class {
 	return []Class{
 		{
 			Name: "sparse-random",
-			Build: func(seed uint64) (int, []aquila.Edge, [][]aquila.Edge) {
+			Build: func(seed uint64) (int, []aquila.Edge, [][]aquila.Update) {
 				rng := gen.NewRNG(seed)
 				n := 48 + rng.Intn(80)
 				base := randomEdges(rng, n, n) // avg degree ~2: fragmented
-				return n, base, randomBatches(rng, n, 2+rng.Intn(4), 1+rng.Intn(8))
+				return n, base, updateBatches(rng, n, base, 2+rng.Intn(4), 1+rng.Intn(8))
 			},
 		},
 		{
 			Name: "social-tail",
-			Build: func(seed uint64) (int, []aquila.Edge, [][]aquila.Edge) {
+			Build: func(seed uint64) (int, []aquila.Edge, [][]aquila.Update) {
 				rng := gen.NewRNG(seed)
 				giant := 60 + rng.Intn(60)
 				tail := 24 + rng.Intn(24)
@@ -487,13 +507,14 @@ func Classes() []Class {
 				for v := giant; v+1 < n; v += 2 + rng.Intn(2) {
 					base = append(base, aquila.Edge{U: aquila.V(v), V: aquila.V(v + 1)})
 				}
-				return n, dedup(base), randomBatches(rng, n, 2+rng.Intn(4), 1+rng.Intn(6))
+				base = dedup(base)
+				return n, base, updateBatches(rng, n, base, 2+rng.Intn(4), 1+rng.Intn(6))
 			},
 		},
 		{
 			Name:     "directed-cyclic",
 			Directed: true,
-			Build: func(seed uint64) (int, []aquila.Edge, [][]aquila.Edge) {
+			Build: func(seed uint64) (int, []aquila.Edge, [][]aquila.Update) {
 				rng := gen.NewRNG(seed)
 				n := 40 + rng.Intn(60)
 				var base []aquila.Edge
@@ -510,7 +531,55 @@ func Classes() []Class {
 					start += size
 				}
 				base = append(base, randomEdges(rng, n, n/2)...)
-				return n, dedup(base), randomBatches(rng, n, 2+rng.Intn(4), 1+rng.Intn(6))
+				base = dedup(base)
+				return n, base, updateBatches(rng, n, base, 2+rng.Intn(4), 1+rng.Intn(6))
+			},
+		},
+		{
+			Name: "bridge-churn",
+			Build: func(seed uint64) (int, []aquila.Edge, [][]aquila.Update) {
+				rng := gen.NewRNG(seed)
+				half := 12 + rng.Intn(16)
+				n := 2 * half
+				var base []aquila.Edge
+				// Two rings with chords (2-edge-connected halves) plus the
+				// one bridge every delete batch goes after.
+				for i := 0; i < half; i++ {
+					base = append(base,
+						aquila.Edge{U: aquila.V(i), V: aquila.V((i + 1) % half)},
+						aquila.Edge{U: aquila.V(half + i), V: aquila.V(half + (i+1)%half)})
+				}
+				for i := 0; i < half; i++ {
+					a, b := aquila.V(rng.Intn(half)), aquila.V(rng.Intn(half))
+					base = append(base, aquila.Edge{U: a, V: b},
+						aquila.Edge{U: aquila.V(half) + a, V: aquila.V(half) + b})
+				}
+				bridge := aquila.Edge{U: 0, V: aquila.V(half)}
+				base = append(base, bridge)
+				base = dedup(base)
+				// Cut-heavy epochs: odd batches cut the bridge (every cut is
+				// a tree-edge deletion with no replacement — a component
+				// split), even batches relink it, with intra-half churn mixed
+				// into both.
+				count := 4 + rng.Intn(4)
+				batches := make([][]aquila.Update, count)
+				for i := range batches {
+					var b []aquila.Update
+					if i%2 == 0 {
+						b = append(b, aquila.Delete(bridge.U, bridge.V))
+					} else {
+						b = append(b, aquila.Insert(bridge.U, bridge.V))
+					}
+					for j := rng.Intn(3); j > 0; j-- {
+						off := aquila.V(rng.Intn(2) * half)
+						u := off + aquila.V(rng.Intn(half))
+						v := off + aquila.V(rng.Intn(half))
+						// Cut-then-relink inside one half: never splits.
+						b = append(b, aquila.Delete(u, v), aquila.Insert(u, v))
+					}
+					batches[i] = b
+				}
+				return n, base, batches
 			},
 		},
 	}
@@ -529,16 +598,29 @@ func randomEdges(rng *gen.RNG, n, m int) []aquila.Edge {
 	return dedup(edges)
 }
 
-// randomBatches draws `count` update batches of up to `maxEdges` random
-// candidate edges each (duplicates across batches are fine: Apply dedups,
-// and the oracle reconstruction dedups identically).
-func randomBatches(rng *gen.RNG, n, count, maxEdges int) [][]aquila.Edge {
-	batches := make([][]aquila.Edge, count)
+// updateBatches draws `count` mixed insert/delete batches of up to `maxOps`
+// ops each. Deletes are biased toward edges known to be live (base edges and
+// earlier inserts, tracked in a pool) so they actually cut tree edges;
+// duplicates, misses, and re-deletes are all fair game — the engine and the
+// oracle reconstruction apply identical semantics.
+func updateBatches(rng *gen.RNG, n int, base []aquila.Edge, count, maxOps int) [][]aquila.Update {
+	pool := make([]aquila.Edge, len(base))
+	copy(pool, base)
+	batches := make([][]aquila.Update, count)
 	for i := range batches {
-		k := 1 + rng.Intn(maxEdges)
-		b := make([]aquila.Edge, 0, k)
+		k := 1 + rng.Intn(maxOps)
+		b := make([]aquila.Update, 0, k)
 		for j := 0; j < k; j++ {
-			b = append(b, aquila.Edge{U: aquila.V(rng.Intn(n)), V: aquila.V(rng.Intn(n))})
+			if rng.Intn(3) == 0 && len(pool) > 0 {
+				e := pool[rng.Intn(len(pool))]
+				b = append(b, aquila.Delete(e.U, e.V))
+				continue
+			}
+			e := aquila.Edge{U: aquila.V(rng.Intn(n)), V: aquila.V(rng.Intn(n))}
+			b = append(b, aquila.Insert(e.U, e.V))
+			if e.U != e.V {
+				pool = append(pool, e)
+			}
 		}
 		batches[i] = b
 	}

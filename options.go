@@ -104,9 +104,18 @@ type Options struct {
 	// rebuild exceed RebuildThreshold × the edge count at that rebuild,
 	// Apply materializes the graph and reruns the static CC pipeline,
 	// reseeding the incremental union-find in a freshly flattened state.
-	// 0 means the default (0.25); negative values disable automatic
-	// rebuilds, growing the pending delta without bound.
+	// In dynamic mode (after the first delete op) the budget counts inserts
+	// plus deletes, and the rebuild re-canonicalizes the cached labels
+	// through the static pipeline while the spanning forest stays
+	// authoritative. 0 means the default (0.25); negative values disable
+	// automatic rebuilds, growing the pending delta without bound.
 	RebuildThreshold float64
+	// DisableDynamic pins the engine to the monotone insert-only incremental
+	// layer: batches containing delete operations are rejected with
+	// ErrDeletesDisabled instead of promoting to the dynamic spanning
+	// forest. Deployments that depend on monotone connectivity (a Connected
+	// answer never later revoked) set this as a guard rail.
+	DisableDynamic bool
 }
 
 // ValidateCCPolicy reports whether s is an acceptable Options.CCPolicy value:

@@ -83,6 +83,11 @@ func (e *Engine) BgCC() *BgCCResult { return e.bgccComplete() }
 // updates it reads an O(1) counter maintained by Apply.
 func (e *Engine) CountCC() int {
 	e.mu.Lock()
+	if e.dyn != nil {
+		cnt := e.dyn.ComponentCount()
+		e.mu.Unlock()
+		return cnt
+	}
 	if e.inc != nil {
 		cnt := e.inc.ComponentCount()
 		e.mu.Unlock()
@@ -96,10 +101,19 @@ func (e *Engine) CountCC() int {
 // Connected reports whether u and v lie in the same connected component.
 // Before any Apply it reads the cached CC decomposition; once incremental
 // updates have begun it is answered straight from the union-find in
-// near-constant time, without blocking on (or waiting for) writers. Both
-// endpoints must be existing vertices.
+// near-constant time, without blocking on (or waiting for) writers. In
+// dynamic mode (after the first delete op) it reads the spanning forest in
+// O(log n) under the engine lock. Both endpoints must be existing vertices.
 func (e *Engine) Connected(u, v V) bool {
 	e.mu.Lock()
+	if e.dyn != nil {
+		// The forest is not safe for concurrent mutation, so unlike the
+		// union-find branch this query holds e.mu — still O(log n), no
+		// traversal, and consistent with any in-flight ApplyUpdates.
+		c := e.dyn.Connected(e.mapV(u), e.mapV(v))
+		e.mu.Unlock()
+		return c
+	}
 	if e.inc != nil {
 		s := e.inc
 		e.mu.Unlock()
@@ -146,6 +160,11 @@ func (e *Engine) isConnectedCtx(ctx context.Context) (bool, error) {
 	if n <= 1 {
 		e.mu.Unlock()
 		return true, nil
+	}
+	if e.dyn != nil {
+		cnt := e.dyn.ComponentCount()
+		e.mu.Unlock()
+		return cnt == 1, nil
 	}
 	if e.inc != nil {
 		cnt := e.inc.ComponentCount()
@@ -263,7 +282,7 @@ func (e *Engine) LargestCCContext(ctx context.Context) (*LargestResult, error) {
 
 func (e *Engine) largestCCCtx(ctx context.Context) (*LargestResult, error) {
 	e.mu.Lock()
-	if e.inc != nil {
+	if e.inc != nil || e.dyn != nil {
 		res, err := e.ccCompleteLockedCtx(ctx)
 		e.mu.Unlock()
 		if err != nil {

@@ -22,6 +22,19 @@ import (
 	"aquila/internal/scc"
 )
 
+// mapPair translates an update's endpoints (original ids) into the compute
+// id space. Updates are endpoint-addressed, not edge-id-addressed, so both
+// inserts and deletes translate the same way — a delete of original edge
+// {U,V} cuts compute edge {Perm[U],Perm[V]} regardless of how dense edge ids
+// shifted since the reorder (the forest and the dedup sets are keyed by
+// endpoints, never by eidMap positions).
+func (e *Engine) mapPair(u, v V) (V, V) {
+	if e.perm == nil {
+		return u, v
+	}
+	return e.perm.Perm[u], e.perm.Perm[v]
+}
+
 // remapComponents translates a compute-space (Label, LargestLabel, Sizes)
 // triple into original ids under p.
 func remapComponents(label []uint32, largest uint32, sizes map[uint32]int, p *graph.Permutation, threads int) ([]uint32, uint32, map[uint32]int) {

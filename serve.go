@@ -40,6 +40,20 @@ type snapState struct {
 func (e *Engine) snapshotState() snapState {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.dyn != nil {
+		// Dynamic mode: deletions cannot ride along as a delta (the fold is
+		// append-only), so the CSRs are rebuilt here, under e.mu, and the
+		// snapshot publishes fully materialized graphs with an empty delta.
+		// The labels come from the forest census — still no traversal.
+		e.materializeLocked()
+		if e.ccRaw == nil {
+			e.ccRaw = ccResultFromLabels(e.dyn.Labels())
+		}
+		return snapState{
+			gs:    graphSet{dir: e.dir, und: e.und, origDir: e.origDir, origUnd: e.origUnd, eidMap: e.eidMap},
+			ccRaw: e.ccRaw,
+		}
+	}
 	if e.ccRaw == nil && e.inc != nil {
 		// Fills the engine's own cache as a side effect; a later query would
 		// derive the identical result anyway.
@@ -157,6 +171,22 @@ func (s *Server) Apply(batch []Edge) (*ApplyResult, error) {
 	s.applyMu.Lock()
 	defer s.applyMu.Unlock()
 	res, err := s.eng.Apply(batch)
+	if err != nil {
+		return nil, err
+	}
+	s.cur.Store(s.capture(s.cur.Load().epoch + 1))
+	return res, nil
+}
+
+// ApplyUpdates applies a mixed insert/delete batch (Engine.ApplyUpdates
+// semantics, including the transparent promotion to the dynamic forest on
+// the first delete) and publishes the next epoch. Readers holding older
+// snapshots still see the pre-delete graph — epoch pinning gives deletion
+// exactly the same isolation inserts have always had.
+func (s *Server) ApplyUpdates(batch []Update) (*ApplyResult, error) {
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+	res, err := s.eng.ApplyUpdates(batch)
 	if err != nil {
 		return nil, err
 	}
