@@ -36,12 +36,16 @@ bench:
 # the PR 7 SCC algorithm-matrix sweep (coloring vs multireach vs fwbw per
 # directed graph class, plus the probe-fed auto), the PR 8 BiCC
 # algorithm-matrix sweep (constrained vs skeleton per undirected graph
-# class, plus the depth-probe-fed auto), and the PR 9 dynamic-apply
-# cut-vs-rebuild crossover, into BENCH_PR9.json.
+# class, plus the depth-probe-fed auto), the PR 9 dynamic-apply
+# cut-vs-rebuild crossover, and the PR 10 binary-container ingestion
+# ladder (mmap vs streamed v2 vs legacy v1 vs text parse+build), into
+# BENCH_PR10.json.
 bench-json:
 	( go test -bench='BFS|CC|Pool|Reach' -benchmem -benchtime=20x -run='^$$' \
 		. ./internal/bfs ./internal/parallel ; \
 	  go test -bench='Build|Parse|Reorder' -benchmem -benchtime=5x -run='^$$' \
+		./internal/bench ; \
+	  go test -bench='^BenchmarkContainer' -benchmem -benchtime=5x -run='^$$' \
 		./internal/bench ; \
 	  go test -bench='^BenchmarkCCMatrix$$' -benchmem -benchtime=3x -run='^$$' \
 		./internal/bench ; \
@@ -55,18 +59,22 @@ bench-json:
 		. ; \
 	  go test -bench='HTTPThroughput' -benchmem -benchtime=2s -run='^$$' \
 		./internal/httpd ) \
-		| go run ./cmd/bench2json > BENCH_PR9.json
+		| go run ./cmd/bench2json > BENCH_PR10.json
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:
 	go run ./cmd/aquila-bench -exp all
 
-# Short fuzz passes over the hardened entry points.
+# Short fuzz passes over the hardened entry points. The container fuzzer
+# bounds minimization explicitly: every valid .aqg is >= 4 KiB (fixed
+# header), so the default unbounded minimizer can swallow a short run
+# shrinking interesting inputs without advancing the execs counter.
 fuzz:
 	go test -fuzz=FuzzReadEdgeList$$ -fuzztime=30s ./internal/graph
 	go test -fuzz=FuzzReadEdgeListParity -fuzztime=30s ./internal/graph
 	go test -fuzz=FuzzParallelBuildParity -fuzztime=30s ./internal/graph
 	go test -fuzz=FuzzReadBinary -fuzztime=30s ./internal/graph
+	go test -fuzz=FuzzContainerRoundTrip -fuzztime=30s -fuzzminimizetime=10x ./internal/graph
 	go test -fuzz=FuzzBiCCMatchesOracle -fuzztime=30s ./internal/bicc
 	go test -fuzz=FuzzBiCCPolicyMatchesOracle -fuzztime=30s ./internal/bicc
 	go test -fuzz=FuzzCCPolicyMatchesOracle -fuzztime=30s ./internal/cc

@@ -130,3 +130,42 @@ func LoadMETIS(r io.Reader) (*Undirected, error) {
 // MaybeGunzip transparently unwraps gzip-compressed streams (detected by
 // magic bytes) so loaders accept .gz dumps directly.
 func MaybeGunzip(r io.Reader) (io.Reader, error) { return graph.MaybeGunzip(r) }
+
+// Container is a graph loaded from an .aqg v2 container together with the
+// resource backing its slices (an mmap'd file or the Go heap). Exactly one of
+// its Directed/Undirected fields is non-nil; call Release when done with an
+// mmap-backed graph.
+type Container = graph.Container
+
+// LoadContainer opens an .aqg v2 container file, mmap-ing it where the
+// platform allows so the graph's CSR slices alias the mapping directly —
+// zero parse, zero rebuild, O(1) heap allocation. Falls back to the streaming
+// ReadContainer elsewhere.
+func LoadContainer(path string) (*Container, error) { return graph.LoadContainer(path) }
+
+// ReadContainer deserializes an .aqg v2 container from a stream (pipes,
+// gzip-wrapped files, non-mmap hosts). Slices are heap-allocated.
+func ReadContainer(r io.Reader) (*Container, error) { return graph.ReadContainer(r) }
+
+// WriteContainer serializes a directed graph as an .aqg v2 container,
+// persisting both CSR directions so loading performs no rebuild work.
+func WriteContainer(w io.Writer, g *Directed) error { return graph.WriteContainer(w, g) }
+
+// WriteUndirectedContainer serializes an undirected graph as an .aqg v2
+// container, persisting the mate/eid indexes alongside the CSR.
+func WriteUndirectedContainer(w io.Writer, g *Undirected) error {
+	return graph.WriteUndirectedContainer(w, g)
+}
+
+// BinaryFormat sniffs the leading bytes of a graph file: 2 for an .aqg v2
+// container, 1 for the legacy v1 binary CSR, 0 for anything else.
+func BinaryFormat(head []byte) int { return graph.BinaryFormat(head) }
+
+// ReadBinary reads the legacy v1 binary CSR format (WriteBinary's output).
+// New files should use the v2 container (WriteContainer/LoadContainer); this
+// reader stays for compatibility with existing dumps.
+func ReadBinary(r io.Reader) (*Directed, error) { return graph.ReadBinary(r) }
+
+// WriteBinary writes the legacy v1 binary CSR format. Superseded by
+// WriteContainer, which also persists the in-CSR and supports mmap loading.
+func WriteBinary(w io.Writer, g *Directed) error { return graph.WriteBinary(w, g) }

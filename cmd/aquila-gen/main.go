@@ -1,10 +1,10 @@
 // Command aquila-gen writes synthetic benchmark graphs to disk, either as
-// plain edge lists or in the compact binary CSR format.
+// plain edge lists or as mmap-able .aqg v2 binary containers.
 //
 // Usage:
 //
 //	aquila-gen -kind rmat -scale 14 -out rmat14.txt
-//	aquila-gen -kind social -scale 10 -format bin -out social.bin
+//	aquila-gen -kind social -scale 10 -format aqg -out social.aqg
 //	aquila-gen -kind suite -out-dir graphs/      # the 11 Table 1 stand-ins
 package main
 
@@ -24,7 +24,7 @@ func main() {
 		kind   = flag.String("kind", "rmat", "rmat, random, social, web, suite")
 		scale  = flag.Int("scale", 12, "generator scale")
 		seed   = flag.Uint64("seed", 1, "generator seed")
-		format = flag.String("format", "txt", "txt (edge list) or bin (binary CSR)")
+		format = flag.String("format", "txt", "txt (edge list), aqg (mmap-able v2 container), or bin (same as aqg)")
 		out    = flag.String("out", "", "output file (single graph)")
 		outDir = flag.String("out-dir", "", "output directory (suite)")
 	)
@@ -83,10 +83,15 @@ func writeGraph(g *graph.Directed, path, format string) error {
 		return err
 	}
 	defer f.Close()
-	if format == "bin" {
-		return graph.WriteBinary(f, g)
+	switch format {
+	case "bin", "aqg":
+		// Binary output is the .aqg v2 container: versioned, page-aligned,
+		// mmap-able, and readable by every command's auto-detecting loader
+		// (legacy v1 files remain readable, just no longer written).
+		return graph.WriteContainer(f, g)
+	default:
+		return graph.WriteEdgeList(f, g)
 	}
-	return graph.WriteEdgeList(f, g)
 }
 
 func fatal(msg string) {

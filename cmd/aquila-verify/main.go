@@ -21,6 +21,7 @@ import (
 	"aquila/internal/bgcc"
 	"aquila/internal/bicc"
 	"aquila/internal/cc"
+	"aquila/internal/cli"
 	"aquila/internal/gen"
 	"aquila/internal/graph"
 	"aquila/internal/scc"
@@ -37,7 +38,7 @@ func main() {
 	)
 	flag.Parse()
 
-	d, err := obtain(*graphPath, *genKind, *scale, *seed)
+	d, err := obtain(*graphPath, *genKind, *scale, *seed, *threads)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aquila-verify:", err)
 		os.Exit(1)
@@ -94,18 +95,15 @@ func main() {
 	fmt.Println("all decompositions match the serial ground truth")
 }
 
-func obtain(path, kind string, scale int, seed uint64) (*aquila.Directed, error) {
+func obtain(path, kind string, scale int, seed uint64, threads int) (*aquila.Directed, error) {
 	if path != "" {
-		f, err := os.Open(path)
+		// The shared loader auto-detects .aqg containers (mmap'd), legacy v1
+		// binaries, and the text formats, so any aquila-gen output verifies.
+		lg, err := cli.LoadDirected(path, threads)
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
-		r, err := aquila.MaybeGunzip(f)
-		if err != nil {
-			return nil, err
-		}
-		return aquila.LoadEdgeList(r)
+		return lg.Graph, nil
 	}
 	switch kind {
 	case "rmat":

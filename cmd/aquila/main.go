@@ -36,11 +36,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"strings"
 	"time"
 
 	"aquila"
@@ -66,6 +64,7 @@ func main() {
 		noPartial  = flag.Bool("no-partial", false, "disable query transformation (always complete computation)")
 		serve      = flag.Bool("serve", false, "route updates and queries through the concurrent serving layer (snapshot isolation, singleflight, admission control)")
 		timeout    = flag.Duration("timeout", 0, "per-query deadline in serve mode (0 = none)")
+		saveBin    = flag.String("save-bin", "", "write the loaded graph as an .aqg v2 container to this path and continue")
 		verbose    = flag.Bool("verbose", false, "print strategy and timing details")
 		explain    = flag.Bool("explain", false, "print the query classification and strategy before answering")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the query to this file")
@@ -108,6 +107,15 @@ func main() {
 	}
 	if *verbose {
 		fmt.Printf("graph: %d vertices, %d arcs\n", g.NumVertices(), g.NumArcs())
+	}
+	if *saveBin != "" {
+		if err := saveContainer(g, *saveBin); err != nil {
+			fmt.Fprintln(os.Stderr, "aquila:", err)
+			os.Exit(1)
+		}
+		if *verbose {
+			fmt.Printf("saved .aqg container to %s\n", *saveBin)
+		}
 	}
 	eng := aquila.NewDirectedEngine(g, aquila.Options{
 		Threads:          *threads,
@@ -201,39 +209,33 @@ func parseReorder(s string) (aquila.Reorder, error) {
 	}
 }
 
+// saveContainer writes g as an .aqg v2 container, atomically enough for a
+// CLI: write to the final path, remove it on error.
+func saveContainer(g *aquila.Directed, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := aquila.WriteContainer(f, g); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	return f.Close()
+}
+
 // obtainGraph loads or generates the input and reports how long the parse
 // and CSR-build phases took (generators count as build; parse is then zero).
+// File loading goes through cli.LoadDirected, which auto-detects .aqg v2
+// containers (mmap'd), legacy v1 binaries, and the text formats by content
+// and extension.
 func obtainGraph(path, kind string, scale int, seed uint64, threads int) (*aquila.Directed, time.Duration, time.Duration, error) {
 	if path != "" {
-		f, err := os.Open(path)
+		lg, err := cli.LoadDirected(path, threads)
 		if err != nil {
 			return nil, 0, 0, err
 		}
-		defer f.Close()
-		r, err := aquila.MaybeGunzip(f)
-		if err != nil {
-			return nil, 0, 0, err
-		}
-		parse := func(r io.Reader) ([]aquila.Edge, int, error) { return aquila.ParseEdgeList(r) }
-		base := strings.TrimSuffix(path, ".gz")
-		switch {
-		case strings.HasSuffix(base, ".mtx"):
-			parse = aquila.ParseMatrixMarket
-		case strings.HasSuffix(base, ".metis"), strings.HasSuffix(base, ".graph"):
-			// METIS lists every undirected edge in both directions, which is
-			// exactly a symmetric directed graph — build it straight away so
-			// every query class is available.
-			parse = aquila.ParseMETIS
-		}
-		parseStart := time.Now()
-		edges, n, err := parse(r)
-		parseDur := time.Since(parseStart)
-		if err != nil {
-			return nil, 0, 0, err
-		}
-		buildStart := time.Now()
-		g := aquila.NewDirectedThreads(n, edges, threads)
-		return g, parseDur, time.Since(buildStart), nil
+		return lg.Graph, lg.ParseDur, lg.BuildDur, nil
 	}
 	genStart := time.Now()
 	var g *aquila.Directed

@@ -26,16 +26,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
 	"aquila"
+	"aquila/internal/cli"
 	"aquila/internal/gen"
 	"aquila/internal/httpd"
 )
@@ -91,7 +90,7 @@ func run(listen, graphPath, genKind string, scale int, seed uint64, threads int,
 	if err := aquila.ValidateBiCCPolicy(biccPolicy); err != nil {
 		return err
 	}
-	g, err := obtainGraph(graphPath, genKind, scale, seed, threads)
+	g, release, err := obtainGraph(graphPath, genKind, scale, seed, threads)
 	if err != nil {
 		return err
 	}
@@ -148,6 +147,12 @@ func run(listen, graphPath, genKind string, scale int, seed uint64, threads int,
 	defer cancel()
 	err = hs.Shutdown(ctx)
 	front.Close()
+	// Every kernel has drained (or been cancelled past its last checkpoint),
+	// so nothing references the base graph's CSR slices any more: if the graph
+	// aliases an mmap'd .aqg container, unmap it before exiting.
+	if rerr := release(); rerr != nil {
+		lg.Warn("releasing graph mapping", "err", rerr)
+	}
 	if errors.Is(err, context.DeadlineExceeded) {
 		lg.Warn("grace window expired; cancelled remaining kernels",
 			"in_flight", front.InFlight())
@@ -170,48 +175,34 @@ func parseReorder(s string) (aquila.Reorder, error) {
 	}
 }
 
-// obtainGraph mirrors cmd/aquila: load an edge-list/MatrixMarket/METIS file
-// or generate a synthetic graph.
-func obtainGraph(path, kind string, scale int, seed uint64, threads int) (*aquila.Directed, error) {
+// obtainGraph mirrors cmd/aquila: load a graph file through the shared
+// auto-detecting loader (.aqg containers mmap'd, v1 binaries and text formats
+// streamed) or generate a synthetic graph. The returned release func unmaps
+// an mmap-backed graph; call it only after every kernel has drained.
+func obtainGraph(path, kind string, scale int, seed uint64, threads int) (*aquila.Directed, func() error, error) {
+	noop := func() error { return nil }
 	if path != "" {
-		f, err := os.Open(path)
+		lg, err := cli.LoadDirected(path, threads)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		defer f.Close()
-		r, err := aquila.MaybeGunzip(f)
-		if err != nil {
-			return nil, err
-		}
-		parse := func(r io.Reader) ([]aquila.Edge, int, error) { return aquila.ParseEdgeList(r) }
-		base := strings.TrimSuffix(path, ".gz")
-		switch {
-		case strings.HasSuffix(base, ".mtx"):
-			parse = aquila.ParseMatrixMarket
-		case strings.HasSuffix(base, ".metis"), strings.HasSuffix(base, ".graph"):
-			parse = aquila.ParseMETIS
-		}
-		edges, n, err := parse(r)
-		if err != nil {
-			return nil, err
-		}
-		return aquila.NewDirectedThreads(n, edges, threads), nil
+		return lg.Graph, lg.Release, nil
 	}
 	switch kind {
 	case "rmat":
-		return gen.RMAT(scale, 16, seed), nil
+		return gen.RMAT(scale, 16, seed), noop, nil
 	case "random":
 		n := scale * 1000
-		return gen.Random(n, 16*n, seed), nil
+		return gen.Random(n, 16*n, seed), noop, nil
 	case "social":
 		return gen.Social(gen.SocialConfig{
 			GiantVertices: scale * 1000, GiantAvgDeg: 6,
 			SmallComps: scale * 40, SmallMaxSize: 6,
 			Isolated: scale * 20, MutualFrac: 0.4, Seed: seed,
-		}), nil
+		}), noop, nil
 	case "":
-		return nil, fmt.Errorf("need -graph FILE or -gen KIND")
+		return nil, nil, fmt.Errorf("need -graph FILE or -gen KIND")
 	default:
-		return nil, fmt.Errorf("unknown generator %q", kind)
+		return nil, nil, fmt.Errorf("unknown generator %q", kind)
 	}
 }

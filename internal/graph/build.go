@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"math"
 	"slices"
 	"sync/atomic"
 
@@ -149,35 +150,18 @@ func buildCSR(n int, edges []Edge, reverse bool, p int) ([]int64, []V) {
 	if p <= 1 {
 		return buildCSRSerial(n, edges, reverse)
 	}
-	// Degree histogram: one private histogram per worker over a contiguous
-	// block of the edge list (no atomics, no sharing), merged vertex-parallel.
-	hist := make([][]int32, p)
-	parallel.Run(p, func(w int) {
-		lo, hi := blockRange(len(edges), p, w)
-		h := make([]int32, n)
-		if reverse {
-			for _, e := range edges[lo:hi] {
-				if e.U != e.V {
-					h[e.V]++
-				}
-			}
-		} else {
-			for _, e := range edges[lo:hi] {
-				if e.U != e.V {
-					h[e.U]++
-				}
-			}
-		}
-		hist[w] = h
-	})
 	off := make([]int64, n+1)
-	parallel.For(0, n, p, func(v int) {
-		var d int64
-		for _, h := range hist {
-			d += int64(h[v])
-		}
-		off[v+1] = d
-	})
+	// A vertex's count in one worker's private histogram is bounded by that
+	// worker's edge-block size, so int32 counters are safe below the guard
+	// limit; at or beyond it they could silently wrap (mirroring
+	// internal/parallel's int64 chunk-cursor guard, the failure is loud here:
+	// we fall back to int64 counters — twice the histogram footprint, but
+	// correct — rather than build a corrupt CSR).
+	if histBlockMax(len(edges), p) >= histInt32Limit {
+		degreeHistogram[int64](n, edges, reverse, p, off)
+	} else {
+		degreeHistogram[int32](n, edges, reverse, p, off)
+	}
 	prefixInPlace(off, p)
 
 	// Scatter via per-vertex atomic cursors. Slot order within a vertex is
@@ -201,6 +185,51 @@ func buildCSR(n int, edges []Edge, reverse bool, p int) ([]int64, []V) {
 
 	sortSegments(n, off, adj, p)
 	return dedupSegments(n, off, adj, p)
+}
+
+// histInt32Limit is the per-worker edge-block size at which the int32 degree
+// histograms could overflow (2³¹ incident arcs within one block wrap an
+// int32). It is a variable only so the int64 fallback path is unit-testable
+// without materializing 2³¹ edges; see TestDegreeHistogramOverflowGuard.
+var histInt32Limit = int64(math.MaxInt32)
+
+// histBlockMax is the largest edge-block size any worker receives under the
+// even static split blockRange performs.
+func histBlockMax(m, p int) int64 {
+	return int64((m + p - 1) / p)
+}
+
+// degreeHistogram fills off[v+1] with v's degree: one private histogram per
+// worker over a contiguous block of the edge list (no atomics, no sharing),
+// merged vertex-parallel. The counter width is a type parameter so the
+// overflow-guarded int64 path shares this exact code.
+func degreeHistogram[C int32 | int64](n int, edges []Edge, reverse bool, p int, off []int64) {
+	hist := make([][]C, p)
+	parallel.Run(p, func(w int) {
+		lo, hi := blockRange(len(edges), p, w)
+		h := make([]C, n)
+		if reverse {
+			for _, e := range edges[lo:hi] {
+				if e.U != e.V {
+					h[e.V]++
+				}
+			}
+		} else {
+			for _, e := range edges[lo:hi] {
+				if e.U != e.V {
+					h[e.U]++
+				}
+			}
+		}
+		hist[w] = h
+	})
+	parallel.For(0, n, p, func(v int) {
+		var d int64
+		for _, h := range hist {
+			d += int64(h[v])
+		}
+		off[v+1] = d
+	})
 }
 
 // buildCSRSerial is the seed builder: count, prefix-sum, scatter, sort, dedup

@@ -114,6 +114,46 @@ func FuzzParallelBuildParity(f *testing.F) {
 	})
 }
 
+// FuzzContainerRoundTrip hammers the .aqg v2 container reader with mutated
+// container bytes: it must never panic, and whenever it accepts input the
+// loaded graph must re-serialize to the exact bytes it was read from (the
+// container is canonical, so accept implies byte-identity).
+func FuzzContainerRoundTrip(f *testing.F) {
+	var dir, und bytes.Buffer
+	if err := WriteContainer(&dir, BuildDirected(5, []Edge{{0, 1}, {1, 2}, {2, 0}, {3, 4}})); err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteUndirectedContainer(&und, BuildUndirected(4, []Edge{{0, 1}, {1, 2}, {2, 3}})); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(dir.Bytes())
+	f.Add(und.Bytes())
+	f.Add(dir.Bytes()[:aqgHeaderSize])
+	f.Add([]byte{})
+	f.Add([]byte("AQG2\x1aCSR then trailing junk instead of a header"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		c, err := ReadContainer(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var again bytes.Buffer
+		if c.Undirected != nil {
+			err = WriteUndirectedContainer(&again, c.Undirected)
+		} else {
+			err = WriteContainer(&again, c.Directed)
+		}
+		if err != nil {
+			t.Fatalf("accepted container failed to re-serialize: %v", err)
+		}
+		if !bytes.Equal(data, again.Bytes()) {
+			t.Fatalf("accepted container is not canonical: %d bytes in, %d bytes out", len(data), again.Len())
+		}
+	})
+}
+
 // FuzzReadBinary hammers the binary loader: arbitrary bytes must either error
 // out or produce a structurally valid graph, never panic.
 func FuzzReadBinary(f *testing.F) {

@@ -247,8 +247,11 @@ func WriteEdgeList(w io.Writer, g *Directed) error {
 
 const binMagic = 0x41515543 // "AQUC"
 
-// WriteBinary serializes a directed graph in a compact little-endian format
-// (magic, n, arc count, out-CSR). The in-CSR is reconstructed on load.
+// WriteBinary serializes a directed graph in the legacy v1 little-endian
+// format (magic, n, arc count, out-CSR only). Superseded by the .aqg v2
+// container (WriteContainer), which also persists the in-CSR and is
+// mmap-able; WriteBinary is kept so existing v1 files remain reproducible
+// and the compat reader stays testable.
 func WriteBinary(w io.Writer, g *Directed) error {
 	bw := bufio.NewWriter(w)
 	hdr := []int64{binMagic, int64(g.n), int64(len(g.outAdj))}
@@ -266,80 +269,160 @@ func WriteBinary(w io.Writer, g *Directed) error {
 	return bw.Flush()
 }
 
-// ReadBinary deserializes a directed graph written by WriteBinary.
+// ReadBinary deserializes a directed graph written by WriteBinary (the
+// legacy v1 format, which stores only the out-CSR). It constructs the graph
+// in place with ~1× the final footprint: the offsets and adjacency are read
+// into exactly-sized arrays and the in-CSR is computed by a direct O(n+m)
+// transpose — no intermediate []Edge expansion and no re-sort through the
+// builder, which the old reader paid (~3× peak memory) on every load.
+//
+// Files whose segments are not canonical (sorted, deduplicated, loop-free —
+// everything WriteBinary emits is) keep the old semantics: they are
+// normalized through the builder path, at the old path's memory cost.
 func ReadBinary(r io.Reader) (*Directed, error) {
 	br := bufio.NewReader(r)
-	var magic, n, m int64
-	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+	var hdr [24]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, err
 	}
+	magic := int64(binary.LittleEndian.Uint64(hdr[0:8]))
+	n := int64(binary.LittleEndian.Uint64(hdr[8:16]))
+	m := int64(binary.LittleEndian.Uint64(hdr[16:24]))
 	if magic != binMagic {
 		return nil, fmt.Errorf("graph: bad magic %#x", magic)
-	}
-	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
-		return nil, err
-	}
-	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
-		return nil, err
 	}
 	if n < 0 || m < 0 || n >= int64(NoVertex) {
 		return nil, fmt.Errorf("graph: implausible size in header (n=%d, m=%d)", n, m)
 	}
-	// Grow the arrays chunk by chunk so a corrupt header claiming absurd
-	// sizes fails on missing data instead of attempting the full allocation.
-	off, err := readInt64s(br, n+1)
+	off, err := readInt64Section(br, n+1, "offsets")
 	if err != nil {
 		return nil, err
 	}
-	adj, err := readU32s(br, m)
-	if err != nil {
-		return nil, err
-	}
-	// Rebuild the edge list to regenerate both CSRs through the validated
-	// builder path (also re-checks sortedness and bounds).
-	if len(off) == 0 || off[0] != 0 {
+	if off[0] != 0 {
 		return nil, fmt.Errorf("graph: corrupt offset array (must start at 0)")
 	}
-	edges := make([]Edge, 0, m)
 	for u := int64(0); u < n; u++ {
 		if off[u] > off[u+1] || off[u+1] > m {
 			return nil, fmt.Errorf("graph: corrupt offset array")
 		}
-		for s := off[u]; s < off[u+1]; s++ {
-			if int64(adj[s]) >= n {
+	}
+	if off[n] != m {
+		return nil, fmt.Errorf("graph: corrupt offset array")
+	}
+	adj, err := readVSection(br, m, "adjacency")
+	if err != nil {
+		return nil, err
+	}
+	canonical := true
+	for u := int64(0); u < n; u++ {
+		var prev V
+		first := true
+		for _, v := range adj[off[u]:off[u+1]] {
+			if int64(v) >= n {
 				return nil, fmt.Errorf("graph: adjacency target out of range")
 			}
-			edges = append(edges, Edge{V(u), adj[s]})
+			if v == V(u) || (!first && v <= prev) {
+				canonical = false
+			}
+			prev, first = v, false
 		}
 	}
-	return BuildDirected(int(n), edges), nil
+	if !canonical {
+		// Non-canonical segments (unsorted, duplicated, or self-looped) never
+		// come from WriteBinary; normalize them through the builder exactly as
+		// the old reader did.
+		edges := make([]Edge, 0, m)
+		for u := int64(0); u < n; u++ {
+			for _, v := range adj[off[u]:off[u+1]] {
+				edges = append(edges, Edge{V(u), v})
+			}
+		}
+		return BuildDirected(int(n), edges), nil
+	}
+	inOff, inAdj := invertCSR(int(n), off, adj)
+	return &Directed{n: int(n), outOff: off, outAdj: adj, inOff: inOff, inAdj: inAdj}, nil
 }
 
-// chunked readers: allocation tracks delivered bytes, not header claims.
-const readChunk = 1 << 16
-
-func readInt64s(r io.Reader, count int64) ([]int64, error) {
-	out := make([]int64, 0, min64(count, readChunk))
-	for int64(len(out)) < count {
-		c := min64(count-int64(len(out)), readChunk)
-		chunk := make([]int64, c)
-		if err := binary.Read(r, binary.LittleEndian, chunk); err != nil {
-			return nil, fmt.Errorf("graph: truncated offsets: %w", err)
+// invertCSR computes the in-CSR transpose of a canonical out-CSR in O(n+m)
+// without materializing an edge list: count in-degrees, prefix-sum, scatter
+// in ascending source order (which leaves every in-segment sorted, and
+// deduplicated because the out-segments were).
+func invertCSR(n int, off []int64, adj []V) ([]int64, []V) {
+	inOff := make([]int64, n+1)
+	for _, v := range adj {
+		inOff[v+1]++
+	}
+	for i := 0; i < n; i++ {
+		inOff[i+1] += inOff[i]
+	}
+	cursor := make([]int64, n)
+	copy(cursor, inOff[:n])
+	inAdj := make([]V, len(adj))
+	for u := 0; u < n; u++ {
+		for _, v := range adj[off[u]:off[u+1]] {
+			inAdj[cursor[v]] = V(u)
+			cursor[v]++
 		}
-		out = append(out, chunk...)
+	}
+	return inOff, inAdj
+}
+
+// Section readers shared by the v1 reader and the v2 streaming container
+// loader. Plausibly-sized sections are allocated exactly once (the ~1×
+// memory property); only absurd header claims beyond maxExactSection fall
+// back to growth tracking delivered bytes, so a corrupt header cannot force
+// a huge allocation before the missing data is noticed. Decoding goes
+// through a small reused byte buffer — unlike binary.Read, which allocates
+// an internal buffer per call.
+const (
+	sectionChunkElems = 1 << 16 // elements decoded per read: ≤512 KiB transient buffer
+	maxExactSection   = 1 << 24 // elements allocated up front when the header is plausible
+)
+
+func readInt64Section(r io.Reader, count int64, what string) ([]int64, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("graph: negative %s section", what)
+	}
+	buf := make([]byte, 8*min64(count, sectionChunkElems))
+	out := make([]int64, min64(count, maxExactSection))
+	filled := int64(0)
+	for filled < count {
+		c := min64(count-filled, sectionChunkElems)
+		b := buf[:8*c]
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, fmt.Errorf("graph: truncated %s: %w", what, err)
+		}
+		if int64(len(out)) < filled+c {
+			out = append(out, make([]int64, filled+c-int64(len(out)))...)
+		}
+		for i := int64(0); i < c; i++ {
+			out[filled+i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+		}
+		filled += c
 	}
 	return out, nil
 }
 
-func readU32s(r io.Reader, count int64) ([]V, error) {
-	out := make([]V, 0, min64(count, readChunk))
-	for int64(len(out)) < count {
-		c := min64(count-int64(len(out)), readChunk)
-		chunk := make([]V, c)
-		if err := binary.Read(r, binary.LittleEndian, chunk); err != nil {
-			return nil, fmt.Errorf("graph: truncated adjacency: %w", err)
+func readVSection(r io.Reader, count int64, what string) ([]V, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("graph: negative %s section", what)
+	}
+	buf := make([]byte, 4*min64(count, sectionChunkElems))
+	out := make([]V, min64(count, maxExactSection))
+	filled := int64(0)
+	for filled < count {
+		c := min64(count-filled, sectionChunkElems)
+		b := buf[:4*c]
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, fmt.Errorf("graph: truncated %s: %w", what, err)
 		}
-		out = append(out, chunk...)
+		if int64(len(out)) < filled+c {
+			out = append(out, make([]V, filled+c-int64(len(out)))...)
+		}
+		for i := int64(0); i < c; i++ {
+			out[filled+i] = V(binary.LittleEndian.Uint32(b[4*i:]))
+		}
+		filled += c
 	}
 	return out, nil
 }

@@ -1,0 +1,13 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package graph
+
+import "errors"
+
+// mmapFile is unavailable on this platform; LoadContainer falls back to the
+// streaming ReadContainer path.
+func mmapFile(path string) ([]byte, error) {
+	return nil, errors.New("graph: mmap unsupported on this platform")
+}
+
+func munmapFile([]byte) error { return nil }

@@ -1,0 +1,33 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package graph
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only into memory and returns the mapping, which
+// spans exactly the file's bytes. The stdlib syscall mmap keeps the container
+// dependency-free; LoadContainer falls back to the streaming reader on any
+// failure here.
+func mmapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size <= 0 || size != int64(int(size)) {
+		return nil, fmt.Errorf("graph: cannot map %d-byte file", size)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping returned by mmapFile.
+func munmapFile(b []byte) error { return syscall.Munmap(b) }
